@@ -1,0 +1,96 @@
+"""Ablation: IES3 compression knobs (admissibility eta, SVD tolerance).
+
+DESIGN.md calls out the eta/tolerance trade: looser admissibility and
+coarser truncation shrink memory but cost accuracy.  We sweep both on a
+fixed bus-extraction problem and verify the trade-off surfaces behave.
+"""
+
+import numpy as np
+import pytest
+
+from repro.em import PanelKernel, compress_operator, conductor_bus
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def problem():
+    panels = conductor_bus(num=4, width=2e-6, length=150e-6, pitch=7e-6, nx=2, ny=48)
+    kern = PanelKernel(panels)
+    P = kern.dense()
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(len(panels))
+    y_exact = P @ x
+    return kern, x, y_exact
+
+
+def test_ablate_svd_tolerance(problem, benchmark):
+    kern, x, y_exact = problem
+
+    def at_tol(tol):
+        op = compress_operator(kern.block, kern.centers, leaf_size=24, tol=tol)
+        err = np.linalg.norm(op.matvec(x) - y_exact) / np.linalg.norm(y_exact)
+        return op.stats.stored_floats, err
+
+    benchmark.pedantic(lambda: at_tol(1e-6), rounds=1, iterations=1)
+    rows = []
+    for tol in (1e-3, 1e-5, 1e-7, 1e-9):
+        stored, err = at_tol(tol)
+        rows.append((tol, float(stored), err))
+    report(
+        "Ablation — IES3 truncation tolerance",
+        rows,
+        header=("tol", "stored floats", "matvec rel err"),
+    )
+    stored = [r[1] for r in rows]
+    errs = [r[2] for r in rows]
+    assert stored == sorted(stored), "tighter tolerance costs memory"
+    assert errs[0] > errs[-1], "and buys accuracy"
+    assert errs[-1] < 1e-7
+
+
+def test_ablate_admissibility(problem, benchmark):
+    kern, x, y_exact = problem
+
+    def at_eta(eta):
+        op = compress_operator(kern.block, kern.centers, leaf_size=24,
+                               eta=eta, tol=1e-6)
+        err = np.linalg.norm(op.matvec(x) - y_exact) / np.linalg.norm(y_exact)
+        return op.stats, err
+
+    benchmark.pedantic(lambda: at_eta(1.5), rounds=1, iterations=1)
+    rows = []
+    for eta in (0.7, 1.5, 3.0):
+        stats, err = at_eta(eta)
+        rows.append((eta, float(stats.stored_floats),
+                     float(stats.low_rank_blocks), stats.max_rank, err))
+    report(
+        "Ablation — IES3 admissibility parameter eta",
+        rows,
+        header=("eta", "stored floats", "lr blocks", "max rank", "rel err"),
+        notes=("larger eta compresses blocks closer to the near field: "
+               "less storage, ranks grow, accuracy still set by tol",),
+    )
+    stored = [r[1] for r in rows]
+    assert stored[2] < stored[0], "aggressive admissibility stores less"
+    assert all(r[4] < 1e-4 for r in rows), "tolerance still rules accuracy"
+
+
+def test_ablate_leaf_size(problem, benchmark):
+    kern, x, y_exact = problem
+
+    def at_leaf(leaf):
+        op = compress_operator(kern.block, kern.centers, leaf_size=leaf, tol=1e-6)
+        return op.stats.stored_floats
+
+    benchmark.pedantic(lambda: at_leaf(24), rounds=1, iterations=1)
+    rows = [(leaf, float(at_leaf(leaf))) for leaf in (8, 24, 96)]
+    report(
+        "Ablation — cluster-tree leaf size",
+        rows,
+        header=("leaf size", "stored floats"),
+        notes=("tiny leaves fragment the low-rank blocks, huge leaves "
+               "densify the near field; the optimum sits between",),
+    )
+    stored = dict(rows)
+    assert stored[24] <= stored[8] or stored[24] <= stored[96]

@@ -1,0 +1,118 @@
+"""Section 1: the RF specification list, measured end to end.
+
+"Typical specifications which must be met by RF ICs ... include
+sensitivity, linearity, adjacent channel interference, and power level.
+These specifications depend on other performance measures such as noise
+figure, intercept point, and 1dB compression point.  Verification tools
+need to be able to analyze the design ... and predict the performance
+measures as accurately as possible."
+
+One LNA, every measure, plus the internal-consistency law a third-order
+nonlinearity imposes: IIP3 sits ~9.6 dB above the 1 dB compression
+point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_analysis, noise_analysis
+from repro.hb import harmonic_balance
+from repro.mpde import MPDEOptions
+from repro.netlist import Circuit, MultiTone, Sine
+from repro.rf import (
+    acpr_from_two_tone,
+    compression_point,
+    db20,
+    ip3_from_two_tone,
+    noise_figure_db,
+)
+
+from conftest import report
+
+F_RF, F_RF2 = 900e6, 910e6
+
+
+def build_lna(drive_wave):
+    ckt = Circuit("BJT LNA")
+    ckt.vsource("Vrf", "src", "0", drive_wave)
+    ckt.resistor("Rs", "src", "ac", 50.0)
+    ckt.capacitor("Cin", "ac", "b", 20e-12)
+    ckt.vsource("Vcc", "vcc", "0", 3.0)
+    ckt.vsource("Vbb", "vbb", "0", 0.85)
+    ckt.resistor("Rbb", "vbb", "b", 2e3)
+    ckt.bjt("Q1", "c", "b", "e", isat=5e-16, beta_f=120.0, tf=5e-12,
+            cje=50e-15, cjc=20e-15)
+    ckt.resistor("Re", "e", "0", 20.0)
+    ckt.resistor("Rc", "vcc", "c", 300.0)
+    ckt.capacitor("Cc", "c", "out", 10e-12)
+    ckt.resistor("RL", "out", "0", 500.0)
+    ckt.capacitor("CL", "out", "0", 0.2e-12)
+    return ckt.compile()
+
+
+@pytest.fixture(scope="module")
+def lna_measures():
+    sys = build_lna(Sine(0.0, F_RF))
+    nz = noise_analysis(sys, "out", [F_RF])
+    nf = noise_figure_db(nz, "Rs.thermal")
+
+    a_in = 2e-3
+    hb2 = harmonic_balance(
+        build_lna(MultiTone([(a_in, F_RF, 0.0), (a_in, F_RF2, 0.0)])),
+        freqs=[F_RF, F_RF2], harmonics=[4, 4],
+        options=MPDEOptions(solver="gmres"),
+    )
+    ip3 = ip3_from_two_tone(hb2, "out", input_amplitude=a_in)
+    acpr = acpr_from_two_tone(hb2, "out")
+
+    def out_amp(a):
+        hb = harmonic_balance(
+            build_lna(Sine(a, F_RF)), harmonics=10,
+            options=MPDEOptions(ramp_steps=4),
+        )
+        return hb.amplitude_at("out", (1,))
+
+    sweep = compression_point(out_amp, np.geomspace(1e-3, 0.3, 8))
+    return nf, ip3, acpr, sweep
+
+
+def test_sec1_spec_table(lna_measures, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    nf, ip3, acpr, sweep = lna_measures
+    rows = report(
+        "Section 1 — the RF spec list on one LNA",
+        [
+            ("noise figure (dB)", nf),
+            ("small-signal gain (dB)", sweep.small_signal_gain),
+            ("IM3 @ 2 mV/tone (dBc)", ip3["im3_dbc"]),
+            ("IIP3 (mV)", ip3["iip3_amplitude"] * 1e3),
+            ("input P1dB (mV)", sweep.p1db_input * 1e3),
+            ("ACPR adjacent (dBc)", acpr["acpr_adjacent_db"]),
+            ("ACPR alternate (dBc)", acpr["acpr_alternate_db"]),
+        ],
+    )
+    assert 1.0 < nf < 6.0, "a working LNA: a few dB of noise figure"
+    assert 10.0 < sweep.small_signal_gain < 25.0
+    assert ip3["im3_dbc"] < -60.0
+    assert acpr["acpr_alternate_db"] < acpr["acpr_adjacent_db"] < -60.0
+
+
+def test_sec1_third_order_consistency(lna_measures, benchmark):
+    """IIP3 - P1dB ~ 9.6 dB: the internal law of third-order limiting.
+
+    This is the kind of cross-measure consistency a designer uses to
+    sanity-check a simulator's linearity predictions.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    nf, ip3, acpr, sweep = lna_measures
+    delta = db20(ip3["iip3_amplitude"]) - db20(sweep.p1db_input)
+    report(
+        "Section 1 — IIP3 vs P1dB consistency",
+        [
+            ("IIP3 (dBV)", float(db20(ip3["iip3_amplitude"]))),
+            ("P1dB (dBV)", float(db20(sweep.p1db_input))),
+            ("IIP3 - P1dB (dB)", float(delta)),
+            ("3rd-order theory", 9.6),
+        ],
+    )
+    assert 7.0 < delta < 13.0

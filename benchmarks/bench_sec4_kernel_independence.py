@@ -1,0 +1,115 @@
+"""Section 4: kernel independence of IES3 vs multipole methods.
+
+"The main weakness of these tools [FastCap/FastHenry] is that the
+interaction between discretization elements must have a 1/|r - r'|
+dependence ... IES3 is a more recent kernel-independent scheme ... The
+interaction need not have a 1/|r - r'| dependence."
+
+Protocol: extract the same structure with (a) the free-space kernel and
+(b) a grounded-substrate (image) kernel.  The monopole/dipole treecode
+— representative of the multipole class — is accurate on (a) but,
+because its far-field math hardwires 1/r, silently wrong on (b).  The
+SVD-based IES3 compression is accurate on both without touching a line
+of its code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.em import PanelKernel, compress_operator, conductor_bus
+from repro.em.treecode import build_treecode
+
+from conftest import report
+
+
+def make_kernels():
+    panels = conductor_bus(
+        num=4, width=2e-6, length=120e-6, pitch=6e-6, nx=2, ny=40
+    )
+    # lift the bus above the substrate plane (z = 0)
+    for p in panels:
+        p.center = p.center + np.array([0.0, 0.0, 2e-6])
+    free = PanelKernel(panels, ground_plane=False)
+    grounded = PanelKernel(panels, ground_plane=True)
+    return panels, free, grounded
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return make_kernels()
+
+
+def _matvec_error(op, kern, seed=0):
+    P = kern.dense()
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(P.shape[0])
+    return float(np.linalg.norm(op.matvec(x) - P @ x) / np.linalg.norm(P @ x))
+
+
+def test_sec4_kernel_independence(kernels, benchmark):
+    panels, free, grounded = kernels
+
+    def build_all():
+        return (
+            build_treecode(free),
+            build_treecode(grounded),
+            compress_operator(free.block, free.centers, tol=1e-6),
+            compress_operator(grounded.block, grounded.centers, tol=1e-6),
+        )
+
+    tc_free, tc_gnd, ies_free, ies_gnd = benchmark.pedantic(
+        build_all, rounds=1, iterations=1
+    )
+    rows = [
+        ("treecode (multipole class)", _matvec_error(tc_free, free),
+         _matvec_error(tc_gnd, grounded)),
+        ("IES3 (SVD, kernel-free)", _matvec_error(ies_free, free),
+         _matvec_error(ies_gnd, grounded)),
+    ]
+    report(
+        "Section 4 — fast-solver accuracy vs kernel",
+        rows,
+        header=("method", "free-space err", "grounded err"),
+        notes=(
+            "the treecode's hardwired 1/r far field breaks on the image "
+            "kernel; IES3 compresses whatever the entry routine returns",
+        ),
+    )
+    tc_row, ies_row = rows
+    assert tc_row[1] < 1e-2, "treecode fine on its native kernel"
+    assert tc_row[2] > 10 * tc_row[1], "treecode degrades on the image kernel"
+    assert ies_row[1] < 1e-4 and ies_row[2] < 1e-4, "IES3 accurate on both"
+
+
+def test_sec4_grounded_capacitance_correct_via_ies3(kernels, benchmark):
+    """End-to-end: charge solve over the grounded kernel via IES3 matches
+    the dense reference; the treecode solve lands visibly off."""
+    panels, _, grounded = kernels
+    sel = np.array([p.conductor for p in panels])
+    v = (sel == 0).astype(float)
+    P = grounded.dense()
+    q_ref = np.linalg.solve(P, v)
+    c_ref = q_ref[sel == 0].sum()
+
+    def run():
+        op = compress_operator(grounded.block, grounded.centers, tol=1e-7)
+        return op.solve(v, tol=1e-10)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    c_ies = res.x[sel == 0].sum()
+
+    tc = build_treecode(grounded)
+    res_tc = tc.solve(v, tol=1e-10)
+    c_tc = res_tc.x[sel == 0].sum() if res_tc.converged else np.nan
+    report(
+        "Section 4 — grounded-bus self capacitance by solver",
+        [
+            ("dense reference (fF)", c_ref * 1e15),
+            ("IES3 (fF)", c_ies * 1e15),
+            ("treecode (fF)", c_tc * 1e15),
+        ],
+        notes=("the treecode, blind to the image term in the far field, "
+               "misextracts the capacitance",),
+    )
+    assert abs(c_ies - c_ref) / c_ref < 1e-4
+    assert not np.isfinite(c_tc) or abs(c_tc - c_ref) / c_ref > 1e-3

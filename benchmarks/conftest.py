@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure from the paper's
+evaluation; the ``report`` helper prints the reproduced rows/series next
+to the paper's reported shape so `pytest benchmarks/ --benchmark-only -s`
+doubles as the experiment log (EXPERIMENTS.md records one frozen copy).
+"""
+
+import sys
+
+
+def report(title, rows, header=None, notes=()):
+    """Print a paper-style table; returns the rows for further asserts."""
+    out = sys.stdout
+    out.write("\n" + "=" * 72 + "\n")
+    out.write(f"{title}\n")
+    out.write("-" * 72 + "\n")
+    if header:
+        out.write("  " + "  ".join(f"{h:>14s}" for h in header) + "\n")
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:>14.6g}")
+            else:
+                cells.append(f"{str(cell):>14s}")
+        out.write("  " + "  ".join(cells) + "\n")
+    for note in notes:
+        out.write(f"  note: {note}\n")
+    out.write("=" * 72 + "\n")
+    return rows

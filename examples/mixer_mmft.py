@@ -1,0 +1,77 @@
+"""The paper's Section 2.2 experiment: switching mixer via MMFT vs shooting.
+
+Reproduces the Figure 4/5 narrative: a double-balanced switching mixer
+with a 100 kHz / 100 mV RF input and a 900 MHz / 1 V square-wave LO is
+solved by the Multivariate Mixed Frequency Time method (3 slow
+harmonics, time-domain fast axis), and by brute-force univariate
+shooting over the 10 us common period for comparison.
+
+Expected output shapes (paper values): the main mix component at
+900.1 MHz has ~60 mV amplitude; the third-harmonic mix at 900.3 MHz is
+~1.1 mV (~35 dB down); univariate shooting costs orders of magnitude
+more time for the same answer.
+
+Run:  python examples/mixer_mmft.py  [--with-shooting]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import shooting_analysis
+from repro.mpde import solve_mmft
+from repro.rf import db20, switching_mixer
+
+
+def main(with_shooting: bool):
+    f_rf, f_lo = 100e3, 900e6
+    sys = switching_mixer(f_rf=f_rf, f_lo=f_lo)
+    print(f"circuit: {sys.title!r}, {sys.n} unknowns, "
+          f"time scales {f_lo / f_rf:.0f}x apart")
+
+    t0 = time.perf_counter()
+    mm = solve_mmft(sys, slow_freq=f_rf, fast_freq=f_lo,
+                    slow_harmonics=3, fast_steps=64)
+    t_mmft = time.perf_counter() - t0
+
+    # Figure 4(a): |X_1(t2)| -- the time-varying fundamental harmonic
+    X1 = mm.time_varying_harmonic("outp", 1)
+    X3 = mm.time_varying_harmonic("outp", 3)
+    print(f"\nMMFT solved in {t_mmft:.2f} s "
+          f"({mm.solution.newton_iterations} Newton iterations)")
+    print("time-varying harmonics over one LO period (Figure 4):")
+    print(f"  |X1(t2)| range: {np.abs(X1).min():.4f} .. {np.abs(X1).max():.4f} V")
+    print(f"  |X3(t2)| range: {np.abs(X3).min():.6f} .. {np.abs(X3).max():.6f} V")
+
+    # mix products = Fourier components of the time-varying harmonics
+    a_main = 2 * mm.mix_amplitude("outp", 1, 1)  # differential output
+    a_h3 = 2 * mm.mix_amplitude("outp", 3, 1)
+    print("\nmix products (differential output):")
+    print(f"  900.1 MHz (f_lo + f_rf)  : {a_main * 1e3:7.1f} mV   (paper: ~60 mV)")
+    print(f"  900.3 MHz (f_lo + 3 f_rf): {a_h3 * 1e3:7.2f} mV   (paper: ~1.1 mV)")
+    print(f"  distortion: {db20(a_h3 / a_main):.1f} dB below the signal "
+          f"(paper: ~-35 dB)")
+
+    if with_shooting:
+        print("\nunivariate shooting over the common 10 us period "
+              "(50 steps per fast period, as in the paper) ...")
+        steps = int(50 * f_lo / f_rf)
+        t0 = time.perf_counter()
+        sh = shooting_analysis(sys, period=1 / f_rf, steps_per_period=steps)
+        t_sh = time.perf_counter() - t0
+        v = sh.voltage(sys, "outp") - sh.voltage(sys, "outn")
+        comp = np.mean(v[:-1] * np.exp(-2j * np.pi * (f_lo + f_rf) * sh.t[:-1]))
+        print(f"shooting: {t_sh:.1f} s, 900.1 MHz amplitude "
+              f"{2 * abs(comp) * 1e3:.1f} mV")
+        print(f"speedup MMFT vs shooting: {t_sh / t_mmft:.0f}x "
+              f"(paper: ~300x)")
+    else:
+        print("\n(re-run with --with-shooting for the Figure 5 brute-force "
+              "comparison; it simulates 450,000 time steps)")
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--with-shooting", action="store_true")
+    main(ap.parse_args().with_shooting)

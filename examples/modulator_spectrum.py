@@ -1,0 +1,86 @@
+"""The paper's Figure 1 experiment: modulator spectrum by harmonic balance.
+
+Runs two-tone HB (80 kHz baseband x 202.5 MHz LO reference) on the
+dual-conversion quadrature modulator and prints the in-band output
+spectrum around the 1.62 GHz carrier, reproducing the two spurs the
+paper calls out:
+
+* the -35 dBc sideband caused by a (deliberate, tunable) quadrature
+  imbalance — "traced back to a layout imbalance";
+* the ~-78 dBc LO spurious response that "was missed during
+  conventional transient analysis" — to show why, we also run a
+  transient and estimate its spectral noise floor.
+
+Run:  python examples/modulator_spectrum.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import transient_analysis
+from repro.hb import harmonic_balance
+from repro.rf import ModulatorSpec, quadrature_modulator
+
+
+def main():
+    spec = ModulatorSpec()
+    sys = quadrature_modulator(spec)
+    print(f"circuit: {sys.title!r}, {sys.n} unknowns")
+    print(f"frequency plan: baseband {spec.f_bb / 1e3:.0f} kHz, "
+          f"LO1 {spec.f_lo1 / 1e6:.1f} MHz, LO2 {spec.f_lo2 / 1e6:.1f} MHz, "
+          f"carrier {spec.f_carrier / 1e9:.2f} GHz")
+
+    t0 = time.perf_counter()
+    hb = harmonic_balance(sys, freqs=[spec.f_bb, spec.f_ref], harmonics=[3, 10])
+    t_hb = time.perf_counter() - t0
+    print(f"\nHB solved in {t_hb:.1f} s ({hb.newton_iterations} Newton, "
+          f"{hb.gmres_iterations} GMRES iterations, solver={hb.solver})")
+
+    carrier = (1, 8)
+    print("\nin-band output spectrum (Figure 1), relative to the carrier:")
+    rows = [
+        ("LO feedthrough", (0, 8), "paper: weak spur, ~-78 dBc"),
+        ("lower sideband (image)", (-1, 8), "paper: -35 dBc, layout imbalance"),
+        ("carrier (USB)", (1, 8), "reference"),
+        ("3rd-order sideband", (3, 8), ""),
+    ]
+    for name, idx, note in rows:
+        f_phys = idx[0] * spec.f_bb + idx[1] * spec.f_ref
+        level = hb.dbc("rfp", idx, carrier)
+        print(f"  {f_phys / 1e9:10.6f} GHz  {level:8.2f} dBc   {name:24s} {note}")
+
+    a_carrier = hb.amplitude_at("rfp", carrier)
+    print(f"\ncarrier amplitude: {a_carrier * 1e3:.1f} mV")
+
+    # --- why transient analysis misses the LO spur -------------------------
+    # The paper ran transient with baseband artificially raised to 1 MHz
+    # because 80 kHz would need hundreds of thousands of carrier cycles.
+    # Even then the FFT noise floor sits far above -78 dBc.
+    print("\ntransient comparison (baseband raised to 1 MHz, as in the paper):")
+    fast_spec = ModulatorSpec(f_bb=1e6)
+    fast_sys = quadrature_modulator(fast_spec)
+    cycles = 40  # carrier cycles actually simulated here (scaled-down demo)
+    t0 = time.perf_counter()
+    tr = transient_analysis(
+        fast_sys, t_stop=cycles / fast_spec.f_ref, dt=1 / fast_spec.f_ref / 160
+    )
+    t_tr = time.perf_counter() - t0
+    v = tr.voltage(fast_sys, "rfp")
+    # periodogram floor around the carrier
+    w = v - v.mean()
+    spec_fft = np.abs(np.fft.rfft(w * np.hanning(w.size))) / w.size
+    freqs = np.fft.rfftfreq(w.size, d=tr.t[1] - tr.t[0])
+    carrier_bin = np.argmin(np.abs(freqs - fast_spec.f_carrier))
+    floor = np.median(spec_fft[spec_fft > 0])
+    print(f"  simulated {cycles} carrier cycles in {t_tr:.1f} s")
+    print(f"  FFT dynamic range: carrier/median-floor = "
+          f"{20 * np.log10(spec_fft[carrier_bin] / floor):.0f} dB "
+          f"(HB resolved a -78 dBc spur; transient cannot at this cost)")
+    print("  full-resolution transient at 80 kHz baseband would need "
+          f"{fast_spec.f_carrier / spec.f_bb:,.0f} carrier cycles per "
+          "baseband period — the paper's 'several hundred thousand cycles'.")
+
+
+if __name__ == "__main__":
+    main()

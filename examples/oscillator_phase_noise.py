@@ -1,0 +1,80 @@
+"""The paper's Section 3 experiment: oscillator phase noise via the PPV.
+
+Characterizes a 5 GHz negative-resistance LC oscillator (built as a real
+MNA circuit, converted through the ODE adapter):
+
+1. periodic steady state with the period as an unknown,
+2. Floquet decomposition and the perturbation projection vector,
+3. the scalar phase-diffusion constant c,
+4. the single-sideband phase-noise curve L(fm) — finite at the carrier,
+   unlike the LTV prediction — and the timing jitter law sigma = sqrt(c t),
+5. a Monte-Carlo stochastic simulation standing in for the paper's
+   measurements.
+
+Run:  python examples/oscillator_phase_noise.py
+"""
+
+import numpy as np
+
+from repro.phasenoise import (
+    MNAOscillator,
+    compute_ppv,
+    find_oscillator_pss,
+    jitter_stddev,
+    ltv_phase_noise_dbc,
+    measure_jitter,
+    simulate_sde_ensemble,
+    ssb_phase_noise_dbc,
+)
+from repro.rf import lc_oscillator
+
+
+def main():
+    mna = lc_oscillator(L=1e-9, C=1e-12, R=300.0, g1=5e-3, g3=1e-3)
+    # add thermal noise of the 300-ohm tank resistor (handled by the adapter)
+    osc = MNAOscillator(mna)
+    print(f"oscillator: {mna.title!r} -> ODE form, n={osc.n}, "
+          f"{osc.p} noise source(s)")
+
+    pss = find_oscillator_pss(osc, period_guess=2 * np.pi * np.sqrt(1e-9 * 1e-12),
+                              t_settle=None, steps=400)
+    print(f"\n[PSS] f0 = {pss.f0 / 1e9:.4f} GHz "
+          f"(unit Floquet multiplier error {pss.floquet_error:.1e})")
+    amp = pss.X[0].max()
+    print(f"      tank amplitude {amp:.3f} V "
+          f"(theory sqrt((g1 - 1/R)/g3) = "
+          f"{np.sqrt((5e-3 - 1 / 300) / 1e-3):.3f} V)")
+
+    ppv = compute_ppv(pss)
+    print(f"\n[PPV] phase diffusion constant c = {ppv.c:.3e} s")
+    print(f"      Lorentzian corner offset = {ppv.corner_offset_hz:.3e} Hz")
+
+    print("\n[L(fm)] single-sideband phase noise (dBc/Hz):")
+    print(f"  {'offset':>10s}  {'correct':>9s}  {'LTV':>9s}")
+    for fm in (1e1, 1e3, 1e5, 1e7):
+        good = ssb_phase_noise_dbc(np.array([fm]), pss.f0, ppv.c)[0]
+        ltv = ltv_phase_noise_dbc(np.array([fm]), pss.f0, ppv.c)[0]
+        print(f"  {fm:10.0e}  {good:9.1f}  {ltv:9.1f}")
+    print("  -> identical in the 1/f^2 region; the LTV column diverges "
+          "toward the carrier while the correct result saturates "
+          "(finite carrier power — the paper's key claim).")
+
+    print("\n[jitter] RMS timing jitter sqrt(c t):")
+    for cycles in (1, 100, 10000):
+        tau = cycles * pss.period
+        print(f"  after {cycles:6d} cycles: {jitter_stddev(tau, ppv.c):.3e} s "
+              f"({jitter_stddev(tau, ppv.c) / pss.period * 100:.4f} % of T)")
+
+    # --- Monte-Carlo validation (measurement stand-in) ----------------------
+    print("\n[Monte Carlo] Euler-Maruyama ensemble, 40 paths x 60 cycles ...")
+    t, traces = simulate_sde_ensemble(
+        osc, pss.x0, t_stop=60 * pss.period, steps=60 * 200, n_paths=40, seed=1
+    )
+    jm = measure_jitter(t, traces, level=float(pss.X[0].mean()))
+    print(f"  fitted variance slope c_fit = {jm.c_fit:.3e} s")
+    print(f"  PPV prediction         c    = {ppv.c:.3e} s "
+          f"(ratio {jm.c_fit / ppv.c:.2f})")
+
+
+if __name__ == "__main__":
+    main()

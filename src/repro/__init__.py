@@ -1,0 +1,33 @@
+"""repro — reproduction of "Tools and Methodology for RF IC Design" (DAC 1998).
+
+Subpackages
+-----------
+``repro.netlist``
+    Circuit devices, waveforms, SPICE-like parser, MNA compilation.
+``repro.analysis``
+    DC, AC, transient, univariate shooting, stationary noise.
+``repro.hb``
+    Harmonic balance (single- and multi-tone) with matrix-free Krylov
+    solution of the HB Jacobian (paper sec. 2.1).
+``repro.mpde``
+    Multi-rate PDE methods: MFDTD, MMFT, hierarchical shooting, and
+    time-domain envelope following (paper sec. 2.2).
+``repro.phasenoise``
+    Oscillator PSS, Floquet/PPV phase-noise characterization, Lorentzian
+    spectra and jitter (paper sec. 3).
+``repro.em``
+    Electrostatic / magneto-quasi-static extraction: dense MoM, sparse FD
+    field solver, IES3-style hierarchical matrix compression, spiral
+    inductor PEEC models (paper sec. 4).
+``repro.rom``
+    Krylov reduced-order modeling: AWE, PVL, Arnoldi, PRIMA, passivity,
+    ROM-accelerated noise, ROM devices for time/frequency co-simulation
+    (paper sec. 5).
+``repro.rf``
+    Generators for the paper's example systems (quadrature modulator,
+    switching mixer, oscillators) and RF metrics.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Classic SPICE-class analyses: DC, AC, transient, shooting, noise."""
+
+from repro.analysis.ac import ACResult, ac_analysis, ac_excitation_vector
+from repro.analysis.dc import DCResult, dc_analysis
+from repro.analysis.noise import NoiseResult, noise_analysis
+from repro.analysis.pnoise import PNoiseResult, periodic_noise_analysis
+from repro.analysis.poles import PoleResult, pole_analysis
+from repro.analysis.shooting import (
+    ShootingResult,
+    integrate_with_sensitivity,
+    shooting_analysis,
+)
+from repro.analysis.transient import TransientResult, step_once, transient_analysis
+
+__all__ = [
+    "DCResult",
+    "dc_analysis",
+    "ACResult",
+    "ac_analysis",
+    "ac_excitation_vector",
+    "TransientResult",
+    "transient_analysis",
+    "step_once",
+    "ShootingResult",
+    "shooting_analysis",
+    "integrate_with_sensitivity",
+    "NoiseResult",
+    "noise_analysis",
+    "PNoiseResult",
+    "periodic_noise_analysis",
+    "PoleResult",
+    "pole_analysis",
+]

@@ -1,0 +1,92 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at its DC operating point and solves
+
+    (G + j omega C) dx = db
+
+per frequency, where ``db`` is a unit (or user-set) excitation applied at
+one independent source.  Standard substrate shared by the noise analysis
+and used by the benchmarks to cross-check HB in the small-signal limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.analysis.dc import dc_analysis
+from repro.netlist.components import ISource, VSource
+from repro.netlist.mna import MNASystem
+
+__all__ = ["ACResult", "ac_analysis", "ac_excitation_vector"]
+
+
+@dataclasses.dataclass
+class ACResult:
+    """Complex response ``X[:, k]`` per analysis frequency ``freqs[k]``."""
+
+    freqs: np.ndarray
+    X: np.ndarray
+    x_dc: np.ndarray
+
+    def voltage(self, system: MNASystem, node: str) -> np.ndarray:
+        return self.X[system.node(node)]
+
+    def transfer_db(self, system: MNASystem, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.abs(self.voltage(system, node)) + 1e-300)
+
+
+def ac_excitation_vector(system: MNASystem, source_name: str, magnitude: float = 1.0) -> np.ndarray:
+    """Unit excitation vector for the named V or I source."""
+    for dev in system.devices:
+        if dev.name != source_name:
+            continue
+        if isinstance(dev, VSource):
+            db = np.zeros(system.n)
+            db[dev.branch_idx[0]] = magnitude
+            return db
+        if isinstance(dev, ISource):
+            db = np.zeros(system.n)
+            i, j = dev.node_idx
+            if i >= 0:
+                db[i] -= magnitude
+            if j >= 0:
+                db[j] += magnitude
+            return db
+        raise TypeError(f"{source_name!r} is not an independent source")
+    raise KeyError(f"no source named {source_name!r}")
+
+
+def ac_analysis(
+    system: MNASystem,
+    source_name: str,
+    freqs: Sequence[float],
+    x_dc: Optional[np.ndarray] = None,
+    magnitude: float = 1.0,
+) -> ACResult:
+    """Frequency sweep of the linearized circuit.
+
+    Parameters
+    ----------
+    source_name:
+        Independent source carrying the (unit) AC excitation.
+    freqs:
+        Analysis frequencies in Hz.
+    x_dc:
+        Operating point; computed via :func:`dc_analysis` if omitted.
+    """
+    if x_dc is None:
+        x_dc = dc_analysis(system).x
+    G = system.G(x_dc).tocsc()
+    C = system.C(x_dc).tocsc()
+    db = ac_excitation_vector(system, source_name, magnitude)
+
+    freqs = np.asarray(list(freqs), dtype=float)
+    X = np.zeros((system.n, freqs.size), dtype=complex)
+    for k, f0 in enumerate(freqs):
+        A = (G + 1j * 2.0 * np.pi * f0 * C).tocsc()
+        X[:, k] = spla.spsolve(A, db.astype(complex))
+    return ACResult(freqs=freqs, X=X, x_dc=x_dc)

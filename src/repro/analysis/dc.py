@@ -1,0 +1,122 @@
+"""DC operating-point analysis.
+
+Solves ``f(x) = b_dc`` by damped Newton, with two continuation fallbacks
+when plain Newton fails on strongly nonlinear circuits:
+
+* **gmin stepping** — a shunt conductance on every node diagonal is swept
+  from large to negligible;
+* **source stepping** — the excitation is ramped from 0 to 100 %.
+
+Both are the standard SPICE homotopies; RF circuits full of exponential
+junctions routinely need them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
+from repro.netlist.mna import MNASystem
+
+__all__ = ["DCResult", "dc_analysis"]
+
+
+@dataclasses.dataclass
+class DCResult:
+    """Operating point ``x`` plus bookkeeping about how it was found."""
+
+    x: np.ndarray
+    iterations: int
+    strategy: str
+    residual_norm: float
+
+    def voltage(self, system: MNASystem, node: str) -> float:
+        return float(self.x[system.node(node)])
+
+
+def _newton_dc(system: MNASystem, b: np.ndarray, x0: np.ndarray, gshunt: float, opts: NewtonOptions):
+    n = system.n
+    num_nodes = len(system.node_names)
+    shunt = sp.diags(
+        np.concatenate([np.full(num_nodes, gshunt), np.zeros(n - num_nodes)])
+    ).tocsr()
+
+    def residual(x):
+        return system.f(x) + shunt @ x - b
+
+    def jacobian(x):
+        return (system.G(x) + shunt).tocsc()
+
+    return newton_solve(residual, jacobian, x0, opts)
+
+
+def dc_analysis(
+    system: MNASystem,
+    x0: Optional[np.ndarray] = None,
+    abstol: float = 1e-9,
+    maxiter: int = 100,
+    dx_limit: float = 2.0,
+) -> DCResult:
+    """Find the DC operating point of a compiled circuit.
+
+    Parameters
+    ----------
+    system:
+        Compiled circuit.
+    x0:
+        Optional initial guess (defaults to all-zero, the SPICE default).
+    dx_limit:
+        Per-iteration cap on the Newton update infinity-norm; junction
+        devices blow up without it.
+    """
+    b = system.b_dc()
+    guess = np.zeros(system.n) if x0 is None else np.asarray(x0, dtype=float)
+    opts = NewtonOptions(abstol=abstol, maxiter=maxiter, dx_limit=dx_limit)
+
+    try:
+        res = _newton_dc(system, b, guess, 0.0, opts)
+        return DCResult(res.x, res.iterations, "newton", res.residual_norm)
+    except ConvergenceError:
+        pass
+
+    # gmin stepping
+    x = guess.copy()
+    total_iters = 0
+    try:
+        for gshunt in 10.0 ** np.arange(-2, -13, -1.0):
+            res = _newton_dc(system, b, x, gshunt, opts)
+            x = res.x
+            total_iters += res.iterations
+        res = _newton_dc(system, b, x, 0.0, opts)
+        return DCResult(res.x, total_iters + res.iterations, "gmin-stepping", res.residual_norm)
+    except ConvergenceError:
+        pass
+
+    # source stepping
+    x = guess.copy()
+    total_iters = 0
+    alpha = 0.0
+    step = 0.1
+    failures = 0
+    while alpha < 1.0:
+        target = min(1.0, alpha + step)
+        try:
+            res = _newton_dc(system, target * b, x, 0.0, opts)
+            x = res.x
+            total_iters += res.iterations
+            alpha = target
+            step = min(step * 2.0, 0.25)
+        except ConvergenceError:
+            step *= 0.5
+            failures += 1
+            if failures > 40 or step < 1e-6:
+                raise ConvergenceError(
+                    f"DC analysis failed for {system.title!r}: newton, gmin and "
+                    f"source stepping all diverged (stalled at alpha={alpha:.3g})"
+                )
+    final = _newton_dc(system, b, x, 0.0, opts)
+    return DCResult(final.x, total_iters + final.iterations, "source-stepping", final.residual_norm)

@@ -1,0 +1,81 @@
+"""Small-signal (stationary) noise analysis.
+
+At a DC operating point every device noise generator is a stationary
+white current source.  The output noise PSD at node ``out`` is
+
+    S_out(omega) = sum_s |u_s^T z(omega)|^2 * S_s
+
+with one *adjoint* solve per frequency,
+
+    (G + j omega C)^T z = e_out,
+
+so the cost is independent of the number of noise sources.  This is the
+substrate the reduced-order noise evaluation of paper sec. 5 (ref [7])
+accelerates, and the stationary baseline against which the oscillator
+phase-noise module (sec. 3) differs qualitatively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.analysis.dc import dc_analysis
+from repro.netlist.mna import MNASystem
+
+__all__ = ["NoiseResult", "noise_analysis"]
+
+
+@dataclasses.dataclass
+class NoiseResult:
+    """Output noise PSD per frequency, with per-source breakdown.
+
+    ``psd`` is the total one-sided output voltage noise density in
+    V^2/Hz; ``contributions`` maps source names to their share.
+    """
+
+    freqs: np.ndarray
+    psd: np.ndarray
+    contributions: Dict[str, np.ndarray]
+    x_dc: np.ndarray
+
+    def spot_noise_volts(self, k: int = 0) -> float:
+        """sqrt(S_out) at frequency index k, in V/sqrt(Hz)."""
+        return float(np.sqrt(self.psd[k]))
+
+
+def noise_analysis(
+    system: MNASystem,
+    output_node: str,
+    freqs: Sequence[float],
+    x_dc: Optional[np.ndarray] = None,
+) -> NoiseResult:
+    """Stationary output-referred noise over a frequency sweep."""
+    if x_dc is None:
+        x_dc = dc_analysis(system).x
+    G = system.G(x_dc).tocsc()
+    C = system.C(x_dc).tocsc()
+    e_out = np.zeros(system.n)
+    e_out[system.node(output_node)] = 1.0
+
+    injections = system.noise_injection_vectors()
+    x_col = x_dc[:, None]
+    psd_values = [src.psd_at(x_col)[0] for src, _ in injections]
+
+    freqs = np.asarray(list(freqs), dtype=float)
+    total = np.zeros(freqs.size)
+    contributions: Dict[str, np.ndarray] = {
+        src.name: np.zeros(freqs.size) for src, _ in injections
+    }
+    for k, f0 in enumerate(freqs):
+        A_T = (G + 1j * 2.0 * np.pi * f0 * C).T.tocsc()
+        z = spla.spsolve(A_T, e_out.astype(complex))
+        for (src, u), s_val in zip(injections, psd_values):
+            transfer = abs(np.dot(u, z)) ** 2
+            contrib = transfer * s_val
+            contributions[src.name][k] += contrib
+            total[k] += contrib
+    return NoiseResult(freqs=freqs, psd=total, contributions=contributions, x_dc=x_dc)

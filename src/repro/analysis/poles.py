@@ -1,0 +1,80 @@
+"""Small-signal pole analysis of the linearized circuit.
+
+The natural frequencies of the circuit linearized at an operating point
+are the finite generalized eigenvalues of the pencil ``(-G, C)``:
+
+    (G + s C) v = 0.
+
+Two RF uses, both exercised in the tests:
+
+* **oscillator startup**: a negative-resistance oscillator must have a
+  right-half-plane complex pole pair at its DC point (paper sec. 3's
+  oscillators are exactly such circuits before the nonlinearity limits
+  them);
+* **stability audit** of amplifiers/filters before running the
+  steady-state engines, which all assume a stable (or deliberately
+  autonomous) circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.analysis.dc import dc_analysis
+from repro.netlist.mna import MNASystem
+
+__all__ = ["PoleResult", "pole_analysis"]
+
+
+@dataclasses.dataclass
+class PoleResult:
+    """Finite small-signal poles (rad/s, complex) at an operating point."""
+
+    poles: np.ndarray
+    x_dc: np.ndarray
+
+    @property
+    def unstable(self) -> np.ndarray:
+        """Right-half-plane poles (growing natural responses)."""
+        return self.poles[np.real(self.poles) > 0]
+
+    @property
+    def is_stable(self) -> bool:
+        return self.unstable.size == 0
+
+    def frequencies_hz(self) -> np.ndarray:
+        """|Im s| / 2 pi of the oscillatory poles."""
+        osc = self.poles[np.abs(np.imag(self.poles)) > 0]
+        return np.abs(np.imag(osc)) / (2 * np.pi)
+
+    def dominant(self) -> complex:
+        """The pole closest to the imaginary axis (slowest dynamics)."""
+        return complex(self.poles[np.argmin(np.abs(np.real(self.poles)))])
+
+
+def pole_analysis(
+    system: MNASystem,
+    x_dc: Optional[np.ndarray] = None,
+    infinity_tol: float = 1e-8,
+) -> PoleResult:
+    """Generalized-eigenvalue pole extraction at the DC point.
+
+    Dense computation — intended for the (small to medium) circuits this
+    library targets; large linear blocks should be reduced first
+    (:mod:`repro.rom`), which preserves the dominant poles by
+    construction.
+    """
+    if x_dc is None:
+        x_dc = dc_analysis(system).x
+    G = system.G(x_dc).toarray()
+    C = system.C(x_dc).toarray()
+    w = sla.eig(-G, C, right=False, homogeneous_eigvals=True)
+    alphas, betas = np.asarray(w[0]), np.asarray(w[1])
+    scale = float(np.max(np.abs(betas))) or 1.0
+    finite = np.abs(betas) > infinity_tol * scale
+    poles = alphas[finite] / betas[finite]
+    return PoleResult(poles=poles, x_dc=x_dc)

@@ -1,0 +1,179 @@
+"""Univariate shooting for periodic steady state.
+
+Finds ``x0`` with ``Phi_T(x0) = x0``, where ``Phi_T`` is the one-period
+transient map, by Newton iteration on the boundary condition.  The
+sensitivity (monodromy) matrix is propagated alongside the transient
+integration: differentiating the backward-Euler step
+
+    (q(x_{k+1}) - q(x_k))/h + f(x_{k+1}) - b = 0
+
+with respect to ``x0`` gives
+
+    (C_{k+1}/h + G_{k+1}) S_{k+1} = (C_k/h) S_k,
+
+(and the trapezoidal analogue).  The monodromy matrix is also the input
+to the Floquet analysis in :mod:`repro.phasenoise`.
+
+This is the classical *single time scale* method: its cost per period is
+proportional to ``f_fast / f_slow`` when both tones are present, which is
+the Figure 5 comparison (univariate shooting ~300x slower than MMFT on
+the switching mixer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.analysis.dc import dc_analysis
+from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
+from repro.netlist.mna import MNASystem
+
+__all__ = ["ShootingResult", "shooting_analysis", "integrate_with_sensitivity"]
+
+
+@dataclasses.dataclass
+class ShootingResult:
+    """Periodic steady state from shooting.
+
+    ``t``/``X`` sample one period; ``monodromy`` is d x(T) / d x(0).
+    """
+
+    x0: np.ndarray
+    t: np.ndarray
+    X: np.ndarray
+    monodromy: np.ndarray
+    period: float
+    newton_iterations: int
+    transient_steps: int
+
+    def voltage(self, system: MNASystem, node: str) -> np.ndarray:
+        return self.X[system.node(node)]
+
+
+def integrate_with_sensitivity(
+    system: MNASystem,
+    x0: np.ndarray,
+    t0: float,
+    period: float,
+    steps: int,
+    method: str = "trap",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """One period of transient plus the monodromy matrix.
+
+    Returns ``(t, X, M, newton_iters)`` where ``X`` is (n, steps+1) and
+    ``M = dx(T)/dx(0)`` is dense (n, n).
+    """
+    n = system.n
+    h = period / steps
+    alpha = 1.0 if method == "be" else 0.5
+    x = np.asarray(x0, dtype=float).copy()
+    S = np.eye(n)
+    t = t0
+    times = [t]
+    states = [x.copy()]
+    total_newton = 0
+    opts = NewtonOptions(abstol=1e-10, maxiter=60, dx_limit=2.0)
+
+    C_prev = system.C(x).toarray()
+    G_prev = system.G(x).toarray()
+    for k in range(steps):
+        # First step is always backward Euler: trapezoidal integration
+        # does not damp inconsistent algebraic initial conditions (their
+        # perturbations alternate sign forever), which would poison the
+        # monodromy matrix with spurious unit eigenvalues.
+        step_alpha = 1.0 if k == 0 else alpha
+        q_prev = system.q(x)
+        hist = (
+            np.zeros(n)
+            if step_alpha == 1.0
+            else 0.5 * (system.f(x) - system.b(t))
+        )
+        t_next = t + h
+        b_next = system.b(t_next)
+
+        def residual(z):
+            return (system.q(z) - q_prev) / h + step_alpha * (system.f(z) - b_next) + hist
+
+        def jacobian(z):
+            return (system.C(z) / h + step_alpha * system.G(z)).tocsc()
+
+        res = newton_solve(residual, jacobian, x, opts)
+        x = res.x
+        total_newton += res.iterations
+
+        C_new = system.C(x).toarray()
+        G_new = system.G(x).toarray()
+        lhs = C_new / h + step_alpha * G_new
+        if step_alpha == 1.0:
+            rhs = (C_prev / h) @ S
+        else:
+            rhs = (C_prev / h - step_alpha * G_prev) @ S
+        S = np.linalg.solve(lhs, rhs)
+        C_prev, G_prev = C_new, G_new
+
+        t = t_next
+        times.append(t)
+        states.append(x.copy())
+
+    return np.array(times), np.array(states).T, S, total_newton
+
+
+def shooting_analysis(
+    system: MNASystem,
+    period: float,
+    steps_per_period: int = 100,
+    x0: Optional[np.ndarray] = None,
+    t0: float = 0.0,
+    method: str = "trap",
+    abstol: float = 1e-8,
+    maxiter: int = 40,
+) -> ShootingResult:
+    """Periodic steady state of a forced circuit by Newton shooting.
+
+    Parameters
+    ----------
+    period:
+        Forcing period (the slow beat period for multi-tone stimuli —
+        which is exactly why this method is expensive there).
+    steps_per_period:
+        Transient steps per period; accuracy of the PSS waveform (and of
+        the Figure 5 runtime comparison) scales with it.
+    """
+    if x0 is None:
+        x0 = dc_analysis(system).x
+    x0 = np.asarray(x0, dtype=float).copy()
+    n = system.n
+    total_newton = 0
+    total_steps = 0
+    last = {}
+
+    for it in range(maxiter):
+        t, X, M, iters = integrate_with_sensitivity(
+            system, x0, t0, period, steps_per_period, method
+        )
+        total_newton += iters
+        total_steps += steps_per_period
+        F = X[:, -1] - x0
+        last = {"t": t, "X": X, "M": M}
+        if np.linalg.norm(F) <= abstol * max(1.0, np.linalg.norm(x0)):
+            return ShootingResult(
+                x0=x0,
+                t=t,
+                X=X,
+                monodromy=M,
+                period=period,
+                newton_iterations=total_newton,
+                transient_steps=total_steps,
+            )
+        J = M - np.eye(n)
+        dx = np.linalg.solve(J, F)
+        x0 = x0 - dx
+
+    raise ConvergenceError(
+        f"shooting failed to converge in {maxiter} outer iterations "
+        f"(|x(T)-x(0)| = {np.linalg.norm(last['X'][:, -1] - x0):.3e})"
+    )

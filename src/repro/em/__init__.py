@@ -1,0 +1,64 @@
+"""Extraction of passive structures (paper sec. 4)."""
+
+from repro.em.aca import aca, low_rank_block, svd_recompress
+from repro.em.clustertree import ClusterNode, admissible, block_partition, build_cluster_tree
+from repro.em.fdsolver import Box, FDLaplaceSolver, FDResult
+from repro.em.geometry import (
+    Panel,
+    Segment,
+    conductor_bus,
+    crossing_bus,
+    make_plate,
+    parallel_plates,
+    spiral_segments,
+    square_spiral_path,
+)
+from repro.em.ies3 import CompressedOperator, IES3Stats, compress_operator
+from repro.em.inductance import (
+    MU0,
+    dc_resistance,
+    mutual_neumann,
+    mutual_parallel_filaments,
+    partial_inductance_matrix,
+    self_inductance_bar,
+)
+from repro.em.kernels import EPS0, PanelKernel, rect_self_integral
+from repro.em.mom import MoMResult, capacitance_matrix, capacitance_matrix_fast, conductor_ids
+from repro.em.peec import (
+    SpiralInductor,
+    SubstrateModel,
+    reference_inductor_model,
+    wheeler_inductance,
+)
+from repro.em.touchstone import TouchstoneData, read_touchstone, write_touchstone
+from repro.em.treecode import TreecodeOperator, build_treecode
+from repro.em.sparams import (
+    abcd_to_s,
+    cascade_abcd,
+    s21_db,
+    s_to_y,
+    s_to_z,
+    series_impedance_twoport,
+    shunt_admittance_twoport,
+    y_to_s,
+    z_to_s,
+)
+
+__all__ = [
+    "Panel", "Segment", "make_plate", "parallel_plates", "conductor_bus",
+    "crossing_bus", "square_spiral_path", "spiral_segments",
+    "EPS0", "PanelKernel", "rect_self_integral",
+    "MoMResult", "capacitance_matrix", "capacitance_matrix_fast", "conductor_ids",
+    "Box", "FDLaplaceSolver", "FDResult",
+    "ClusterNode", "build_cluster_tree", "admissible", "block_partition",
+    "aca", "svd_recompress", "low_rank_block",
+    "CompressedOperator", "IES3Stats", "compress_operator",
+    "TreecodeOperator", "build_treecode",
+    "TouchstoneData", "write_touchstone", "read_touchstone",
+    "MU0", "self_inductance_bar", "mutual_parallel_filaments",
+    "mutual_neumann", "partial_inductance_matrix", "dc_resistance",
+    "SpiralInductor", "SubstrateModel", "wheeler_inductance",
+    "reference_inductor_model",
+    "z_to_s", "s_to_z", "y_to_s", "s_to_y", "series_impedance_twoport",
+    "shunt_admittance_twoport", "cascade_abcd", "abcd_to_s", "s21_db",
+]

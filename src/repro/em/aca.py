@@ -1,0 +1,135 @@
+"""Adaptive cross approximation with SVD recompression.
+
+IES3 as published compresses admissible blocks with the singular value
+decomposition of a recursive block decomposition.  Forming each block
+densely before the SVD would cost O(m n) kernel evaluations and defeat
+the purpose, so this implementation constructs the low-rank factors with
+ACA (partial-pivoted cross approximation, O(k (m + n)) kernel entries)
+and *then* recompresses the cross with a thin SVD — the result is the
+same rank-revealing outer-product form ``U diag(s) V^T`` the paper
+describes, built kernel-independently.  DESIGN.md records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["aca", "svd_recompress", "low_rank_block"]
+
+
+def aca(
+    row_func: Callable[[int], np.ndarray],
+    col_func: Callable[[int], np.ndarray],
+    m: int,
+    n: int,
+    tol: float = 1e-6,
+    max_rank: int = 64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partial-pivoted ACA of an m x n block.
+
+    Parameters
+    ----------
+    row_func / col_func:
+        Return a full (residual-free) block row / column by local index.
+    tol:
+        Relative Frobenius tolerance on the accumulated approximation.
+
+    Returns factors ``(U, V)`` with the block approximated by ``U @ V``.
+    """
+    U = np.zeros((m, 0))
+    V = np.zeros((0, n))
+    frob2 = 0.0
+    used_rows: set = set()
+    used_cols: set = set()
+    i = 0
+    for k in range(min(max_rank, m, n)):
+        # residual row i
+        r = row_func(i) - U[i, :] @ V
+        r[list(used_cols)] = 0.0
+        j = int(np.argmax(np.abs(r)))
+        if abs(r[j]) < 1e-300:
+            # this row is already resolved; try another unused row
+            candidates = [ii for ii in range(m) if ii not in used_rows]
+            if not candidates:
+                break
+            restarted = False
+            for cand in candidates:
+                r = row_func(cand) - U[cand, :] @ V
+                r[list(used_cols)] = 0.0
+                j = int(np.argmax(np.abs(r)))
+                if abs(r[j]) > 1e-300:
+                    i = cand
+                    restarted = True
+                    break
+            if not restarted:
+                break
+        used_rows.add(i)
+        used_cols.add(j)
+        c = col_func(j) - U @ V[:, j]
+        pivot = r[j]
+        u_new = c / pivot
+        v_new = r
+        U = np.hstack([U, u_new[:, None]])
+        V = np.vstack([V, v_new[None, :]])
+
+        # Frobenius-norm update of the accumulated approximation
+        nu2 = float(u_new @ u_new) * float(v_new @ v_new)
+        cross = 2.0 * float(np.abs((U[:, :-1].T @ u_new) @ (V[:-1] @ v_new))) if k else 0.0
+        frob2 += nu2 + cross
+        if nu2 <= (tol**2) * max(frob2, 1e-300):
+            break
+        # next pivot row: largest |u| not yet used
+        mask = np.abs(u_new)
+        for ii in used_rows:
+            mask[ii] = -1.0
+        i = int(np.argmax(mask))
+    return U, V
+
+
+def svd_recompress(
+    U: np.ndarray, V: np.ndarray, tol: float = 1e-8
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recompress a cross ``U V`` to its numerical rank via thin SVD.
+
+    QR both factors, SVD the small core, truncate singular values below
+    ``tol * s_max``; this is the SVD stage that gives the IES3 scheme its
+    near-optimal ranks.
+    """
+    if U.shape[1] == 0:
+        return U, V
+    Qu, Ru = np.linalg.qr(U)
+    Qv, Rv = np.linalg.qr(V.T)
+    core = Ru @ Rv.T
+    W, s, Zt = np.linalg.svd(core, full_matrices=False)
+    keep = s > tol * (s[0] if s.size else 1.0)
+    k = max(1, int(np.count_nonzero(keep)))
+    U2 = Qu @ (W[:, :k] * s[:k])
+    V2 = Zt[:k, :] @ Qv.T
+    return U2, V2
+
+
+def low_rank_block(
+    entry: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    tol: float = 1e-6,
+    max_rank: int = 64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """ACA + SVD recompression of ``entry(rows, cols)``.
+
+    ``entry`` takes (row_idx_array, col_idx_array) and returns the dense
+    sub-block — used row-at-a-time / column-at-a-time only.
+    """
+    m, n = rows.size, cols.size
+
+    def row_func(i: int) -> np.ndarray:
+        return entry(rows[i : i + 1], cols)[0, :]
+
+    def col_func(j: int) -> np.ndarray:
+        return entry(rows, cols[j : j + 1])[:, 0]
+
+    U, V = aca(row_func, col_func, m, n, tol=tol, max_rank=max_rank)
+    return svd_recompress(U, V, tol=tol * 0.1)

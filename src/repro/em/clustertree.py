@@ -1,0 +1,107 @@
+"""Geometric cluster tree for hierarchical matrix compression.
+
+IES3 (paper sec. 4, ref [21]) recursively decomposes the dense integral
+operator by grouping discretization elements geometrically; interactions
+between *well-separated* groups are numerically low-rank regardless of
+the kernel.  This module builds the binary KD-split cluster tree and
+enumerates admissible block pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ClusterNode", "build_cluster_tree", "admissible", "block_partition"]
+
+
+@dataclasses.dataclass
+class ClusterNode:
+    """A contiguous index range of geometrically clustered elements."""
+
+    indices: np.ndarray
+    bbox_lo: np.ndarray
+    bbox_hi: np.ndarray
+    left: Optional["ClusterNode"] = None
+    right: Optional["ClusterNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def size(self) -> int:
+        return self.indices.size
+
+    @property
+    def diameter(self) -> float:
+        return float(np.linalg.norm(self.bbox_hi - self.bbox_lo))
+
+    def distance_to(self, other: "ClusterNode") -> float:
+        """Distance between the two bounding boxes (0 if overlapping)."""
+        gap = np.maximum(
+            0.0,
+            np.maximum(self.bbox_lo - other.bbox_hi, other.bbox_lo - self.bbox_hi),
+        )
+        return float(np.linalg.norm(gap))
+
+
+def build_cluster_tree(points: np.ndarray, leaf_size: int = 32) -> ClusterNode:
+    """Binary KD tree by median split along the widest bbox axis."""
+    points = np.asarray(points, dtype=float)
+
+    def build(idx: np.ndarray) -> ClusterNode:
+        pts = points[idx]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        node = ClusterNode(indices=idx, bbox_lo=lo, bbox_hi=hi)
+        if idx.size > leaf_size:
+            axis = int(np.argmax(hi - lo))
+            order = np.argsort(pts[:, axis], kind="stable")
+            half = idx.size // 2
+            node.left = build(idx[order[:half]])
+            node.right = build(idx[order[half:]])
+        return node
+
+    return build(np.arange(points.shape[0]))
+
+
+def admissible(a: ClusterNode, b: ClusterNode, eta: float = 1.5) -> bool:
+    """Standard admissibility: min(diam) <= eta * dist(a, b)."""
+    d = a.distance_to(b)
+    return d > 0 and min(a.diameter, b.diameter) <= eta * d
+
+
+def block_partition(
+    row_tree: ClusterNode,
+    col_tree: ClusterNode,
+    eta: float = 1.5,
+) -> Tuple[List[Tuple[ClusterNode, ClusterNode]], List[Tuple[ClusterNode, ClusterNode]]]:
+    """Recursive block partition: (admissible_blocks, dense_leaf_blocks)."""
+    low_rank: List[Tuple[ClusterNode, ClusterNode]] = []
+    dense: List[Tuple[ClusterNode, ClusterNode]] = []
+
+    def recurse(a: ClusterNode, b: ClusterNode) -> None:
+        if admissible(a, b, eta):
+            low_rank.append((a, b))
+            return
+        if a.is_leaf and b.is_leaf:
+            dense.append((a, b))
+            return
+        # split the larger (or the only splittable) side
+        if a.is_leaf:
+            recurse(a, b.left)
+            recurse(a, b.right)
+        elif b.is_leaf:
+            recurse(a.left, b)
+            recurse(a.right, b)
+        else:
+            recurse(a.left, b.left)
+            recurse(a.left, b.right)
+            recurse(a.right, b.left)
+            recurse(a.right, b.right)
+
+    recurse(row_tree, col_tree)
+    return low_rank, dense

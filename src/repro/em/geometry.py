@@ -1,0 +1,218 @@
+"""Surface/volume discretization primitives for extraction.
+
+The integral-equation solvers (paper sec. 4) discretize *surfaces* into
+flat rectangular panels carrying uniform charge; the PEEC inductance
+models discretize conductor *volumes* into straight filaments carrying
+uniform current.  Generators here produce the benchmark structures:
+plates, multi-conductor buses, crossing grids, and square spiral
+inductors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Panel",
+    "Segment",
+    "make_plate",
+    "parallel_plates",
+    "conductor_bus",
+    "crossing_bus",
+    "square_spiral_path",
+    "spiral_segments",
+]
+
+
+@dataclasses.dataclass
+class Panel:
+    """Flat rectangular panel: center, two half-edge vectors, conductor id."""
+
+    center: np.ndarray
+    e1: np.ndarray  # half-edge vector along first side
+    e2: np.ndarray  # half-edge vector along second side
+    conductor: int = 0
+
+    @property
+    def area(self) -> float:
+        return 4.0 * np.linalg.norm(np.cross(self.e1, self.e2))
+
+    @property
+    def sides(self) -> Tuple[float, float]:
+        return 2.0 * float(np.linalg.norm(self.e1)), 2.0 * float(np.linalg.norm(self.e2))
+
+    def corners(self) -> np.ndarray:
+        c, a, b = self.center, self.e1, self.e2
+        return np.array([c - a - b, c + a - b, c + a + b, c - a + b])
+
+    def quadrature(self, order: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+        """Tensor Gauss-Legendre points/weights on the panel surface."""
+        g, w = np.polynomial.legendre.leggauss(order)
+        pts = []
+        wts = []
+        for gi, wi in zip(g, w):
+            for gj, wj in zip(g, w):
+                pts.append(self.center + gi * self.e1 + gj * self.e2)
+                wts.append(wi * wj * self.area / 4.0)
+        return np.array(pts), np.array(wts)
+
+
+@dataclasses.dataclass
+class Segment:
+    """Straight current filament with rectangular cross-section."""
+
+    start: np.ndarray
+    end: np.ndarray
+    width: float
+    thickness: float
+
+    @property
+    def length(self) -> float:
+        return float(np.linalg.norm(self.end - self.start))
+
+    @property
+    def direction(self) -> np.ndarray:
+        return (self.end - self.start) / self.length
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        return 0.5 * (self.start + self.end)
+
+
+def make_plate(
+    width: float,
+    length: float,
+    nx: int,
+    ny: int,
+    center=(0.0, 0.0, 0.0),
+    conductor: int = 0,
+) -> List[Panel]:
+    """Uniformly panelled rectangle in the z = center[2] plane."""
+    cx, cy, cz = center
+    dx, dy = width / nx, length / ny
+    panels = []
+    for i in range(nx):
+        for j in range(ny):
+            c = np.array(
+                [cx - width / 2 + (i + 0.5) * dx, cy - length / 2 + (j + 0.5) * dy, cz]
+            )
+            panels.append(
+                Panel(
+                    center=c,
+                    e1=np.array([dx / 2, 0.0, 0.0]),
+                    e2=np.array([0.0, dy / 2, 0.0]),
+                    conductor=conductor,
+                )
+            )
+    return panels
+
+
+def parallel_plates(
+    side: float, gap: float, n: int, conductors=(0, 1)
+) -> List[Panel]:
+    """Classic two-plate capacitor, each plate n x n panels."""
+    top = make_plate(side, side, n, n, center=(0, 0, gap / 2), conductor=conductors[0])
+    bot = make_plate(side, side, n, n, center=(0, 0, -gap / 2), conductor=conductors[1])
+    return top + bot
+
+
+def conductor_bus(
+    num: int,
+    width: float,
+    length: float,
+    pitch: float,
+    nx: int,
+    ny: int,
+    z: float = 0.0,
+) -> List[Panel]:
+    """``num`` parallel signal traces (thin-sheet approximation)."""
+    panels: List[Panel] = []
+    x0 = -(num - 1) * pitch / 2.0
+    for k in range(num):
+        panels.extend(
+            make_plate(width, length, nx, ny, center=(x0 + k * pitch, 0.0, z), conductor=k)
+        )
+    return panels
+
+
+def crossing_bus(
+    num: int,
+    width: float,
+    length: float,
+    pitch: float,
+    nx: int,
+    ny: int,
+    gap: float,
+) -> List[Panel]:
+    """Two orthogonal bus layers — the canonical coupling benchmark."""
+    lower = conductor_bus(num, width, length, pitch, nx, ny, z=-gap / 2)
+    upper: List[Panel] = []
+    x0 = -(num - 1) * pitch / 2.0
+    for k in range(num):
+        plate = make_plate(length, width, ny, nx, center=(0.0, x0 + k * pitch, gap / 2), conductor=num + k)
+        upper.extend(plate)
+    return lower + upper
+
+
+def square_spiral_path(
+    turns: int,
+    outer: float,
+    width: float,
+    spacing: float,
+    z: float = 0.0,
+) -> np.ndarray:
+    """Corner points of a square spiral, outermost turn first.
+
+    The pitch per half-turn is ``width + spacing``; the path spirals
+    inward in the x-y plane.
+    """
+    pts = []
+    pitch = width + spacing
+    half = outer / 2.0
+    x, y = -half, -half
+    pts.append((x, y, z))
+    # lengths shrink by one pitch every two sides
+    side = outer
+    direction = 0  # 0:+x 1:+y 2:-x 3:-y
+    dirs = [(1, 0), (0, 1), (-1, 0), (0, -1)]
+    for k in range(4 * turns):
+        if k >= 1 and k % 2 == 1:
+            side -= pitch
+        if side <= 2 * pitch:
+            break
+        dx, dy = dirs[direction]
+        x, y = x + dx * side, y + dy * side
+        pts.append((x, y, z))
+        direction = (direction + 1) % 4
+    return np.array(pts)
+
+
+def spiral_segments(
+    turns: int,
+    outer: float,
+    width: float,
+    spacing: float,
+    thickness: float,
+    z: float = 0.0,
+    max_segment_length: float = np.inf,
+) -> List[Segment]:
+    """Square spiral as a chain of filament segments.
+
+    Long sides can be split (``max_segment_length``) so skin-effect and
+    coupling resolution is controllable.
+    """
+    path = square_spiral_path(turns, outer, width, spacing, z)
+    segs: List[Segment] = []
+    for a, b in zip(path[:-1], path[1:]):
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        length = np.linalg.norm(b - a)
+        pieces = max(1, int(np.ceil(length / max_segment_length)))
+        for k in range(pieces):
+            s = a + (b - a) * (k / pieces)
+            e = a + (b - a) * ((k + 1) / pieces)
+            segs.append(Segment(start=s, end=e, width=width, thickness=thickness))
+    return segs

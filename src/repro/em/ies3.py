@@ -1,0 +1,167 @@
+"""IES3-style kernel-independent compressed integral operator.
+
+Implements the scheme of paper sec. 4 / ref [21]: the dense interaction
+matrix is recursively decomposed over a geometric cluster tree; blocks
+between well-separated clusters are stored as low-rank outer products
+(rank revealed by SVD), near-field blocks stay dense.  Nothing assumes a
+1/r kernel — the entry evaluator is a black box, which is the advance
+over multipole-based FastCap/FastHenry the paper highlights.
+
+Storage and matvec cost are O(n log n)-ish (Figure 6's claim); the
+compressed operator plugs into GMRES for the solve, with a block-Jacobi
+preconditioner built from the dense diagonal blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.em.aca import low_rank_block
+from repro.em.clustertree import ClusterNode, block_partition, build_cluster_tree
+from repro.linalg.gmres import gmres
+
+__all__ = ["CompressedOperator", "compress_operator", "IES3Stats"]
+
+
+@dataclasses.dataclass
+class IES3Stats:
+    """Compression diagnostics for the Figure 6 scaling bench."""
+
+    n: int
+    dense_blocks: int
+    low_rank_blocks: int
+    stored_floats: int
+    dense_equivalent_floats: int
+    max_rank: int
+    mean_rank: float
+    build_time: float
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.stored_floats / self.dense_equivalent_floats
+
+    @property
+    def memory_mb(self) -> float:
+        return self.stored_floats * 8 / 1e6
+
+
+class CompressedOperator:
+    """Hierarchically compressed square operator with fast matvec."""
+
+    def __init__(
+        self,
+        n: int,
+        dense_blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        lr_blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        stats: IES3Stats,
+    ):
+        self.n = n
+        self._dense = dense_blocks  # (rows, cols, block)
+        self._lr = lr_blocks  # (rows, cols, U, V)
+        self.stats = stats
+
+    @property
+    def shape(self):
+        return (self.n, self.n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        y = np.zeros_like(x, dtype=float)
+        for rows, cols, blk in self._dense:
+            y[rows] += blk @ x[cols]
+        for rows, cols, U, V in self._lr:
+            y[rows] += U @ (V @ x[cols])
+        return y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal_preconditioner(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Jacobi preconditioner from the dense block diagonals."""
+        d = np.ones(self.n)
+        for rows, cols, blk in self._dense:
+            for a, r in enumerate(rows):
+                pos = np.nonzero(cols == r)[0]
+                if pos.size:
+                    d[r] = blk[a, pos[0]]
+        d[np.abs(d) < 1e-300] = 1.0
+
+        def apply(v):
+            return v / d
+
+        return apply
+
+    def solve(
+        self,
+        b: np.ndarray,
+        tol: float = 1e-8,
+        restart: int = 100,
+        maxiter: int = 5000,
+    ):
+        """GMRES solve with the compressed matvec."""
+        return gmres(
+            self.matvec,
+            b,
+            tol=tol,
+            restart=restart,
+            maxiter=maxiter,
+            precond=self.diagonal_preconditioner(),
+        )
+
+
+def compress_operator(
+    entry: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    points: np.ndarray,
+    leaf_size: int = 32,
+    eta: float = 1.5,
+    tol: float = 1e-6,
+    max_rank: int = 64,
+) -> CompressedOperator:
+    """Build the IES3-style compressed form of a kernel operator.
+
+    Parameters
+    ----------
+    entry:
+        Black-box block evaluator ``entry(rows, cols) -> dense block``
+        (e.g. :meth:`repro.em.kernels.PanelKernel.block`).
+    points:
+        (n, 3) element locations driving the geometric clustering.
+    eta:
+        Admissibility parameter; larger = more aggressive compression.
+    tol:
+        Relative low-rank truncation tolerance.
+    """
+    t0 = time.perf_counter()
+    n = points.shape[0]
+    tree = build_cluster_tree(points, leaf_size=leaf_size)
+    lr_pairs, dense_pairs = block_partition(tree, tree, eta=eta)
+
+    dense_blocks = []
+    stored = 0
+    for a, b in dense_pairs:
+        blk = entry(a.indices, b.indices)
+        dense_blocks.append((a.indices, b.indices, blk))
+        stored += blk.size
+
+    lr_blocks = []
+    ranks = []
+    for a, b in lr_pairs:
+        U, V = low_rank_block(entry, a.indices, b.indices, tol=tol, max_rank=max_rank)
+        lr_blocks.append((a.indices, b.indices, U, V))
+        stored += U.size + V.size
+        ranks.append(U.shape[1])
+
+    stats = IES3Stats(
+        n=n,
+        dense_blocks=len(dense_blocks),
+        low_rank_blocks=len(lr_blocks),
+        stored_floats=stored,
+        dense_equivalent_floats=n * n,
+        max_rank=max(ranks) if ranks else 0,
+        mean_rank=float(np.mean(ranks)) if ranks else 0.0,
+        build_time=time.perf_counter() - t0,
+    )
+    return CompressedOperator(n, dense_blocks, lr_blocks, stats)

@@ -1,0 +1,140 @@
+"""Integral-equation kernels for electrostatic extraction.
+
+The free-space Laplace kernel ``1/(4 pi eps r)`` plus panel-integrated
+variants: analytic self-term for a rectangle, quadrature for near
+neighbours, centroid approximation in the far field.  A ground plane at
+``z = 0`` (ideal substrate contact / package paddle) is available via a
+negative image — a minimal instance of the layered-media Green's
+functions the paper cites (ref [32]): the kernel changes but nothing in
+the compression machinery does, which is exactly the IES3
+"kernel-independent" selling point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.em.geometry import Panel
+
+__all__ = [
+    "EPS0",
+    "rect_self_integral",
+    "panel_interaction",
+    "PanelKernel",
+]
+
+EPS0 = 8.8541878128e-12
+
+
+def rect_self_integral(a: float, b: float) -> float:
+    """Integral of 1/|r - r_c| over an a x b rectangle, observed at center.
+
+    Closed form: with half-sides p = a/2, q = b/2,
+
+        I = 4 [ p asinh(q/p) + q asinh(p/q) ].
+    """
+    p, q = a / 2.0, b / 2.0
+    return 4.0 * (p * np.arcsinh(q / p) + q * np.arcsinh(p / q))
+
+
+class PanelKernel:
+    """Collocation electrostatic interaction between uniform-charge panels.
+
+    ``entry(i, j)`` is the potential at panel ``i``'s center per unit
+    *total charge* on panel ``j``.  Panels within ``near_factor`` panel
+    diameters use Gauss quadrature; the self term is analytic.
+
+    Parameters
+    ----------
+    ground_plane:
+        If True, an infinite grounded plane at z = 0 is included through
+        a negative image charge (layered-media Green's function in its
+        simplest form).
+    """
+
+    def __init__(
+        self,
+        panels: Sequence[Panel],
+        eps: float = EPS0,
+        near_factor: float = 2.5,
+        quad_order: int = 3,
+        ground_plane: bool = False,
+    ):
+        self.panels = list(panels)
+        self.eps = eps
+        self.near_factor = near_factor
+        self.quad_order = quad_order
+        self.ground_plane = ground_plane
+        self.n = len(self.panels)
+        self.centers = np.array([p.center for p in self.panels])
+        self.areas = np.array([p.area for p in self.panels])
+        self.diams = np.array([np.hypot(*p.sides) for p in self.panels])
+        self._quad_cache = {}
+
+    # ------------------------------------------------------------------
+    def _self_term(self, i: int) -> float:
+        p = self.panels[i]
+        a, b = p.sides
+        val = rect_self_integral(a, b) / (4.0 * np.pi * self.eps * p.area)
+        if self.ground_plane:
+            # image of the panel at mirrored z; use centroid distance
+            zi = p.center[2]
+            val -= 1.0 / (4.0 * np.pi * self.eps * 2.0 * abs(zi))
+        return val
+
+    def _quad(self, j: int):
+        if j not in self._quad_cache:
+            self._quad_cache[j] = self.panels[j].quadrature(self.quad_order)
+        return self._quad_cache[j]
+
+    def entry(self, i: int, j: int) -> float:
+        if i == j:
+            return self._self_term(i)
+        r = np.linalg.norm(self.centers[i] - self.centers[j])
+        near = r < self.near_factor * max(self.diams[i], self.diams[j])
+        if near:
+            pts, wts = self._quad(j)
+            d = np.linalg.norm(pts - self.centers[i], axis=1)
+            val = float(np.sum(wts / d)) / (4.0 * np.pi * self.eps * self.areas[j])
+        else:
+            val = 1.0 / (4.0 * np.pi * self.eps * r)
+        if self.ground_plane:
+            img = self.centers[j].copy()
+            img[2] = -img[2]
+            rim = np.linalg.norm(self.centers[i] - img)
+            val -= 1.0 / (4.0 * np.pi * self.eps * rim)
+        return val
+
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Dense sub-block; far pairs vectorized, near pairs exact."""
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        rc = self.centers[rows]
+        cc = self.centers[cols]
+        diff = rc[:, None, :] - cc[None, :, :]
+        dist = np.linalg.norm(diff, axis=2)
+        with np.errstate(divide="ignore"):
+            out = 1.0 / (4.0 * np.pi * self.eps * dist)
+        if self.ground_plane:
+            cc_img = cc.copy()
+            cc_img[:, 2] = -cc_img[:, 2]
+            diff_i = rc[:, None, :] - cc_img[None, :, :]
+            dist_i = np.linalg.norm(diff_i, axis=2)
+            out -= 1.0 / (4.0 * np.pi * self.eps * dist_i)
+        # fix near/self entries exactly
+        limit = self.near_factor * np.maximum(
+            self.diams[rows][:, None], self.diams[cols][None, :]
+        )
+        near_pairs = np.argwhere((dist < limit) | ~np.isfinite(out))
+        for a, b in near_pairs:
+            out[a, b] = self.entry(int(rows[a]), int(cols[b]))
+        return out
+
+    def dense(self) -> np.ndarray:
+        idx = np.arange(self.n)
+        return self.block(idx, idx)
+
+    def matvec_exact(self, q: np.ndarray) -> np.ndarray:
+        return self.dense() @ q

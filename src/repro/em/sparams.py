@@ -1,0 +1,88 @@
+"""Network parameter conversions and assembly (S, Z, Y).
+
+Field solvers emit S-parameter matrices (paper sec. 4: "Output from the
+simulator is typically an S parameter matrix, which can be used directly
+in a frequency-domain simulation").  These helpers convert between
+representations, cascade two-ports, and assemble the Figure 8 resonator
+from extracted components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "z_to_s",
+    "s_to_z",
+    "y_to_s",
+    "s_to_y",
+    "series_impedance_twoport",
+    "shunt_admittance_twoport",
+    "cascade_abcd",
+    "abcd_to_s",
+    "s21_db",
+]
+
+
+def z_to_s(Z: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Impedance matrix to scattering matrix (real reference z0)."""
+    Z = np.asarray(Z, dtype=complex)
+    n = Z.shape[0]
+    I = np.eye(n)
+    return np.linalg.solve((Z + z0 * I).T, (Z - z0 * I).T).T
+
+
+def s_to_z(S: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    S = np.asarray(S, dtype=complex)
+    n = S.shape[0]
+    I = np.eye(n)
+    return z0 * (I + S) @ np.linalg.inv(I - S)
+
+
+def y_to_s(Y: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    Y = np.asarray(Y, dtype=complex)
+    n = Y.shape[0]
+    I = np.eye(n)
+    return np.linalg.solve((I + z0 * Y).T, (I - z0 * Y).T).T
+
+
+def s_to_y(S: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    S = np.asarray(S, dtype=complex)
+    n = S.shape[0]
+    I = np.eye(n)
+    return np.linalg.inv(z0 * (I + S) @ np.linalg.inv(I - S))
+
+
+def series_impedance_twoport(z: complex) -> np.ndarray:
+    """ABCD matrix of a series impedance."""
+    return np.array([[1.0, z], [0.0, 1.0]], dtype=complex)
+
+
+def shunt_admittance_twoport(y: complex) -> np.ndarray:
+    """ABCD matrix of a shunt admittance."""
+    return np.array([[1.0, 0.0], [y, 1.0]], dtype=complex)
+
+
+def cascade_abcd(*blocks: np.ndarray) -> np.ndarray:
+    """Cascade ABCD two-ports left to right."""
+    M = np.eye(2, dtype=complex)
+    for blk in blocks:
+        M = M @ np.asarray(blk, dtype=complex)
+    return M
+
+
+def abcd_to_s(M: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """ABCD to 2x2 S-parameters."""
+    A, B, C, D = M[0, 0], M[0, 1], M[1, 0], M[1, 1]
+    den = A + B / z0 + C * z0 + D
+    s11 = (A + B / z0 - C * z0 - D) / den
+    s12 = 2.0 * (A * D - B * C) / den
+    s21 = 2.0 / den
+    s22 = (-A + B / z0 - C * z0 + D) / den
+    return np.array([[s11, s12], [s21, s22]])
+
+
+def s21_db(S: np.ndarray) -> float:
+    return float(20.0 * np.log10(abs(S[1, 0]) + 1e-300))

@@ -1,0 +1,156 @@
+"""Touchstone (.sNp) S-parameter file I/O.
+
+Paper sec. 4: field-solver output "is typically an S parameter matrix"
+and sec. 5 consumes such data as frequency-domain models.  Touchstone is
+the interchange format the original tools traded in; this module writes
+and reads version-1 files (RI/MA/DB formats, arbitrary port counts) so
+extraction results round-trip to other tools and measured files feed
+:func:`repro.rom.vector_fit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TouchstoneData", "write_touchstone", "read_touchstone"]
+
+
+@dataclasses.dataclass
+class TouchstoneData:
+    """Frequency points (Hz) and S-parameters (m, p, p), plus Z0."""
+
+    freqs: np.ndarray
+    S: np.ndarray
+    z0: float = 50.0
+
+    @property
+    def num_ports(self) -> int:
+        return self.S.shape[1]
+
+
+def _format_value(x: complex, fmt: str):
+    if fmt == "RI":
+        return x.real, x.imag
+    mag = abs(x)
+    ang = np.degrees(np.angle(x))
+    if fmt == "MA":
+        return mag, ang
+    if fmt == "DB":
+        return 20 * np.log10(max(mag, 1e-300)), ang
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _parse_value(a: float, b: float, fmt: str) -> complex:
+    if fmt == "RI":
+        return complex(a, b)
+    if fmt == "MA":
+        return a * np.exp(1j * np.radians(b))
+    if fmt == "DB":
+        return 10 ** (a / 20.0) * np.exp(1j * np.radians(b))
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def write_touchstone(
+    path: str,
+    freqs: Sequence[float],
+    S: np.ndarray,
+    z0: float = 50.0,
+    fmt: str = "RI",
+    comment: Optional[str] = None,
+) -> None:
+    """Write a version-1 Touchstone file.
+
+    ``S`` has shape (m, p, p).  Two-port files use the Touchstone
+    column order S11 S21 S12 S22; other port counts are written row by
+    row (the version-1 convention).
+    """
+    freqs = np.asarray(list(freqs), dtype=float)
+    S = np.asarray(S, dtype=complex)
+    if S.ndim == 1:
+        S = S[:, None, None]
+    m, p, _ = S.shape
+    lines: List[str] = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"! {row}")
+    lines.append(f"# Hz S {fmt} R {z0:g}")
+    for k in range(m):
+        vals: List[float] = []
+        if p == 2:
+            order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        else:
+            order = [(i, j) for i in range(p) for j in range(p)]
+        for i, j in order:
+            vals.extend(_format_value(S[k, i, j], fmt))
+        lines.append(" ".join([f"{freqs[k]:.9e}"] + [f"{v:.9e}" for v in vals]))
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def read_touchstone(path: str, num_ports: Optional[int] = None) -> TouchstoneData:
+    """Read a version-1 Touchstone file written by this module or others.
+
+    ``num_ports`` defaults to the count implied by the ``.sNp``
+    extension, falling back to what the first data row implies.
+    """
+    if num_ports is None:
+        low = path.lower()
+        if low.endswith("p") and ".s" in low:
+            try:
+                num_ports = int(low.rsplit(".s", 1)[1][:-1])
+            except ValueError:
+                num_ports = None
+
+    fmt = "MA"
+    z0 = 50.0
+    unit = 1.0
+    rows: List[List[float]] = []
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.split("!")[0].strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].split()
+                for k, tok in enumerate(tokens):
+                    up = tok.upper()
+                    if up in ("HZ", "KHZ", "MHZ", "GHZ"):
+                        unit = {"HZ": 1.0, "KHZ": 1e3, "MHZ": 1e6, "GHZ": 1e9}[up]
+                    elif up in ("RI", "MA", "DB"):
+                        fmt = up
+                    elif up == "R" and k + 1 < len(tokens):
+                        z0 = float(tokens[k + 1])
+                continue
+            rows.append([float(t) for t in line.split()])
+
+    # continuation lines: a frequency row has odd length (f + 2 n values);
+    # glue rows until each record carries 2 p^2 values
+    if num_ports is None:
+        nvals = len(rows[0]) - 1
+        num_ports = int(round(np.sqrt(nvals / 2)))
+    per_record = 2 * num_ports * num_ports
+    records: List[List[float]] = []
+    current: List[float] = []
+    for row in rows:
+        if not current:
+            current = list(row)
+        else:
+            current.extend(row)
+        if len(current) - 1 >= per_record:
+            records.append(current[: per_record + 1])
+            current = []
+    freqs = np.array([rec[0] for rec in records]) * unit
+    m = len(records)
+    S = np.empty((m, num_ports, num_ports), dtype=complex)
+    for k, rec in enumerate(records):
+        vals = rec[1:]
+        if num_ports == 2:
+            order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        else:
+            order = [(i, j) for i in range(num_ports) for j in range(num_ports)]
+        for idx, (i, j) in enumerate(order):
+            S[k, i, j] = _parse_value(vals[2 * idx], vals[2 * idx + 1], fmt)
+    return TouchstoneData(freqs=freqs, S=S, z0=z0)

@@ -1,0 +1,5 @@
+"""Harmonic balance (paper sec. 2.1)."""
+
+from repro.hb.hb_core import FrequencyDomainBlock, HBResult, harmonic_balance, hb_grid
+
+__all__ = ["HBResult", "harmonic_balance", "hb_grid", "FrequencyDomainBlock"]

@@ -1,0 +1,13 @@
+"""Shared numerical substrate: Krylov solvers and Newton iterations."""
+
+from repro.linalg.gmres import GMRESResult, gmres
+from repro.linalg.newton import ConvergenceError, NewtonOptions, NewtonResult, newton_solve
+
+__all__ = [
+    "GMRESResult",
+    "gmres",
+    "ConvergenceError",
+    "NewtonOptions",
+    "NewtonResult",
+    "newton_solve",
+]

@@ -1,0 +1,143 @@
+"""Damped Newton solvers shared by DC, transient, shooting, HB and MPDE.
+
+Every nonlinear solve in the tool family reduces to the same template:
+``F(x) = 0`` with a Jacobian that may be a dense array, a scipy sparse
+matrix, or an abstract linear operator solved iteratively.  This module
+implements a line-search damped Newton iteration over that template.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["NewtonResult", "NewtonOptions", "newton_solve", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when an iterative solver fails to reach its tolerance."""
+
+
+@dataclasses.dataclass
+class NewtonOptions:
+    """Tuning knobs for :func:`newton_solve`.
+
+    Attributes
+    ----------
+    abstol / reltol:
+        Convergence is declared when ``||F|| <= abstol`` or the Newton
+        update is small relative to the iterate.
+    maxiter:
+        Iteration cap before raising :class:`ConvergenceError`.
+    damping:
+        Enable backtracking line search on the residual norm.
+    max_backtrack:
+        Number of step-halvings tried before accepting the step anyway.
+    dx_limit:
+        Optional cap on the infinity norm of a Newton update; exponential
+        device models need this to avoid overflow on early iterations.
+    """
+
+    abstol: float = 1e-9
+    reltol: float = 1e-9
+    maxiter: int = 100
+    damping: bool = True
+    max_backtrack: int = 20
+    dx_limit: Optional[float] = None
+
+
+@dataclasses.dataclass
+class NewtonResult:
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    history: list
+
+
+def _solve_linear(J, r):
+    """Solve J dx = r for dense, sparse, or callable J."""
+    if callable(J):
+        return J(r)
+    if sp.issparse(J):
+        return spla.spsolve(J.tocsc(), r)
+    return np.linalg.solve(J, r)
+
+
+def newton_solve(
+    residual: Callable[[np.ndarray], np.ndarray],
+    jacobian: Callable[[np.ndarray], object],
+    x0: np.ndarray,
+    options: Optional[NewtonOptions] = None,
+    callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+) -> NewtonResult:
+    """Solve ``residual(x) = 0`` by damped Newton iteration.
+
+    Parameters
+    ----------
+    residual:
+        Maps an iterate to the residual vector ``F(x)``.
+    jacobian:
+        Maps an iterate to either a matrix ``J(x)`` (dense or sparse) or a
+        *solver* callable ``dx = J(r)`` implementing ``J(x)^{-1} r`` (used
+        by the matrix-free HB Newton where the Jacobian solve is GMRES).
+    x0:
+        Initial guess (not modified).
+    """
+    opts = options or NewtonOptions()
+    x = np.array(x0, dtype=float)
+    F = residual(x)
+    fnorm = np.linalg.norm(F)
+    history = [fnorm]
+
+    for it in range(1, opts.maxiter + 1):
+        if fnorm <= opts.abstol:
+            return NewtonResult(x, True, it - 1, fnorm, history)
+
+        J = jacobian(x)
+        dx = _solve_linear(J, F)
+        dx = np.asarray(dx, dtype=float)
+        if not np.all(np.isfinite(dx)):
+            raise ConvergenceError("Newton update is not finite (singular Jacobian?)")
+
+        if opts.dx_limit is not None:
+            peak = np.max(np.abs(dx))
+            if peak > opts.dx_limit:
+                dx = dx * (opts.dx_limit / peak)
+
+        step = 1.0
+        accepted = False
+        for _ in range(opts.max_backtrack + 1):
+            x_new = x - step * dx
+            F_new = residual(x_new)
+            fnorm_new = np.linalg.norm(F_new)
+            if np.isfinite(fnorm_new) and (not opts.damping or fnorm_new < fnorm or fnorm <= opts.abstol):
+                accepted = True
+                break
+            step *= 0.5
+        if not accepted:
+            # Accept the smallest step anyway; Newton sometimes needs to
+            # climb out of a shallow residual plateau.
+            x_new = x - step * dx
+            F_new = residual(x_new)
+            fnorm_new = np.linalg.norm(F_new)
+
+        dx_norm = np.linalg.norm(x_new - x)
+        x_scale = max(np.linalg.norm(x_new), 1.0)
+        x, F, fnorm = x_new, F_new, fnorm_new
+        history.append(fnorm)
+        if callback is not None:
+            callback(it, x, fnorm)
+
+        if fnorm <= opts.abstol or dx_norm <= opts.reltol * x_scale and fnorm <= 1e3 * opts.abstol:
+            return NewtonResult(x, True, it, fnorm, history)
+
+    if fnorm <= opts.abstol * 10:
+        return NewtonResult(x, True, opts.maxiter, fnorm, history)
+    raise ConvergenceError(
+        f"Newton failed to converge in {opts.maxiter} iterations (||F|| = {fnorm:.3e})"
+    )

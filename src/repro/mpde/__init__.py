@@ -1,0 +1,31 @@
+"""Multi-rate PDE methods (paper sec. 2.2)."""
+
+from repro.mpde.grid import Axis, MPDEGrid, decompose_waveform
+from repro.mpde.mpde_core import (
+    FrequencyDomainBlock,
+    MPDEOptions,
+    MPDESolution,
+    solve_mpde,
+)
+from repro.mpde.mfdtd import solve_mfdtd
+from repro.mpde.mmft import MMFTResult, solve_mmft
+from repro.mpde.envelope import EnvelopeResult, FastPeriodicSystem, envelope_analysis
+from repro.mpde.hshoot import HierarchicalShootingResult, hierarchical_shooting
+
+__all__ = [
+    "Axis",
+    "MPDEGrid",
+    "decompose_waveform",
+    "MPDEOptions",
+    "MPDESolution",
+    "FrequencyDomainBlock",
+    "solve_mpde",
+    "solve_mfdtd",
+    "solve_mmft",
+    "MMFTResult",
+    "EnvelopeResult",
+    "FastPeriodicSystem",
+    "envelope_analysis",
+    "HierarchicalShootingResult",
+    "hierarchical_shooting",
+]

@@ -1,0 +1,436 @@
+"""Core solver for the multi-rate partial differential equation (MPDE).
+
+Solves the bi-/multi-variate steady-state problem of paper eq. (4),
+
+    sum_a  d q(x_hat)/dt_a  +  f(x_hat)  =  b_hat(t_1, ..., t_d),
+
+with periodic boundary conditions along every axis, discretized on an
+:class:`~repro.mpde.grid.MPDEGrid`.  Depending on the per-axis
+discretization this *is* harmonic balance (all-Fourier), MFDTD (all-FD),
+or MMFT (Fourier slow axis, FD fast axis) — one Newton engine serves the
+whole family, which is the punchline of the paper's sec. 2.2.
+
+Two linear-solver strategies (also the subject of an ablation bench):
+
+* ``direct`` — assemble the sparse Jacobian
+  ``J = D_big @ C_big + G_big`` and factor it.  Cheap for FD axes (banded
+  circulants) and small spectral grids.
+* ``gmres`` — matrix-free application of ``J`` via FFT differentiation,
+  preconditioned by the *time-averaged* circuit ``(lambda_k C_avg +
+  G_avg)^{-1}`` applied frequency-by-frequency.  This is the iterative
+  linear algebra that made full-chip HB feasible (paper sec. 2.1,
+  refs [10, 31]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.analysis.dc import dc_analysis
+from repro.linalg import ConvergenceError
+from repro.linalg.gmres import gmres
+from repro.mpde.grid import MPDEGrid
+from repro.netlist.mna import MNASystem
+
+__all__ = ["MPDEOptions", "MPDESolution", "FrequencyDomainBlock", "solve_mpde"]
+
+
+@dataclasses.dataclass
+class FrequencyDomainBlock:
+    """A linear multiport described only by a frequency-domain admittance.
+
+    This is the Section 5 co-simulation hook: field-solver or ROM models
+    often exist only as ``Y(omega)``, and *only* spectral (HB-type) axes
+    can absorb them naturally.  ``ports`` are global unknown indices;
+    ``admittance(omega)`` returns the (p, p) complex admittance at the
+    physical angular frequency ``omega`` (vectorized over an array of
+    omegas to shape (m, p, p)).
+    """
+
+    ports: np.ndarray
+    admittance: object
+
+    def __post_init__(self):
+        self.ports = np.asarray(self.ports, dtype=int)
+        if np.any(self.ports < 0):
+            raise ValueError("frequency-domain block ports must be non-ground")
+
+
+@dataclasses.dataclass
+class MPDEOptions:
+    solver: str = "auto"  # "auto" | "direct" | "gmres"
+    abstol: float = 1e-9
+    maxiter: int = 60
+    gmres_tol: float = 1e-10
+    gmres_restart: int = 80
+    gmres_maxiter: int = 1000
+    # below this many unknowns "auto" picks the sparse direct solver even
+    # for spectral axes: assembling the (dense-in-harmonics) Jacobian is
+    # cheaper than iterating when the whole problem is small
+    direct_cutoff: int = 6000
+    ramp_steps: int = 0  # >0 forces source ramping with that many steps
+    verbose: bool = False
+
+
+@dataclasses.dataclass
+class MPDESolution:
+    """Converged multivariate steady state.
+
+    ``x`` is the flat sample-major solution; use the accessors for
+    grid-shaped waveforms, spectra, and univariate reconstruction.
+    """
+
+    system: MNASystem
+    grid: MPDEGrid
+    x: np.ndarray
+    newton_iterations: int
+    gmres_iterations: int
+    solver: str
+    residual_norm: float
+    wall_time: float
+
+    def grid_waveform(self, node) -> np.ndarray:
+        """Samples of one unknown over the grid, shape (N1, ..., Nd)."""
+        idx = self.system.node(node) if isinstance(node, str) else int(node)
+        return self.grid.reshape(self.x, self.system.n)[..., idx]
+
+    def grid_all(self) -> np.ndarray:
+        return self.grid.reshape(self.x, self.system.n)
+
+    def harmonics(self, node) -> np.ndarray:
+        """Complex Fourier coefficients over the grid (fftn order, normalized).
+
+        ``H[k1, k2]`` multiplies ``exp(2 pi i (k1 f1 + k2 f2) t)`` in the
+        univariate reconstruction.
+        """
+        W = self.grid_waveform(node)
+        return np.fft.fftn(W) / self.grid.total
+
+    def amplitude(self, node, index: Tuple[int, ...]) -> float:
+        """|peak| amplitude of the tone at harmonic multi-index ``index``.
+
+        For a real signal the tone at +k and -k combine; the returned
+        value is the physical (one-sided) amplitude ``2 |X_k|`` except at
+        DC.
+        """
+        H = self.harmonics(node)
+        idx = tuple(int(k) % self.grid.shape[a] for a, k in enumerate(index))
+        mag = abs(H[idx])
+        if all(k == 0 for k in index):
+            return mag
+        return 2.0 * mag
+
+    def spectrum(self, node) -> List[Tuple[float, float]]:
+        """(frequency_hz, one-sided peak amplitude) sorted by frequency.
+
+        Conjugate bins at +-f merge, so a pure tone ``A sin(2 pi f t)``
+        reports amplitude ``A`` at ``f``.
+        """
+        H = self.harmonics(node)
+        out = {}
+        for flat_idx in range(H.size):
+            multi = np.unravel_index(flat_idx, H.shape)
+            f_phys = 0.0
+            for a, ax in enumerate(self.grid.axes):
+                k = np.fft.fftfreq(ax.size, d=1.0 / ax.size)[multi[a]]
+                f_phys += k * ax.freq
+            key = abs(round(f_phys, 6))
+            out[key] = out.get(key, 0.0) + abs(H[multi])
+        return sorted(out.items())
+
+    def univariate(self, t: np.ndarray) -> np.ndarray:
+        """Reconstruct x(t) = x_hat(t, ..., t); returns (len(t), n)."""
+        return self.grid.interpolate_diagonal(self.grid_all(), np.asarray(t))
+
+
+def _block_diag_sparse(pattern, vals, n, m) -> sp.csr_matrix:
+    """Assemble blockdiag over samples from per-sample COO values."""
+    rows_p, cols_p = pattern
+    nnz = rows_p.size
+    offs = (np.arange(m) * n)[:, None]
+    rows = (rows_p[None, :] + offs).ravel()
+    cols = (cols_p[None, :] + offs).ravel()
+    data = vals.T.ravel()  # (m, nnz) -> row-major matches offs layout
+    return sp.csr_matrix((data, (rows, cols)), shape=(n * m, n * m))
+
+
+def _circulant_matrix(eigs: np.ndarray, drop_tol: float = 1e-12) -> sp.csr_matrix:
+    """Sparse circulant with the given DFT eigenvalues.
+
+    Real-valued when the eigenvalues are conjugate-symmetric (ordinary
+    differentiation operators); complex otherwise (e.g. the offset
+    operators ``lambda_k + j omega`` of periodic noise analysis).
+    """
+    N = eigs.size
+    first_col = np.fft.ifft(eigs)
+    if np.max(np.abs(first_col.imag)) <= drop_tol * max(np.max(np.abs(first_col)), 1e-300):
+        first_col = np.real(first_col).copy()
+    scale = np.max(np.abs(first_col)) or 1.0
+    first_col[np.abs(first_col) < drop_tol * scale] = 0.0
+    rows, cols, data = [], [], []
+    nz = np.nonzero(first_col)[0]
+    for j in range(N):
+        for k in nz:
+            rows.append((j + k) % N)
+            cols.append(j)
+            data.append(first_col[k])
+    return sp.csr_matrix((data, (rows, cols)), shape=(N, N))
+
+
+class _MPDEProblem:
+    """Shared state for one MPDE solve (grid, excitation, fd-blocks)."""
+
+    def __init__(self, system, grid, fd_blocks, options):
+        self.system = system
+        self.grid = grid
+        self.options = options
+        self.n = system.n
+        self.m = grid.total
+        self.pattern = system.jacobian_pattern()
+        self.fd_blocks = list(fd_blocks or [])
+        if self.fd_blocks and any(ax.kind != "fourier" for ax in grid.axes):
+            raise ValueError(
+                "frequency-domain blocks require all-Fourier (harmonic "
+                "balance) axes — this is the paper's sec. 5 point that only "
+                "HB naturally accepts frequency-domain models"
+            )
+        self.omega_grid = np.imag(grid.combined_eigenvalues())  # physical omega
+        self._fd_Y = []
+        for blk in self.fd_blocks:
+            Y = np.asarray(blk.admittance(np.abs(self.omega_grid).ravel()))
+            p = blk.ports.size
+            Y = Y.reshape(self.m, p, p)
+            # negative-frequency bins: Y(-w) = conj(Y(w)) for a real system
+            neg = (self.omega_grid.ravel() < 0)
+            Y[neg] = np.conj(Y[neg])
+            self._fd_Y.append(Y)
+
+    # -- fd-block application (linear, spectral-domain) -------------------
+    def fd_contribution(self, x_flat: np.ndarray) -> np.ndarray:
+        if not self.fd_blocks:
+            return np.zeros_like(x_flat)
+        X = self.grid.reshape(x_flat, self.n)
+        spec = np.fft.fftn(X, axes=tuple(range(self.grid.ndim)))
+        spec_flat = spec.reshape(self.m, self.n)
+        out = np.zeros((self.m, self.n), dtype=complex)
+        for blk, Y in zip(self.fd_blocks, self._fd_Y):
+            V = spec_flat[:, blk.ports]  # (m, p)
+            I = np.einsum("mpq,mq->mp", Y, V)
+            out[:, blk.ports] += I
+        out_grid = out.reshape(self.grid.shape + (self.n,))
+        res = np.real(np.fft.ifftn(out_grid, axes=tuple(range(self.grid.ndim))))
+        return res.reshape(-1)
+
+    # -- residual -----------------------------------------------------------
+    def residual(self, x_flat: np.ndarray, B: np.ndarray) -> np.ndarray:
+        cols = self.grid.columns(x_flat, self.n)
+        f, q = self.system.batch_fq(cols)
+        Q = q.T.reshape(self.grid.shape + (self.n,))
+        dq = self.grid.apply_derivative(Q).reshape(self.m, self.n)
+        r = dq + f.T - B
+        r_flat = r.reshape(-1)
+        if self.fd_blocks:
+            r_flat = r_flat + self.fd_contribution(x_flat)
+        return r_flat
+
+    # -- jacobians ------------------------------------------------------------
+    def batch_matrices(self, x_flat: np.ndarray):
+        cols = self.grid.columns(x_flat, self.n)
+        g_vals, c_vals = self.system.batch_jacobians(cols)
+        G_big = _block_diag_sparse(self.pattern, g_vals, self.n, self.m)
+        C_big = _block_diag_sparse(self.pattern, c_vals, self.n, self.m)
+        return G_big, C_big, g_vals, c_vals
+
+    def direct_jacobian(self, G_big, C_big) -> sp.csc_matrix:
+        mats = [_circulant_matrix(ax.deriv_eigenvalues()) for ax in self.grid.axes]
+        D_samples = None
+        for a, Da in enumerate(mats):
+            left = 1
+            for b in range(a):
+                left *= self.grid.shape[b]
+            right = 1
+            for b in range(a + 1, self.grid.ndim):
+                right *= self.grid.shape[b]
+            expanded = sp.kron(sp.identity(left), sp.kron(Da, sp.identity(right)))
+            D_samples = expanded if D_samples is None else D_samples + expanded
+        D_big = sp.kron(D_samples, sp.identity(self.n))
+        return (D_big @ C_big + G_big).tocsc()
+
+    def matvec(self, G_big, C_big):
+        def apply(v):
+            u = C_big @ v
+            U = self.grid.reshape(u, self.n)
+            du = self.grid.apply_derivative(U).reshape(-1)
+            out = du + G_big @ v
+            if self.fd_blocks:
+                out = out + self.fd_contribution(v)
+            return out
+
+        return apply
+
+    def averaged_preconditioner(self, g_vals, c_vals):
+        """Frequency-diagonal preconditioner from time-averaged C, G."""
+        rows_p, cols_p = self.pattern
+        g_avg = g_vals.mean(axis=1)
+        c_avg = c_vals.mean(axis=1)
+        G_avg = sp.csr_matrix((g_avg, (rows_p, cols_p)), shape=(self.n, self.n)).toarray()
+        C_avg = sp.csr_matrix((c_avg, (rows_p, cols_p)), shape=(self.n, self.n)).toarray()
+        lam = self.grid.combined_eigenvalues().ravel()
+        factors = []
+        for k in range(self.m):
+            A = lam[k] * C_avg + G_avg.astype(complex)
+            for blk, Y in zip(self.fd_blocks, self._fd_Y):
+                for a, pa in enumerate(blk.ports):
+                    for b, pb in enumerate(blk.ports):
+                        A[pa, pb] += Y[k, a, b]
+            factors.append(sla.lu_factor(A))
+        axes = tuple(range(self.grid.ndim))
+
+        def apply(v):
+            V = self.grid.reshape(np.asarray(v, dtype=complex), self.n)
+            spec = np.fft.fftn(V, axes=axes).reshape(self.m, self.n)
+            for k in range(self.m):
+                spec[k] = sla.lu_solve(factors[k], spec[k])
+            out = np.fft.ifftn(spec.reshape(self.grid.shape + (self.n,)), axes=axes)
+            return np.real(out).reshape(-1)
+
+        return apply
+
+
+def solve_mpde(
+    system: MNASystem,
+    grid: MPDEGrid,
+    x0: Optional[np.ndarray] = None,
+    options: Optional[MPDEOptions] = None,
+    fd_blocks: Optional[Sequence[FrequencyDomainBlock]] = None,
+) -> MPDESolution:
+    """Solve the periodic MPDE on ``grid`` for the compiled circuit.
+
+    Parameters
+    ----------
+    x0:
+        Initial flat iterate; defaults to the DC operating point
+        broadcast over the grid.
+    fd_blocks:
+        Optional frequency-domain linear blocks (requires all-Fourier
+        axes, i.e. harmonic balance).
+    """
+    opts = options or MPDEOptions()
+    prob = _MPDEProblem(system, grid, fd_blocks, opts)
+    t_begin = time.perf_counter()
+
+    if x0 is None:
+        x_dc = dc_analysis(system).x
+        x = np.tile(x_dc, grid.total)
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+
+    solver = opts.solver
+    if solver == "auto":
+        spectral_big = any(
+            ax.kind == "fourier" and ax.size > 16 for ax in grid.axes
+        )
+        small = system.n * grid.total <= opts.direct_cutoff
+        if fd_blocks:
+            solver = "gmres"
+        elif spectral_big and not small:
+            solver = "gmres"
+        else:
+            solver = "direct"
+
+    B_full = grid.excitation(system)
+    B_dc = np.tile(system.b_dc(), (grid.total, 1)).reshape(grid.total, system.n)
+
+    newton_total = 0
+    gmres_total = 0
+
+    def solve_at(B, x_start, abstol):
+        nonlocal newton_total, gmres_total
+        x_it = x_start.copy()
+        r = prob.residual(x_it, B)
+        rnorm = np.linalg.norm(r)
+        r0 = max(rnorm, 1e-30)
+        for it in range(opts.maxiter):
+            if rnorm <= abstol:
+                return x_it, rnorm
+            G_big, C_big, g_vals, c_vals = prob.batch_matrices(x_it)
+            if solver == "direct":
+                J = prob.direct_jacobian(G_big, C_big)
+                dx = spla.spsolve(J, r)
+            else:
+                mv = prob.matvec(G_big, C_big)
+                pc = prob.averaged_preconditioner(g_vals, c_vals)
+                lin_tol = max(opts.gmres_tol, min(1e-3, 0.01 * rnorm / r0))
+                res = gmres(
+                    mv,
+                    r,
+                    tol=lin_tol,
+                    restart=opts.gmres_restart,
+                    maxiter=opts.gmres_maxiter,
+                    precond=pc,
+                )
+                gmres_total += res.iterations
+                if not res.converged:
+                    # the averaged-circuit preconditioner degrades on
+                    # extreme conductance modulation (hard-driven diode
+                    # stacks); fall back to a direct factorization when
+                    # the problem is small enough to afford it
+                    if not prob.fd_blocks and system.n * grid.total <= 40000:
+                        J = prob.direct_jacobian(G_big, C_big)
+                        dx = spla.spsolve(J, r)
+                        res = None
+                    elif res.final_residual > 0.5:
+                        raise ConvergenceError(
+                            f"MPDE GMRES stalled (relres {res.final_residual:.2e})"
+                        )
+                dx = res.x if res is not None else dx
+            newton_total += 1
+            step = 1.0
+            x_try = x_it - dx
+            r_try = prob.residual(x_try, B)
+            rnorm_try = np.linalg.norm(r_try)
+            for _ in range(12):
+                if np.isfinite(rnorm_try) and rnorm_try < rnorm:
+                    break
+                step *= 0.5
+                x_try = x_it - step * dx
+                r_try = prob.residual(x_try, B)
+                rnorm_try = np.linalg.norm(r_try)
+            x_it, r, rnorm = x_try, r_try, rnorm_try
+            if opts.verbose:
+                print(f"    newton {it}: |r| = {rnorm:.3e} (step {step:g})")
+        if rnorm <= abstol * 100:
+            return x_it, rnorm
+        raise ConvergenceError(f"MPDE Newton stalled at |r| = {rnorm:.3e}")
+
+    try:
+        if opts.ramp_steps <= 0:
+            x, rnorm = solve_at(B_full, x, opts.abstol)
+        else:
+            raise ConvergenceError("ramping requested")
+    except ConvergenceError:
+        # homotopy on the AC part of the excitation
+        steps = max(opts.ramp_steps, 4)
+        rnorm = np.inf
+        for alpha in np.linspace(1.0 / steps, 1.0, steps):
+            B = B_dc + alpha * (B_full - B_dc)
+            tol = opts.abstol if alpha == 1.0 else max(opts.abstol, 1e-7)
+            x, rnorm = solve_at(B, x, tol)
+
+    return MPDESolution(
+        system=system,
+        grid=grid,
+        x=x,
+        newton_iterations=newton_total,
+        gmres_iterations=gmres_total,
+        solver=solver,
+        residual_norm=rnorm,
+        wall_time=time.perf_counter() - t_begin,
+    )

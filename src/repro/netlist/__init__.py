@@ -1,0 +1,58 @@
+"""Circuit representation: devices, waveforms, netlists, and MNA."""
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.components import (
+    BJT,
+    MOSFET,
+    VCCS,
+    VCVS,
+    Capacitor,
+    Diode,
+    Device,
+    ISource,
+    Inductor,
+    MutualInductance,
+    NoiseSource,
+    NonlinearCapacitor,
+    NonlinearResistor,
+    Resistor,
+    SwitchConductance,
+    VSource,
+    thermal_voltage,
+)
+from repro.netlist.mna import MNASystem
+from repro.netlist.parser import NetlistError, parse_netlist, parse_value
+from repro.netlist.waveforms import DC, PWL, MultiTone, Pulse, Sine, SquareWave, Waveform, am_source
+
+__all__ = [
+    "Circuit",
+    "MNASystem",
+    "Device",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "VSource",
+    "ISource",
+    "VCCS",
+    "VCVS",
+    "Diode",
+    "BJT",
+    "MOSFET",
+    "NonlinearResistor",
+    "NonlinearCapacitor",
+    "SwitchConductance",
+    "NoiseSource",
+    "thermal_voltage",
+    "Waveform",
+    "DC",
+    "Sine",
+    "MultiTone",
+    "SquareWave",
+    "Pulse",
+    "PWL",
+    "am_source",
+    "parse_netlist",
+    "parse_value",
+    "NetlistError",
+]

@@ -1,0 +1,780 @@
+"""Circuit device library.
+
+Devices contribute stamps to the MNA differential-algebraic equation
+
+    d q(x)/dt + f(x) = b(t)                                   (paper eq. 3)
+
+where ``x`` collects node voltages (ground eliminated) plus branch
+currents for inductors and voltage-defined elements.
+
+Linear devices contribute constant stamps to the conductance matrix ``G``
+(the linear part of ``f``), the capacitance/flux matrix ``C`` (the linear
+part of ``q``), and to the excitation vector ``b(t)``.  Nonlinear devices
+expose a *vectorized* evaluation over many time samples at once — the HB
+and MPDE engines evaluate the whole periodic grid in one call, which is
+what keeps the pure-Python implementation usable on full circuits.
+
+Sign conventions
+----------------
+* KCL residual at a node: sum of currents *leaving* the node.
+* ``VSource(npos, nneg)``: branch current flows npos -> through source ->
+  nneg inside the element; positive branch current leaves ``npos``.
+* ``ISource(npos, nneg)``: the source pushes its current from ``npos``
+  through itself into ``nneg`` (matching SPICE).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.waveforms import DC, Waveform
+
+__all__ = [
+    "BOLTZMANN",
+    "ELEMENTARY_CHARGE",
+    "thermal_voltage",
+    "Device",
+    "NoiseSource",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "VSource",
+    "ISource",
+    "VCCS",
+    "VCVS",
+    "Diode",
+    "BJT",
+    "MOSFET",
+    "NonlinearResistor",
+    "NonlinearCapacitor",
+    "SwitchConductance",
+]
+
+BOLTZMANN = 1.380649e-23
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def thermal_voltage(temp_kelvin: float = 300.0) -> float:
+    """kT/q at the given temperature."""
+    return BOLTZMANN * temp_kelvin / ELEMENTARY_CHARGE
+
+
+def limexp(u, umax: float = 80.0):
+    """Exponential with linear extension beyond ``umax``.
+
+    Standard SPICE-style guard: keeps Newton iterates finite for the huge
+    junction overdrives that occur before convergence.  Returns the value
+    and its derivative.
+    """
+    u = np.asarray(u, dtype=float)
+    clipped = np.minimum(u, umax)
+    e = np.exp(clipped)
+    over = u > umax
+    val = np.where(over, e * (1.0 + (u - umax)), e)
+    dval = e  # derivative of the linear extension is exp(umax) = e there
+    return val, dval
+
+
+@dataclasses.dataclass
+class NoiseSource:
+    """A stationary or bias-modulated white current-noise generator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"R1.thermal"``).
+    rows:
+        Global equation (KCL) indices the unit current couples into; -1
+        entries (ground) are dropped at assembly time.
+    signs:
+        +-1 per row.
+    psd:
+        One-sided current PSD in A^2/Hz.  Either a constant or a callable
+        ``psd(X)`` over full state columns ``X`` of shape ``(n, m)``
+        returning shape ``(m,)`` (shot noise is bias dependent, hence
+        cyclostationary in a periodically driven circuit).
+    """
+
+    name: str
+    rows: np.ndarray
+    signs: np.ndarray
+    psd: object
+
+    def psd_at(self, X: np.ndarray) -> np.ndarray:
+        m = X.shape[1] if X.ndim == 2 else 1
+        if callable(self.psd):
+            out = np.asarray(self.psd(X), dtype=float)
+            return np.broadcast_to(out, (m,)).copy()
+        return np.full(m, float(self.psd))
+
+
+class Device:
+    """Base class for every circuit element."""
+
+    #: number of internal branch-current unknowns this device adds
+    n_branches = 0
+    #: True when the device contributes nonlinear f/q terms
+    nonlinear = False
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        self.name = name
+        self.nodes = [str(n) for n in nodes]
+        self.node_idx: List[int] = []
+        self.branch_idx: List[int] = []
+
+    def bind(self, node_idx: Sequence[int], branch_idx: Sequence[int]) -> None:
+        """Receive global indices (ground mapped to -1)."""
+        self.node_idx = list(node_idx)
+        self.branch_idx = list(branch_idx)
+
+    # --- linear stamps -------------------------------------------------
+    def g_stamps(self) -> List[Tuple[int, int, float]]:
+        """Constant entries of df/dx (conductance-like)."""
+        return []
+
+    def c_stamps(self) -> List[Tuple[int, int, float]]:
+        """Constant entries of dq/dx (capacitance/flux-like)."""
+        return []
+
+    def b_stamps(self) -> List[Tuple[int, Waveform, float]]:
+        """(row, waveform, sign) excitation contributions."""
+        return []
+
+    # --- nonlinear interface -------------------------------------------
+    def nl_ports(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(variable indices read, equation indices written)."""
+        raise NotImplementedError
+
+    def nl_eval(self, V: np.ndarray):
+        """Evaluate nonlinear contributions at local voltages ``V``.
+
+        ``V`` has shape ``(k_in, m)``; returns ``(f, q, df, dq)`` with
+        ``f, q`` of shape ``(k_eq, m)`` and ``df, dq`` of shape
+        ``(k_eq, k_in, m)``.
+        """
+        raise NotImplementedError
+
+    # --- noise -----------------------------------------------------------
+    def noise_sources(self) -> List[NoiseSource]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
+
+
+def _two_node_stamps(i: int, j: int, val: float) -> List[Tuple[int, int, float]]:
+    """Standard 2x2 conductance-style stamp between global indices i, j."""
+    return [(i, i, val), (i, j, -val), (j, i, -val), (j, j, val)]
+
+
+class Resistor(Device):
+    """Linear resistor with thermal noise 4kT/R."""
+
+    def __init__(self, name: str, n1: str, n2: str, resistance: float, temp: float = 300.0):
+        super().__init__(name, [n1, n2])
+        if resistance <= 0:
+            raise ValueError(f"{name}: resistance must be positive, got {resistance}")
+        self.resistance = float(resistance)
+        self.temp = float(temp)
+
+    def g_stamps(self):
+        i, j = self.node_idx
+        return _two_node_stamps(i, j, 1.0 / self.resistance)
+
+    def noise_sources(self):
+        i, j = self.node_idx
+        psd = 4.0 * BOLTZMANN * self.temp / self.resistance
+        return [
+            NoiseSource(
+                f"{self.name}.thermal",
+                rows=np.array([i, j]),
+                signs=np.array([1.0, -1.0]),
+                psd=psd,
+            )
+        ]
+
+
+class Capacitor(Device):
+    """Linear capacitor."""
+
+    def __init__(self, name: str, n1: str, n2: str, capacitance: float):
+        super().__init__(name, [n1, n2])
+        if capacitance <= 0:
+            raise ValueError(f"{name}: capacitance must be positive, got {capacitance}")
+        self.capacitance = float(capacitance)
+
+    def c_stamps(self):
+        i, j = self.node_idx
+        return _two_node_stamps(i, j, self.capacitance)
+
+
+class Inductor(Device):
+    """Linear inductor; adds one branch-current unknown.
+
+    Branch equation: ``L di/dt - (v1 - v2) = 0``.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, n1: str, n2: str, inductance: float):
+        super().__init__(name, [n1, n2])
+        if inductance <= 0:
+            raise ValueError(f"{name}: inductance must be positive, got {inductance}")
+        self.inductance = float(inductance)
+
+    def g_stamps(self):
+        i, j = self.node_idx
+        (br,) = self.branch_idx
+        return [(i, br, 1.0), (j, br, -1.0), (br, i, -1.0), (br, j, 1.0)]
+
+    def c_stamps(self):
+        (br,) = self.branch_idx
+        return [(br, br, self.inductance)]
+
+
+class MutualInductance(Device):
+    """Mutual coupling ``M = k sqrt(L1 L2)`` between two bound inductors.
+
+    Construct *after* both inductors; the circuit resolves branch indices
+    at compile time via the stored references.
+    """
+
+    def __init__(self, name: str, ind1: Inductor, ind2: Inductor, coupling: float):
+        super().__init__(name, [])
+        if not -1.0 < coupling < 1.0:
+            raise ValueError(f"{name}: |k| must be < 1, got {coupling}")
+        self.ind1 = ind1
+        self.ind2 = ind2
+        self.coupling = float(coupling)
+
+    @property
+    def mutual(self) -> float:
+        return self.coupling * math.sqrt(self.ind1.inductance * self.ind2.inductance)
+
+    def c_stamps(self):
+        (b1,) = self.ind1.branch_idx
+        (b2,) = self.ind2.branch_idx
+        m = self.mutual
+        return [(b1, b2, m), (b2, b1, m)]
+
+
+class VSource(Device):
+    """Independent voltage source; adds one branch current."""
+
+    n_branches = 1
+
+    def __init__(self, name: str, npos: str, nneg: str, waveform=0.0):
+        super().__init__(name, [npos, nneg])
+        if not isinstance(waveform, Waveform):
+            waveform = DC(float(waveform))
+        self.waveform = waveform
+
+    def g_stamps(self):
+        i, j = self.node_idx
+        (br,) = self.branch_idx
+        return [(i, br, 1.0), (j, br, -1.0), (br, i, 1.0), (br, j, -1.0)]
+
+    def b_stamps(self):
+        (br,) = self.branch_idx
+        return [(br, self.waveform, 1.0)]
+
+
+class ISource(Device):
+    """Independent current source (current npos -> nneg through source)."""
+
+    def __init__(self, name: str, npos: str, nneg: str, waveform=0.0):
+        super().__init__(name, [npos, nneg])
+        if not isinstance(waveform, Waveform):
+            waveform = DC(float(waveform))
+        self.waveform = waveform
+
+    def b_stamps(self):
+        i, j = self.node_idx
+        return [(i, self.waveform, -1.0), (j, self.waveform, 1.0)]
+
+
+class VCCS(Device):
+    """Voltage-controlled current source ``i = gm (vcp - vcn)`` out of op."""
+
+    def __init__(self, name: str, op: str, on: str, cp: str, cn: str, gm: float):
+        super().__init__(name, [op, on, cp, cn])
+        self.gm = float(gm)
+
+    def g_stamps(self):
+        op, on, cp, cn = self.node_idx
+        gm = self.gm
+        return [(op, cp, gm), (op, cn, -gm), (on, cp, -gm), (on, cn, gm)]
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source ``v(op,on) = gain (vcp - vcn)``."""
+
+    n_branches = 1
+
+    def __init__(self, name: str, op: str, on: str, cp: str, cn: str, gain: float):
+        super().__init__(name, [op, on, cp, cn])
+        self.gain = float(gain)
+
+    def g_stamps(self):
+        op, on, cp, cn = self.node_idx
+        (br,) = self.branch_idx
+        a = self.gain
+        return [
+            (op, br, 1.0),
+            (on, br, -1.0),
+            (br, op, 1.0),
+            (br, on, -1.0),
+            (br, cp, -a),
+            (br, cn, a),
+        ]
+
+
+class Diode(Device):
+    """Junction diode: ``i = Is (exp(v/(n Vt)) - 1) + gmin v``.
+
+    Charge model: diffusion charge ``tt * i_junction`` plus a linear
+    junction capacitance ``cj0``.  Shot noise ``2 q |i|``.
+    """
+
+    nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        isat: float = 1e-14,
+        ideality: float = 1.0,
+        tt: float = 0.0,
+        cj0: float = 0.0,
+        gmin: float = 1e-12,
+        temp: float = 300.0,
+    ):
+        super().__init__(name, [anode, cathode])
+        self.isat = float(isat)
+        self.ideality = float(ideality)
+        self.tt = float(tt)
+        self.cj0 = float(cj0)
+        self.gmin = float(gmin)
+        self.vt = thermal_voltage(temp) * self.ideality
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx
+
+    def current(self, vd):
+        """Junction current and small-signal conductance at voltage vd."""
+        e, de = limexp(np.asarray(vd) / self.vt)
+        i = self.isat * (e - 1.0) + self.gmin * vd
+        g = self.isat * de / self.vt + self.gmin
+        return i, g
+
+    def nl_eval(self, V):
+        vd = V[0] - V[1]
+        i, g = self.current(vd)
+        f = np.stack([i, -i])
+        df = np.empty((2, 2, V.shape[1]))
+        df[0, 0], df[0, 1] = g, -g
+        df[1, 0], df[1, 1] = -g, g
+        qd = self.tt * i + self.cj0 * vd
+        cq = self.tt * g + self.cj0
+        q = np.stack([qd, -qd])
+        dq = np.empty((2, 2, V.shape[1]))
+        dq[0, 0], dq[0, 1] = cq, -cq
+        dq[1, 0], dq[1, 1] = -cq, cq
+        return f, q, df, dq
+
+    def noise_sources(self):
+        i, j = self.node_idx
+        vrow_a, vrow_c = self.node_idx
+
+        def shot_psd(X):
+            va = X[vrow_a] if vrow_a >= 0 else 0.0
+            vc = X[vrow_c] if vrow_c >= 0 else 0.0
+            cur, _ = self.current(np.asarray(va - vc))
+            return 2.0 * ELEMENTARY_CHARGE * np.abs(cur)
+
+        return [
+            NoiseSource(
+                f"{self.name}.shot",
+                rows=np.array([i, j]),
+                signs=np.array([1.0, -1.0]),
+                psd=shot_psd,
+            )
+        ]
+
+
+class BJT(Device):
+    """Ebers-Moll bipolar transistor (NPN by default).
+
+    Transport formulation:
+
+        IF = Is (exp(vbe/Vt) - 1),  IR = Is (exp(vbc/Vt) - 1)
+        IC = IF - IR (1 + 1/betaR),  IB = IF/betaF + IR/betaR
+
+    Charges: diffusion ``tf IF`` on B-E plus linear junction caps.  PNP is
+    modeled by flipping terminal polarities.
+    """
+
+    nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        collector: str,
+        base: str,
+        emitter: str,
+        isat: float = 1e-16,
+        beta_f: float = 100.0,
+        beta_r: float = 1.0,
+        tf: float = 0.0,
+        cje: float = 0.0,
+        cjc: float = 0.0,
+        polarity: int = 1,
+        gmin: float = 1e-12,
+        temp: float = 300.0,
+    ):
+        super().__init__(name, [collector, base, emitter])
+        self.isat = float(isat)
+        self.beta_f = float(beta_f)
+        self.beta_r = float(beta_r)
+        self.tf = float(tf)
+        self.cje = float(cje)
+        self.cjc = float(cjc)
+        if polarity not in (1, -1):
+            raise ValueError(f"{name}: polarity must be +1 (NPN) or -1 (PNP)")
+        self.polarity = polarity
+        self.gmin = float(gmin)
+        self.vt = thermal_voltage(temp)
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx
+
+    def _junction_currents(self, vbe, vbc):
+        ef, def_ = limexp(vbe / self.vt)
+        er, der = limexp(vbc / self.vt)
+        i_f = self.isat * (ef - 1.0) + self.gmin * vbe
+        i_r = self.isat * (er - 1.0) + self.gmin * vbc
+        gf = self.isat * def_ / self.vt + self.gmin
+        gr = self.isat * der / self.vt + self.gmin
+        return i_f, i_r, gf, gr
+
+    def nl_eval(self, V):
+        p = self.polarity
+        vc, vb, ve = V
+        vbe = p * (vb - ve)
+        vbc = p * (vb - vc)
+        i_f, i_r, gf, gr = self._junction_currents(vbe, vbc)
+
+        kr = 1.0 + 1.0 / self.beta_r
+        ic = i_f - i_r * kr
+        ib = i_f / self.beta_f + i_r / self.beta_r
+        ie = -(ic + ib)
+
+        m = V.shape[1]
+        f = p * np.stack([ic, ib, ie])
+        # partials w.r.t. (vbe, vbc)
+        dic = np.stack([gf, -gr * kr])
+        dib = np.stack([gf / self.beta_f, gr / self.beta_r])
+        die = -(dic + dib)
+        # chain rule to node voltages (vc, vb, ve); the two polarity
+        # factors (current sign and junction-voltage sign) cancel.
+        dvbe = np.array([0.0, 1.0, -1.0])
+        dvbc = np.array([-1.0, 1.0, 0.0])
+        df = np.empty((3, 3, m))
+        for row, dterm in enumerate((dic, dib, die)):
+            for col in range(3):
+                df[row, col] = dterm[0] * dvbe[col] + dterm[1] * dvbc[col]
+
+        # charges: qbe = tf*IF + cje*vbe on the B-E junction, qbc = cjc*vbc
+        qbe = self.tf * i_f + self.cje * vbe
+        qbc = self.cjc * vbc
+        cbe = self.tf * gf + self.cje
+        cbc = np.full(m, self.cjc)
+        # charge leaves base into emitter/collector terminals
+        q = p * np.stack([-qbc, qbe + qbc, -qbe])
+        dq = np.empty((3, 3, m))
+        # terminal charge partials via the same chain rule
+        dq_c = np.stack([np.zeros(m), -cbc])  # d(-qbc)/d(vbe,vbc)
+        dq_b = np.stack([cbe, cbc])
+        dq_e = np.stack([-cbe, np.zeros(m)])
+        for row, dterm in enumerate((dq_c, dq_b, dq_e)):
+            for col in range(3):
+                dq[row, col] = dterm[0] * dvbe[col] + dterm[1] * dvbc[col]
+        return f, q, df, dq
+
+    def noise_sources(self):
+        nc, nb, ne = self.node_idx
+        p = self.polarity
+
+        def _currents(X):
+            vc = X[nc] if nc >= 0 else 0.0
+            vb = X[nb] if nb >= 0 else 0.0
+            ve = X[ne] if ne >= 0 else 0.0
+            vbe = p * (np.asarray(vb) - ve)
+            vbc = p * (np.asarray(vb) - vc)
+            i_f, i_r, _, _ = self._junction_currents(vbe, vbc)
+            ic = i_f - i_r * (1.0 + 1.0 / self.beta_r)
+            ib = i_f / self.beta_f + i_r / self.beta_r
+            return ic, ib
+
+        def psd_ic(X):
+            ic, _ = _currents(X)
+            return 2.0 * ELEMENTARY_CHARGE * np.abs(ic)
+
+        def psd_ib(X):
+            _, ib = _currents(X)
+            return 2.0 * ELEMENTARY_CHARGE * np.abs(ib)
+
+        return [
+            NoiseSource(f"{self.name}.ic_shot", np.array([nc, ne]), np.array([1.0, -1.0]), psd_ic),
+            NoiseSource(f"{self.name}.ib_shot", np.array([nb, ne]), np.array([1.0, -1.0]), psd_ib),
+        ]
+
+
+class MOSFET(Device):
+    """Level-1 (square-law) MOSFET, NMOS by default.
+
+    Piecewise triode/saturation with channel-length modulation; the model
+    is C^1 at the region boundaries, which is all Newton needs.  Symmetric
+    operation (vds < 0) handled by drain/source swap.
+    """
+
+    nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        kp: float = 2e-4,
+        vth: float = 0.5,
+        lam: float = 0.0,
+        cgs: float = 0.0,
+        cgd: float = 0.0,
+        polarity: int = 1,
+        gmin: float = 1e-12,
+        temp: float = 300.0,
+    ):
+        super().__init__(name, [drain, gate, source])
+        self.kp = float(kp)
+        self.vth = float(vth)
+        self.lam = float(lam)
+        self.cgs = float(cgs)
+        self.cgd = float(cgd)
+        if polarity not in (1, -1):
+            raise ValueError(f"{name}: polarity must be +1 (NMOS) or -1 (PMOS)")
+        self.polarity = polarity
+        self.gmin = float(gmin)
+        self.temp = float(temp)
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx
+
+    def _ids(self, vgs, vds):
+        """Drain current and partials for vds >= 0 (vectorized)."""
+        vov = vgs - self.vth
+        on = vov > 0.0
+        sat = vds >= vov
+        kp, lam = self.kp, self.lam
+        clm = 1.0 + lam * vds
+
+        ids_sat = 0.5 * kp * vov**2 * clm
+        g_sat = kp * vov * clm
+        go_sat = 0.5 * kp * vov**2 * lam
+
+        ids_tri = kp * (vov - 0.5 * vds) * vds * clm
+        g_tri = kp * vds * clm
+        go_tri = kp * (vov - vds) * clm + kp * (vov - 0.5 * vds) * vds * lam
+
+        ids = np.where(sat, ids_sat, ids_tri)
+        gm = np.where(sat, g_sat, g_tri)
+        go = np.where(sat, go_sat, go_tri)
+        zero = np.zeros_like(ids)
+        ids = np.where(on, ids, zero)
+        gm = np.where(on, gm, zero)
+        go = np.where(on, go, zero)
+        return ids, gm, go
+
+    def nl_eval(self, V):
+        p = self.polarity
+        vd, vg, vs = V
+        vds_raw = p * (vd - vs)
+        swap = vds_raw < 0.0
+        # operate on the electrically equivalent forward device
+        vgs = np.where(swap, p * (vg - vd), p * (vg - vs))
+        vds = np.abs(vds_raw)
+        ids, gm, go = self._ids(vgs, vds)
+        ids = ids + self.gmin * vds
+        go = go + self.gmin
+
+        m = V.shape[1]
+        # current flows drain -> source for the forward device; flip on swap
+        sign = np.where(swap, -1.0, 1.0)
+        i_d = p * sign * ids
+        f = np.stack([i_d, np.zeros(m), -i_d])
+
+        # partials of i_d w.r.t. (vd, vg, vs); polarity cancels as in BJT
+        df = np.zeros((3, 3, m))
+        # forward: d i/d vd = go ; d i/d vg = gm ; d i/d vs = -(gm+go)
+        did_vd = np.where(swap, gm + go, go)
+        did_vg = np.where(swap, -gm, gm)
+        did_vs = np.where(swap, -go, -(gm + go))
+        df[0, 0], df[0, 1], df[0, 2] = did_vd, did_vg, did_vs
+        df[2, 0], df[2, 1], df[2, 2] = -did_vd, -did_vg, -did_vs
+
+        # linear gate caps
+        qg = self.cgs * (vg - vs) + self.cgd * (vg - vd)
+        q = np.stack([-self.cgd * (vg - vd), qg, -self.cgs * (vg - vs)])
+        dq = np.zeros((3, 3, m))
+        dq[0, 0], dq[0, 1] = self.cgd, -self.cgd
+        dq[1, 0], dq[1, 1], dq[1, 2] = -self.cgd, self.cgs + self.cgd, -self.cgs
+        dq[2, 1], dq[2, 2] = -self.cgs, self.cgs
+        return f, q, df, dq
+
+    def noise_sources(self):
+        nd, ng, ns = self.node_idx
+        p = self.polarity
+
+        def psd(X):
+            vd = X[nd] if nd >= 0 else 0.0
+            vg = X[ng] if ng >= 0 else 0.0
+            vs = X[ns] if ns >= 0 else 0.0
+            vgs = p * (np.asarray(vg) - vs)
+            vds = np.abs(p * (np.asarray(vd) - vs))
+            _, gm, _ = self._ids(np.asarray(vgs), np.asarray(vds))
+            # channel thermal noise 4kT (2/3) gm
+            return 4.0 * BOLTZMANN * self.temp * (2.0 / 3.0) * gm
+
+        return [
+            NoiseSource(f"{self.name}.channel", np.array([nd, ns]), np.array([1.0, -1.0]), psd)
+        ]
+
+
+class NonlinearResistor(Device):
+    """Generic two-terminal ``i = i_of_v(v)`` element.
+
+    The caller supplies the current function and its derivative, both
+    vectorized.  Used for van der Pol-style negative-resistance cells in
+    the oscillator examples.
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, n1: str, n2: str, i_of_v: Callable, di_dv: Callable):
+        super().__init__(name, [n1, n2])
+        self.i_of_v = i_of_v
+        self.di_dv = di_dv
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx
+
+    def nl_eval(self, V):
+        v = V[0] - V[1]
+        i = np.asarray(self.i_of_v(v), dtype=float)
+        g = np.asarray(self.di_dv(v), dtype=float)
+        m = V.shape[1]
+        f = np.stack([i, -i])
+        df = np.empty((2, 2, m))
+        df[0, 0], df[0, 1] = g, -g
+        df[1, 0], df[1, 1] = -g, g
+        q = np.zeros((2, m))
+        dq = np.zeros((2, 2, m))
+        return f, q, df, dq
+
+
+class NonlinearCapacitor(Device):
+    """Generic two-terminal ``q = q_of_v(v)`` element (e.g. varactor)."""
+
+    nonlinear = True
+
+    def __init__(self, name: str, n1: str, n2: str, q_of_v: Callable, dq_dv: Callable):
+        super().__init__(name, [n1, n2])
+        self.q_of_v = q_of_v
+        self.dq_dv = dq_dv
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx
+
+    def nl_eval(self, V):
+        v = V[0] - V[1]
+        qv = np.asarray(self.q_of_v(v), dtype=float)
+        c = np.asarray(self.dq_dv(v), dtype=float)
+        m = V.shape[1]
+        q = np.stack([qv, -qv])
+        dq = np.empty((2, 2, m))
+        dq[0, 0], dq[0, 1] = c, -c
+        dq[1, 0], dq[1, 1] = -c, c
+        f = np.zeros((2, m))
+        df = np.zeros((2, 2, m))
+        return f, q, df, dq
+
+
+class SwitchConductance(Device):
+    """Voltage-controlled smooth switch, the idealized mixing element.
+
+    Conductance between (n1, n2) swings from ``g_off`` to ``g_on`` as the
+    control voltage (cp - cn) crosses zero, with transition sharpness
+    ``k`` (1/V):
+
+        g(vc) = g_off + (g_on - g_off) * (1 + tanh(k vc)) / 2
+        i     = g(vc) * (v1 - v2)
+
+    This is the canonical double-balanced-mixer core element: strongly
+    nonlinear in the (fast) LO control path, linear in the (slow) RF
+    signal path — exactly the structure MMFT exploits (paper sec. 2.2).
+    """
+
+    nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        n1: str,
+        n2: str,
+        cp: str,
+        cn: str,
+        g_on: float = 1e-2,
+        g_off: float = 1e-9,
+        sharpness: float = 20.0,
+    ):
+        super().__init__(name, [n1, n2, cp, cn])
+        self.g_on = float(g_on)
+        self.g_off = float(g_off)
+        self.sharpness = float(sharpness)
+
+    def nl_ports(self):
+        idx = np.array(self.node_idx)
+        return idx, idx[:2]
+
+    def conductance(self, vc):
+        th = np.tanh(self.sharpness * vc)
+        g = self.g_off + (self.g_on - self.g_off) * 0.5 * (1.0 + th)
+        dg = (self.g_on - self.g_off) * 0.5 * self.sharpness * (1.0 - th**2)
+        return g, dg
+
+    def nl_eval(self, V):
+        v1, v2, cp, cn = V
+        vc = cp - cn
+        vs = v1 - v2
+        g, dg = self.conductance(vc)
+        i = g * vs
+        m = V.shape[1]
+        f = np.stack([i, -i])
+        df = np.empty((2, 4, m))
+        df[0, 0], df[0, 1] = g, -g
+        df[0, 2], df[0, 3] = dg * vs, -dg * vs
+        df[1] = -df[0]
+        q = np.zeros((2, m))
+        dq = np.zeros((2, 4, m))
+        return f, q, df, dq

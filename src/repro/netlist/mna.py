@@ -1,0 +1,293 @@
+"""Compiled modified-nodal-analysis system.
+
+:class:`MNASystem` is the numerical object every analysis consumes.  It
+evaluates the DAE terms of paper eq. (3),
+
+    d q(x)/dt + f(x) = b(t),
+
+together with their Jacobians ``G = df/dx`` and ``C = dq/dx``, both at a
+single operating point (sparse matrices, used by DC/AC/transient) and in
+*batch* over many time samples at once (used by the HB/MPDE engines,
+where one Newton iteration touches an entire periodic grid).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.netlist.components import Device, NoiseSource
+
+__all__ = ["MNASystem"]
+
+
+class MNASystem:
+    """Evaluated form of a compiled circuit.
+
+    Attributes
+    ----------
+    n:
+        Total unknown count (node voltages + branch currents).
+    node_names:
+        Names of the voltage unknowns; unknown ``i`` for
+        ``i < len(node_names)`` is the voltage of ``node_names[i]``.
+    branch_owner:
+        Device name owning each branch-current unknown.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        devices: Sequence[Device],
+        node_names: Sequence[str],
+        branch_owner: Sequence[str],
+    ):
+        self.title = title
+        self.devices = list(devices)
+        self.node_names = list(node_names)
+        self.branch_owner = list(branch_owner)
+        self.n = len(node_names) + len(branch_owner)
+        self._node_index = {name: i for i, name in enumerate(node_names)}
+
+        self._build_linear()
+        self._build_nonlinear()
+        self._build_sources()
+        self._build_noise()
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> int:
+        """Global unknown index of a node voltage."""
+        return self._node_index[name]
+
+    def branch(self, device_name: str) -> int:
+        """Global unknown index of a device's (first) branch current."""
+        for i, owner in enumerate(self.branch_owner):
+            if owner == device_name:
+                return len(self.node_names) + i
+        raise KeyError(f"device {device_name!r} has no branch current")
+
+    # ------------------------------------------------------------------
+    def _build_linear(self) -> None:
+        g_rows, g_cols, g_vals = [], [], []
+        c_rows, c_cols, c_vals = [], [], []
+        for dev in self.devices:
+            for i, j, v in dev.g_stamps():
+                if i >= 0 and j >= 0:
+                    g_rows.append(i), g_cols.append(j), g_vals.append(v)
+            for i, j, v in dev.c_stamps():
+                if i >= 0 and j >= 0:
+                    c_rows.append(i), c_cols.append(j), c_vals.append(v)
+        n = self.n
+        self.G_lin = sp.csr_matrix(
+            (np.array(g_vals, dtype=float), (g_rows, g_cols)), shape=(n, n)
+        )
+        self.C_lin = sp.csr_matrix(
+            (np.array(c_vals, dtype=float), (c_rows, c_cols)), shape=(n, n)
+        )
+        # COO copies kept for batch-Jacobian assembly
+        gc = self.G_lin.tocoo()
+        cc = self.C_lin.tocoo()
+        self._g_lin_coo = (gc.row.copy(), gc.col.copy(), gc.data.copy())
+        self._c_lin_coo = (cc.row.copy(), cc.col.copy(), cc.data.copy())
+
+    def _build_nonlinear(self) -> None:
+        self._nl: List[Tuple[Device, np.ndarray, np.ndarray]] = []
+        for dev in self.devices:
+            if dev.nonlinear:
+                var_idx, eq_idx = dev.nl_ports()
+                self._nl.append((dev, np.asarray(var_idx), np.asarray(eq_idx)))
+        self.has_nonlinear = bool(self._nl)
+
+    def _build_sources(self) -> None:
+        rows, waves, signs = [], [], []
+        for dev in self.devices:
+            for row, wave, sign in dev.b_stamps():
+                if row >= 0:
+                    rows.append(row), waves.append(wave), signs.append(sign)
+        self._b_rows = np.array(rows, dtype=int)
+        self._b_waves = waves
+        self._b_signs = np.array(signs, dtype=float)
+
+    def _build_noise(self) -> None:
+        self.noise_sources: List[NoiseSource] = []
+        for dev in self.devices:
+            self.noise_sources.extend(dev.noise_sources())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _local_voltages(x: np.ndarray, var_idx: np.ndarray) -> np.ndarray:
+        """Gather device-local variables; ground (-1) reads as 0."""
+        V = np.zeros((len(var_idx), x.shape[1]))
+        for k, idx in enumerate(var_idx):
+            if idx >= 0:
+                V[k] = x[idx]
+        return V
+
+    def _eval_nl(self, x2d: np.ndarray):
+        """Yield (dev, var_idx, eq_idx, f, q, df, dq) over nonlinear devices."""
+        for dev, var_idx, eq_idx in self._nl:
+            V = self._local_voltages(x2d, var_idx)
+            f, q, df, dq = dev.nl_eval(V)
+            yield dev, var_idx, eq_idx, f, q, df, dq
+
+    def _as2d(self, x: np.ndarray) -> Tuple[np.ndarray, bool]:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return x[:, None], True
+        return x, False
+
+    # --- DAE terms -------------------------------------------------------
+    def f(self, x: np.ndarray) -> np.ndarray:
+        """Resistive term f(x); accepts (n,) or (n, m)."""
+        x2d, squeeze = self._as2d(x)
+        out = self.G_lin @ x2d
+        for _, _, eq_idx, fv, _, _, _ in self._eval_nl(x2d):
+            for k, row in enumerate(eq_idx):
+                if row >= 0:
+                    out[row] += fv[k]
+        return out[:, 0] if squeeze else out
+
+    def q(self, x: np.ndarray) -> np.ndarray:
+        """Charge/flux term q(x); accepts (n,) or (n, m)."""
+        x2d, squeeze = self._as2d(x)
+        out = self.C_lin @ x2d
+        for _, _, eq_idx, _, qv, _, _ in self._eval_nl(x2d):
+            for k, row in enumerate(eq_idx):
+                if row >= 0:
+                    out[row] += qv[k]
+        return out[:, 0] if squeeze else out
+
+    def b(self, t) -> np.ndarray:
+        """Excitation vector; scalar t -> (n,), array t (m,) -> (n, m)."""
+        t_arr = np.asarray(t, dtype=float)
+        scalar = t_arr.ndim == 0
+        t2 = np.atleast_1d(t_arr)
+        out = np.zeros((self.n, t2.shape[0]))
+        for row, wave, sign in zip(self._b_rows, self._b_waves, self._b_signs):
+            out[row] += sign * wave(t2)
+        return out[:, 0] if scalar else out
+
+    def b_dc(self) -> np.ndarray:
+        """DC component of the excitation (used by DC analysis)."""
+        out = np.zeros(self.n)
+        for row, wave, sign in zip(self._b_rows, self._b_waves, self._b_signs):
+            out[row] += sign * wave.dc
+        return out
+
+    def source_frequencies(self) -> Tuple[float, ...]:
+        """Distinct nonzero fundamentals present in the excitations."""
+        freqs: List[float] = []
+        for wave in self._b_waves:
+            for f0 in wave.frequencies:
+                if f0 > 0 and not any(abs(f0 - g) <= 1e-9 * g for g in freqs):
+                    freqs.append(f0)
+        return tuple(sorted(freqs))
+
+    # --- Jacobians ---------------------------------------------------------
+    def _point_jacobian(self, x: np.ndarray, which: str) -> sp.csr_matrix:
+        x2d, _ = self._as2d(x)
+        rows, cols, vals = [], [], []
+        for _, var_idx, eq_idx, _, _, df, dq in self._eval_nl(x2d):
+            block = df if which == "G" else dq
+            for a, row in enumerate(eq_idx):
+                if row < 0:
+                    continue
+                for bb, col in enumerate(var_idx):
+                    if col < 0:
+                        continue
+                    rows.append(row), cols.append(col), vals.append(block[a, bb, 0])
+        base = self.G_lin if which == "G" else self.C_lin
+        if not rows:
+            return base.copy()
+        extra = sp.csr_matrix(
+            (np.array(vals, dtype=float), (rows, cols)), shape=(self.n, self.n)
+        )
+        return (base + extra).tocsr()
+
+    def G(self, x: np.ndarray) -> sp.csr_matrix:
+        """df/dx at a single operating point."""
+        return self._point_jacobian(x, "G")
+
+    def C(self, x: np.ndarray) -> sp.csr_matrix:
+        """dq/dx at a single operating point."""
+        return self._point_jacobian(x, "C")
+
+    # --- batch Jacobians (HB / MPDE) ----------------------------------------
+    def jacobian_pattern(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of the combined per-sample Jacobian pattern.
+
+        The pattern is the union of the linear G/C stamps and all
+        nonlinear device blocks.  :meth:`batch_jacobians` returns values
+        aligned with this fixed pattern, so HB/MPDE can pre-build one
+        sparsity structure and refill data on every Newton iteration.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        for r, c, _ in zip(*self._g_lin_coo):
+            rows.append(int(r)), cols.append(int(c))
+        for r, c, _ in zip(*self._c_lin_coo):
+            rows.append(int(r)), cols.append(int(c))
+        for _, var_idx, eq_idx in self._nl:
+            for row in eq_idx:
+                if row < 0:
+                    continue
+                for col in var_idx:
+                    if col < 0:
+                        continue
+                    rows.append(int(row)), cols.append(int(col))
+        return np.array(rows, dtype=int), np.array(cols, dtype=int)
+
+    def batch_jacobians(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample G and C entry values aligned with jacobian_pattern().
+
+        ``X`` has shape ``(n, m)``; returns ``(g_vals, c_vals)`` each of
+        shape ``(nnz, m)``.
+        """
+        m = X.shape[1]
+        nnz_gl = len(self._g_lin_coo[0])
+        nnz_cl = len(self._c_lin_coo[0])
+        nnz_nl = sum(
+            int(np.sum(eq_idx >= 0)) * int(np.sum(var_idx >= 0))
+            for _, var_idx, eq_idx in self._nl
+        )
+        nnz = nnz_gl + nnz_cl + nnz_nl
+        g_vals = np.zeros((nnz, m))
+        c_vals = np.zeros((nnz, m))
+        g_vals[:nnz_gl] = self._g_lin_coo[2][:, None]
+        c_vals[nnz_gl : nnz_gl + nnz_cl] = self._c_lin_coo[2][:, None]
+        pos = nnz_gl + nnz_cl
+        for _, var_idx, eq_idx, _, _, df, dq in self._eval_nl(X):
+            for a, row in enumerate(eq_idx):
+                if row < 0:
+                    continue
+                for bb, col in enumerate(var_idx):
+                    if col < 0:
+                        continue
+                    g_vals[pos] = df[a, bb]
+                    c_vals[pos] = dq[a, bb]
+                    pos += 1
+        return g_vals, c_vals
+
+    def batch_fq(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(f(X), q(X)) over sample columns; both shape (n, m)."""
+        return self.f(X), self.q(X)
+
+    # --- noise ---------------------------------------------------------------
+    def noise_injection_vectors(self) -> List[Tuple[NoiseSource, np.ndarray]]:
+        """(source, unit-injection column) pairs with ground rows dropped."""
+        out = []
+        for src in self.noise_sources:
+            u = np.zeros(self.n)
+            for row, sign in zip(src.rows, src.signs):
+                if row >= 0:
+                    u[row] += sign
+            out.append((src, u))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MNASystem({self.title!r}, n={self.n}, nodes={len(self.node_names)}, "
+            f"branches={len(self.branch_owner)}, devices={len(self.devices)})"
+        )

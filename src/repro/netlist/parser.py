@@ -1,0 +1,317 @@
+"""SPICE-flavoured netlist parser.
+
+Supports the element cards needed by the paper's example circuits:
+
+    R<name> n1 n2 value
+    C<name> n1 n2 value
+    L<name> n1 n2 value
+    K<name> L1 L2 k
+    V<name> n+ n- [dc] value | SIN(off amp freq [phase_deg]) | PULSE(v1 v2 td tr tf pw per)
+    I<name> n+ n- (same source syntax)
+    D<name> anode cathode [IS=..] [N=..] [TT=..] [CJ0=..]
+    Q<name> c b e [IS=..] [BF=..] [BR=..] [TF=..] [CJE=..] [CJC=..] [PNP]
+    M<name> d g s [KP=..] [VTH=..] [LAMBDA=..] [CGS=..] [CGD=..] [PMOS]
+    E<name> out+ out- ctl+ ctl- gain        (VCVS)
+    G<name> out+ out- ctl+ ctl- gm          (VCCS)
+    X<name> n1 n2 ... subckt_name           (subcircuit instance)
+
+Subcircuits are defined with ``.subckt <name> <ports...>`` ... ``.ends``
+and expanded textually at instantiation: internal nodes and device names
+are prefixed with the instance path (``x1.mid``, ``x1.R1``), so nested
+hierarchies flatten naturally.
+
+Unit suffixes: f p n u m k meg g t.  ``*`` and ``;`` start comments,
+``+`` continues the previous card, ``.end`` stops parsing.  This is a
+substrate convenience — the benchmark circuits are built with the Python
+API — but it makes the library usable the way designers drove the
+original tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.waveforms import DC, Pulse, Sine
+
+__all__ = ["parse_netlist", "parse_value", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist input."""
+
+
+_SUFFIX = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "meg": 1e6,
+    "g": 1e9,
+    "t": 1e12,
+}
+
+_VALUE_RE = re.compile(r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)([a-zA-Z]*)$")
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number like ``4.7k``, ``100n``, ``1meg``."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise NetlistError(f"cannot parse value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return base
+    if suffix.startswith("meg"):
+        return base * 1e6
+    if suffix[0] in _SUFFIX:
+        return base * _SUFFIX[suffix[0]]
+    # trailing unit letters like "5v" or "10hz" -- ignore the unit
+    return base
+
+
+def _join_continuations(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split(";")[0].rstrip()
+        if not line.strip() or line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+") and lines:
+            lines[-1] += " " + line.lstrip()[1:]
+        else:
+            lines.append(line.strip())
+    return lines
+
+
+def _parse_kwargs(tokens: List[str]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise NetlistError(f"expected key=value, got {tok!r}")
+        key, val = tok.split("=", 1)
+        out[key.lower()] = parse_value(val)
+    return out
+
+
+def _parse_source(tokens: List[str]):
+    """Parse the waveform part of a V/I card."""
+    joined = " ".join(tokens)
+    m = re.search(r"(sin|pulse)\s*\(([^)]*)\)", joined, re.IGNORECASE)
+    if m:
+        kind = m.group(1).lower()
+        args = [parse_value(t) for t in m.group(2).replace(",", " ").split()]
+        if kind == "sin":
+            off, amp, freq = args[0], args[1], args[2]
+            phase = args[3] * 3.141592653589793 / 180.0 if len(args) > 3 else 0.0
+            return Sine(amplitude=amp, freq=freq, phase=phase, offset=off)
+        if len(args) < 7:
+            raise NetlistError(f"PULSE needs 7 arguments, got {len(args)}")
+        v1, v2, td, tr, tf, pw, per = args[:7]
+        return Pulse(v1=v1, v2=v2, delay=td, rise=tr, fall=tf, width=pw, period=per)
+    # plain DC: "[dc] value"
+    toks = [t for t in tokens if t.lower() != "dc"]
+    if not toks:
+        return DC(0.0)
+    return DC(parse_value(toks[0]))
+
+
+def _collect_subcircuits(lines: List[str]):
+    """Split out .subckt definitions; returns (top_lines, subckts).
+
+    ``subckts`` maps a lower-cased name to ``(ports, body_lines)``.
+    Definitions may nest instances of earlier definitions but not other
+    definitions.
+    """
+    subckts: Dict[str, tuple] = {}
+    top: List[str] = []
+    current: Optional[str] = None
+    body: List[str] = []
+    for line in lines:
+        tokens = line.split()
+        low = tokens[0].lower()
+        if low == ".subckt":
+            if current is not None:
+                raise NetlistError("nested .subckt definitions are not supported")
+            if len(tokens) < 3:
+                raise NetlistError(".subckt needs a name and at least one port")
+            current = tokens[1].lower()
+            subckts[current] = (tokens[2:], [])
+            body = subckts[current][1]
+        elif low == ".ends":
+            if current is None:
+                raise NetlistError(".ends without .subckt")
+            current = None
+        elif current is not None:
+            body.append(line)
+        else:
+            top.append(line)
+    if current is not None:
+        raise NetlistError(f"unterminated .subckt {current!r}")
+    return top, subckts
+
+
+def _expand_instances(lines: List[str], subckts, prefix: str = "", depth: int = 0) -> List[str]:
+    """Recursively expand X cards by textual substitution."""
+    if depth > 20:
+        raise NetlistError("subcircuit recursion deeper than 20 levels")
+    out: List[str] = []
+    for line in lines:
+        tokens = line.split()
+        if tokens[0][0].upper() != "X":
+            if prefix:
+                # rename the device and its non-ground, non-port nodes
+                tokens = list(tokens)
+                tokens[0] = prefix + tokens[0]
+                out.append(" ".join(tokens))
+            else:
+                out.append(line)
+            continue
+        inst = tokens[0]
+        name = tokens[-1].lower()
+        if name not in subckts:
+            raise NetlistError(f"unknown subcircuit {tokens[-1]!r} in card {line!r}")
+        ports, body = subckts[name]
+        actuals = tokens[1:-1]
+        if len(actuals) != len(ports):
+            raise NetlistError(
+                f"{inst}: subcircuit {name!r} has {len(ports)} ports, "
+                f"got {len(actuals)} connections"
+            )
+        mapping = dict(zip(ports, actuals))
+        inst_prefix = f"{prefix}{inst}."
+        renamed: List[str] = []
+        for body_line in body:
+            btok = body_line.split()
+            card_kind = btok[0][0].upper()
+            node_count = _NODE_COUNT.get(card_kind)
+            new_tok = [btok[0]]
+            for pos, tok in enumerate(btok[1:], start=1):
+                is_node = node_count is not None and pos <= node_count
+                if card_kind == "X" and pos < len(btok) - 1:
+                    is_node = True
+                if is_node:
+                    if tok in mapping:
+                        new_tok.append(mapping[tok])
+                    elif tok in GROUND_NAMES_LOCAL:
+                        new_tok.append(tok)
+                    else:
+                        new_tok.append(inst_prefix + tok)
+                elif card_kind == "K" and pos <= 2:
+                    new_tok.append(inst_prefix + tok)  # inductor references
+                else:
+                    new_tok.append(tok)
+            renamed.append(" ".join(new_tok))
+        out.extend(_expand_instances(renamed, subckts, inst_prefix, depth + 1))
+    return out
+
+
+#: how many leading tokens after the card name are node names, per card type
+_NODE_COUNT = {
+    "R": 2, "C": 2, "L": 2, "V": 2, "I": 2, "D": 2,
+    "Q": 3, "M": 3, "E": 4, "G": 4, "K": 0,
+}
+GROUND_NAMES_LOCAL = {"0", "gnd", "GND", "ground"}
+
+
+def parse_netlist(text: str, title: Optional[str] = None) -> Circuit:
+    """Parse netlist text into a :class:`Circuit` (not yet compiled)."""
+    lines = _join_continuations(text)
+    if lines:
+        first = lines[0]
+        looks_like_card = (
+            first[0].upper() in "RCLKVIDQMEGX." and len(first.split()) >= 3
+        )
+        if not looks_like_card:
+            # first line is a title card
+            title = title or first
+            lines = lines[1:]
+    # cut at .end before structural passes
+    cut: List[str] = []
+    for line in lines:
+        if line.split()[0].lower() == ".end":
+            break
+        cut.append(line)
+    top, subckts = _collect_subcircuits(cut)
+    lines = _expand_instances(top, subckts)
+    ckt = Circuit(title or "netlist")
+
+    for line in lines:
+        tokens = line.split()
+        card = tokens[0]
+        # hierarchical names like "x1.R3" type by their last path segment
+        kind = card.rsplit(".", 1)[-1][0].upper()
+        if card[0] == ".":
+            kind = "."
+        if kind == ".":
+            if card.lower() in (".end", ".ends"):
+                break
+            continue  # ignore other dot-cards
+
+        try:
+            if kind == "R":
+                ckt.resistor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "C":
+                ckt.capacitor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "L":
+                ckt.inductor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "K":
+                ckt.mutual(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "V":
+                ckt.vsource(card, tokens[1], tokens[2], _parse_source(tokens[3:]))
+            elif kind == "I":
+                ckt.isource(card, tokens[1], tokens[2], _parse_source(tokens[3:]))
+            elif kind == "D":
+                kw = _parse_kwargs(tokens[3:])
+                ckt.diode(
+                    card,
+                    tokens[1],
+                    tokens[2],
+                    isat=kw.get("is", 1e-14),
+                    ideality=kw.get("n", 1.0),
+                    tt=kw.get("tt", 0.0),
+                    cj0=kw.get("cj0", 0.0),
+                )
+            elif kind == "Q":
+                flags = [t for t in tokens[4:] if "=" not in t]
+                kw = _parse_kwargs([t for t in tokens[4:] if "=" in t])
+                ckt.bjt(
+                    card,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    isat=kw.get("is", 1e-16),
+                    beta_f=kw.get("bf", 100.0),
+                    beta_r=kw.get("br", 1.0),
+                    tf=kw.get("tf", 0.0),
+                    cje=kw.get("cje", 0.0),
+                    cjc=kw.get("cjc", 0.0),
+                    polarity=-1 if any(f.lower() == "pnp" for f in flags) else 1,
+                )
+            elif kind == "M":
+                flags = [t for t in tokens[4:] if "=" not in t]
+                kw = _parse_kwargs([t for t in tokens[4:] if "=" in t])
+                ckt.mosfet(
+                    card,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    kp=kw.get("kp", 2e-4),
+                    vth=kw.get("vth", 0.5),
+                    lam=kw.get("lambda", 0.0),
+                    cgs=kw.get("cgs", 0.0),
+                    cgd=kw.get("cgd", 0.0),
+                    polarity=-1 if any(f.lower() == "pmos" for f in flags) else 1,
+                )
+            elif kind == "E":
+                ckt.vcvs(card, tokens[1], tokens[2], tokens[3], tokens[4], parse_value(tokens[5]))
+            elif kind == "G":
+                ckt.vccs(card, tokens[1], tokens[2], tokens[3], tokens[4], parse_value(tokens[5]))
+            else:
+                raise NetlistError(f"unknown element type {card!r}")
+        except IndexError as exc:
+            raise NetlistError(f"too few fields on card: {line!r}") from exc
+    return ckt

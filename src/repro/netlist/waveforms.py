@@ -1,0 +1,231 @@
+"""Source waveforms for independent sources.
+
+RF stimuli are dominated by (multi-)sinusoids and fast square waves (LO
+drives).  Every waveform is callable on scalar or array time arguments and
+reports the fundamental frequencies it contains, which is how the HB and
+MPDE engines discover the tone structure of a circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Waveform",
+    "DC",
+    "Sine",
+    "MultiTone",
+    "SquareWave",
+    "Pulse",
+    "PWL",
+    "am_source",
+]
+
+
+class Waveform:
+    """Base class: a time-domain excitation ``value(t)``."""
+
+    def __call__(self, t):
+        raise NotImplementedError
+
+    @property
+    def frequencies(self) -> Tuple[float, ...]:
+        """Fundamental frequencies present in this waveform (Hz).
+
+        DC-only waveforms return an empty tuple.
+        """
+        return ()
+
+    @property
+    def dc(self) -> float:
+        """The DC (time-average) component, used as the DC-analysis value."""
+        return 0.0
+
+
+@dataclasses.dataclass
+class DC(Waveform):
+    """Constant excitation."""
+
+    value: float = 0.0
+
+    def __call__(self, t):
+        return self.value * np.ones_like(np.asarray(t, dtype=float))
+
+    @property
+    def dc(self) -> float:
+        return self.value
+
+
+@dataclasses.dataclass
+class Sine(Waveform):
+    """``offset + amplitude * sin(2 pi freq t + phase)``."""
+
+    amplitude: float
+    freq: float
+    phase: float = 0.0
+    offset: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.offset + self.amplitude * np.sin(2 * np.pi * self.freq * t + self.phase)
+
+    @property
+    def frequencies(self) -> Tuple[float, ...]:
+        return (self.freq,)
+
+    @property
+    def dc(self) -> float:
+        return self.offset
+
+
+class MultiTone(Waveform):
+    """Sum of sinusoids at (possibly incommensurate) frequencies.
+
+    Parameters
+    ----------
+    tones:
+        Sequence of ``(amplitude, freq, phase)`` triples.
+    offset:
+        DC offset added to the sum.
+    """
+
+    def __init__(self, tones: Sequence[Tuple[float, float, float]], offset: float = 0.0):
+        self.tones = [tuple(map(float, tone)) for tone in tones]
+        self.offset = float(offset)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.full(t.shape, self.offset)
+        for amp, freq, phase in self.tones:
+            out = out + amp * np.sin(2 * np.pi * freq * t + phase)
+        return out
+
+    @property
+    def frequencies(self) -> Tuple[float, ...]:
+        return tuple(freq for _, freq, _ in self.tones)
+
+    @property
+    def dc(self) -> float:
+        return self.offset
+
+
+@dataclasses.dataclass
+class SquareWave(Waveform):
+    """Smoothed square wave, the canonical LO drive.
+
+    A tanh-shaped transition of relative sharpness ``sharpness`` keeps the
+    waveform differentiable, which both transient LTE control and the
+    spectral MPDE axes need.  ``sharpness = 20`` gives rise/fall times of
+    roughly 2% of the period.
+    """
+
+    amplitude: float
+    freq: float
+    phase: float = 0.0
+    offset: float = 0.0
+    sharpness: float = 20.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        s = np.sin(2 * np.pi * self.freq * t + self.phase)
+        return self.offset + self.amplitude * np.tanh(self.sharpness * s)
+
+    @property
+    def frequencies(self) -> Tuple[float, ...]:
+        return (self.freq,)
+
+    @property
+    def dc(self) -> float:
+        return self.offset
+
+
+@dataclasses.dataclass
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse."""
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 0.5
+    period: float = 1.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        tau = np.mod(t - self.delay, self.period)
+        out = np.full(tau.shape, self.v1)
+        rising = tau < self.rise
+        out = np.where(rising, self.v1 + (self.v2 - self.v1) * tau / self.rise, out)
+        flat = (tau >= self.rise) & (tau < self.rise + self.width)
+        out = np.where(flat, self.v2, out)
+        falling = (tau >= self.rise + self.width) & (tau < self.rise + self.width + self.fall)
+        out = np.where(
+            falling,
+            self.v2 + (self.v1 - self.v2) * (tau - self.rise - self.width) / self.fall,
+            out,
+        )
+        before = t < self.delay
+        out = np.where(before, self.v1, out)
+        return out
+
+    @property
+    def frequencies(self) -> Tuple[float, ...]:
+        return (1.0 / self.period,)
+
+    @property
+    def dc(self) -> float:
+        duty = (self.width + 0.5 * (self.rise + self.fall)) / self.period
+        return self.v1 + (self.v2 - self.v1) * duty
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform from ``(t, v)`` breakpoints."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        pts = sorted((float(a), float(b)) for a, b in points)
+        if len(pts) < 2:
+            raise ValueError("PWL needs at least two breakpoints")
+        self._t = np.array([p[0] for p in pts])
+        self._v = np.array([p[1] for p in pts])
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.interp(t, self._t, self._v)
+
+    @property
+    def dc(self) -> float:
+        return float(self._v[0])
+
+
+def am_source(
+    carrier_amplitude: float,
+    carrier_freq: float,
+    mod_freq: float,
+    depth: float,
+    carrier_phase: float = 0.0,
+) -> MultiTone:
+    """Amplitude-modulated carrier as an exact three-tone source.
+
+        v(t) = A [1 + m sin(2 pi fm t)] sin(2 pi fc t + phi)
+             = A sin(wc t + phi)
+               + (A m / 2) [cos((wc - wm) t + phi) - cos((wc + wm) t + phi)]
+
+    Returned as a :class:`MultiTone` so the HB/MPDE engines can place
+    each sideband on the right grid axis (fc and fm are typically the
+    two fundamentals of an envelope-style simulation).
+    """
+    a, m = float(carrier_amplitude), float(depth)
+    phi = float(carrier_phase)
+    half = 0.5 * a * m
+    # cos(x + phi) = sin(x + phi + pi/2)
+    return MultiTone(
+        [
+            (a, carrier_freq, phi),
+            (half, carrier_freq - mod_freq, phi + np.pi / 2.0),
+            (-half, carrier_freq + mod_freq, phi + np.pi / 2.0),
+        ]
+    )

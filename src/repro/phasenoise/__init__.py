@@ -1,0 +1,65 @@
+"""Oscillator phase noise (paper sec. 3)."""
+
+from repro.phasenoise.ode import (
+    MNAOscillator,
+    NegativeResistanceLC,
+    ODESystem,
+    RingOscillator,
+    VanDerPol,
+    integrate,
+    rk4_step,
+    rk4_step_with_sensitivity,
+)
+from repro.phasenoise.pss import OscillatorPSS, estimate_period, find_oscillator_pss
+from repro.phasenoise.ppv import (
+    PPVResult,
+    compute_ppv,
+    node_sensitivity,
+    per_source_c,
+    phase_noise_characterize,
+)
+from repro.phasenoise.spectrum import (
+    jitter_stddev,
+    lorentzian_psd,
+    ltv_phase_noise_dbc,
+    oscillator_psd,
+    ssb_phase_noise_dbc,
+    ssb_phase_noise_with_flicker,
+    total_power,
+)
+from repro.phasenoise.montecarlo import (
+    JitterMeasurement,
+    measure_jitter,
+    periodogram_psd,
+    simulate_sde_ensemble,
+)
+
+__all__ = [
+    "ODESystem",
+    "VanDerPol",
+    "NegativeResistanceLC",
+    "RingOscillator",
+    "MNAOscillator",
+    "integrate",
+    "rk4_step",
+    "rk4_step_with_sensitivity",
+    "OscillatorPSS",
+    "estimate_period",
+    "find_oscillator_pss",
+    "PPVResult",
+    "compute_ppv",
+    "per_source_c",
+    "node_sensitivity",
+    "phase_noise_characterize",
+    "lorentzian_psd",
+    "oscillator_psd",
+    "ssb_phase_noise_dbc",
+    "ssb_phase_noise_with_flicker",
+    "ltv_phase_noise_dbc",
+    "jitter_stddev",
+    "total_power",
+    "JitterMeasurement",
+    "simulate_sde_ensemble",
+    "measure_jitter",
+    "periodogram_psd",
+]

@@ -1,0 +1,273 @@
+"""Autonomous ODE oscillator layer for phase-noise analysis.
+
+The phase-noise theory of paper sec. 3 (Demir/Mehrotra/Roychowdhury)
+operates on oscillators in the state-equation form
+
+    dx/dt = f(x) + B(x) xi(t),
+
+where ``xi`` is vector unit white noise (two-sided PSD 1).  This module
+defines the :class:`ODESystem` interface, reference oscillators (van der
+Pol, negative-resistance LC, odd-stage rings), RK4 integration with
+joint variational (sensitivity) propagation, and an adapter from MNA
+circuits with constant nonsingular capacitance matrices.
+
+Noise convention: a physical one-sided current PSD ``S1`` (A^2/Hz)
+enters ``B`` as ``sqrt(S1 / 2)`` (one-sided -> two-sided).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ODESystem",
+    "VanDerPol",
+    "NegativeResistanceLC",
+    "RingOscillator",
+    "MNAOscillator",
+    "rk4_step",
+    "rk4_step_with_sensitivity",
+    "integrate",
+]
+
+
+class ODESystem:
+    """Autonomous system ``dx/dt = f(x) + B(x) xi(t)``."""
+
+    n: int  # state dimension
+    p: int = 0  # number of independent noise inputs
+
+    def f(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def jac(self, x: np.ndarray) -> np.ndarray:
+        """df/dx, dense (n, n)."""
+        raise NotImplementedError
+
+    def noise_matrix(self, x: np.ndarray) -> np.ndarray:
+        """B(x), dense (n, p); zero columns for noiseless systems."""
+        return np.zeros((self.n, max(self.p, 0)))
+
+
+@dataclasses.dataclass
+class VanDerPol(ODESystem):
+    """Van der Pol oscillator  x'' - mu (1 - x^2) x' + x = 0  (unit freq).
+
+    States (x, y=x').  For small ``mu`` the limit cycle has amplitude ~2
+    and period ``2 pi (1 + mu^2/16 + ...)`` — used as an analytic anchor
+    in the tests.  White noise of intensity ``sigma`` drives the velocity
+    state (``B = [[0], [sigma]]``).
+    """
+
+    mu: float = 0.5
+    sigma: float = 0.0
+
+    n: int = 2
+    p: int = 1
+
+    def f(self, x):
+        return np.array([x[1], self.mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+    def jac(self, x):
+        return np.array(
+            [
+                [0.0, 1.0],
+                [-2.0 * self.mu * x[0] * x[1] - 1.0, self.mu * (1.0 - x[0] ** 2)],
+            ]
+        )
+
+    def noise_matrix(self, x):
+        return np.array([[0.0], [self.sigma]])
+
+
+@dataclasses.dataclass
+class NegativeResistanceLC(ODESystem):
+    """Parallel LC tank with cubic negative-resistance cell.
+
+    i_nl(v) = -g1 v + g3 v^3 across a parallel (L, C, R) tank.  States
+    (v, iL).  A thermal-noise current ``sqrt(2 k T gamma / R)``-scale
+    source across the tank models the resistor + active device noise;
+    ``inoise_psd`` is the *one-sided* current PSD in A^2/Hz.
+    """
+
+    L: float = 1e-9
+    C: float = 1e-12
+    R: float = 300.0
+    g1: float = 5e-3
+    g3: float = 1e-3
+    inoise_psd: float = 0.0
+
+    n: int = 2
+    p: int = 1
+
+    def f(self, x):
+        v, il = x
+        i_nl = -self.g1 * v + self.g3 * v**3
+        dv = (-(v / self.R) - il - i_nl) / self.C
+        dil = v / self.L
+        return np.array([dv, dil])
+
+    def jac(self, x):
+        v, _ = x
+        g_nl = -self.g1 + 3.0 * self.g3 * v**2
+        return np.array(
+            [
+                [-(1.0 / self.R + g_nl) / self.C, -1.0 / self.C],
+                [1.0 / self.L, 0.0],
+            ]
+        )
+
+    def noise_matrix(self, x):
+        b = np.zeros((2, 1))
+        b[0, 0] = np.sqrt(self.inoise_psd / 2.0) / self.C
+        return b
+
+    @property
+    def f0_estimate(self) -> float:
+        return 1.0 / (2.0 * np.pi * np.sqrt(self.L * self.C))
+
+
+@dataclasses.dataclass
+class RingOscillator(ODESystem):
+    """N-stage (odd) inverter ring with first-order RC stages.
+
+    Stage model: ``C dv_k/dt = -v_k/R - I0 tanh(g v_{k-1}) + noise``.
+    White current noise of one-sided PSD ``inoise_psd`` at every stage
+    output (independent sources), the classic jitter testbench of
+    McNeill / Weigandt (paper refs [30, 46]).
+    """
+
+    stages: int = 3
+    R: float = 10e3
+    C: float = 100e-15
+    I0: float = 100e-6
+    gain: float = 4.0
+    inoise_psd: float = 0.0
+
+    def __post_init__(self):
+        if self.stages % 2 == 0:
+            raise ValueError("ring oscillator needs an odd number of stages")
+        self.n = self.stages
+        self.p = self.stages
+
+    def f(self, x):
+        prev = np.roll(x, 1)
+        return (-x / self.R - self.I0 * np.tanh(self.gain * prev / (self.I0 * self.R))) / self.C
+
+    def jac(self, x):
+        J = np.diag(np.full(self.n, -1.0 / (self.R * self.C)))
+        prev = np.roll(x, 1)
+        arg = self.gain * prev / (self.I0 * self.R)
+        dd = -self.I0 * self.gain / (self.I0 * self.R) * (1.0 - np.tanh(arg) ** 2) / self.C
+        for k in range(self.n):
+            J[k, (k - 1) % self.n] += dd[k]
+        return J
+
+    def noise_matrix(self, x):
+        return np.eye(self.n) * (np.sqrt(self.inoise_psd / 2.0) / self.C)
+
+
+class MNAOscillator(ODESystem):
+    """Adapter turning an MNA oscillator circuit into ODE form.
+
+    Requires the incremental capacitance matrix to be *constant and
+    nonsingular* (every node needs a capacitor to somewhere; no voltage
+    sources or inductor branches without dynamics).  Then
+
+        C dx/dt = b_dc - f_mna(x)   =>   dx/dt = C^{-1} (b_dc - f_mna(x)).
+
+    Device noise sources become columns of ``B = C^{-1} U sqrt(S1/2)``.
+    """
+
+    def __init__(self, system, x_ref: Optional[np.ndarray] = None):
+        self.system = system
+        self.n = system.n
+        x_ref = np.zeros(self.n) if x_ref is None else x_ref
+        C0 = system.C(x_ref).toarray()
+        # verify constancy at a second, different point
+        C1 = system.C(x_ref + 0.1).toarray()
+        if not np.allclose(C0, C1, rtol=1e-9, atol=1e-18):
+            raise ValueError(
+                "MNAOscillator needs a state-independent capacitance matrix; "
+                "replace nonlinear charge elements with linear ones"
+            )
+        cond = np.linalg.cond(C0)
+        if not np.isfinite(cond) or cond > 1e14:
+            raise ValueError(
+                f"capacitance matrix is singular (cond={cond:.2e}); the "
+                "circuit is a DAE — add capacitors so every unknown has "
+                "dynamics, as required by the ODE phase-noise formulation"
+            )
+        self._Cinv = np.linalg.inv(C0)
+        self._b_dc = system.b_dc()
+        self._injections = system.noise_injection_vectors()
+        self.p = len(self._injections)
+
+    def f(self, x):
+        b = self._b_dc if np.ndim(x) == 1 else self._b_dc[:, None]
+        return self._Cinv @ (b - self.system.f(x))
+
+    def jac(self, x):
+        return -self._Cinv @ self.system.G(x).toarray()
+
+    def noise_matrix(self, x):
+        B = np.zeros((self.n, self.p))
+        X = x[:, None]
+        for k, (src, u) in enumerate(self._injections):
+            s1 = float(src.psd_at(X)[0])
+            B[:, k] = self._Cinv @ (u * np.sqrt(max(s1, 0.0) / 2.0))
+        return B
+
+
+# ----------------------------------------------------------------------
+def rk4_step(system: ODESystem, x: np.ndarray, h: float) -> np.ndarray:
+    """One classical Runge-Kutta step of the deterministic flow."""
+    k1 = system.f(x)
+    k2 = system.f(x + 0.5 * h * k1)
+    k3 = system.f(x + 0.5 * h * k2)
+    k4 = system.f(x + h * k3)
+    return x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+
+
+def rk4_step_with_sensitivity(
+    system: ODESystem, x: np.ndarray, S: np.ndarray, h: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Joint RK4 on the state and the variational system dS/dt = J(x) S."""
+    k1 = system.f(x)
+    K1 = system.jac(x) @ S
+    x2 = x + 0.5 * h * k1
+    k2 = system.f(x2)
+    K2 = system.jac(x2) @ (S + 0.5 * h * K1)
+    x3 = x + 0.5 * h * k2
+    k3 = system.f(x3)
+    K3 = system.jac(x3) @ (S + 0.5 * h * K2)
+    x4 = x + h * k3
+    k4 = system.f(x4)
+    K4 = system.jac(x4) @ (S + h * K3)
+    x_new = x + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+    S_new = S + (h / 6.0) * (K1 + 2 * K2 + 2 * K3 + K4)
+    return x_new, S_new
+
+
+def integrate(
+    system: ODESystem,
+    x0: np.ndarray,
+    t_stop: float,
+    steps: int,
+    callback: Optional[Callable[[float, np.ndarray], None]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fixed-step RK4 trajectory; returns (t, X) with X of shape (n, steps+1)."""
+    h = t_stop / steps
+    x = np.asarray(x0, dtype=float).copy()
+    ts = np.linspace(0.0, t_stop, steps + 1)
+    out = np.empty((system.n, steps + 1))
+    out[:, 0] = x
+    for k in range(steps):
+        x = rk4_step(system, x, h)
+        out[:, k + 1] = x
+        if callback is not None:
+            callback(ts[k + 1], x)
+    return ts, out

@@ -1,0 +1,200 @@
+"""Oscillator periodic steady state with unknown period.
+
+Autonomous circuits have no external time reference, so the period is an
+unknown of the boundary-value problem.  Shooting unknowns are ``(x0, T)``
+with residual
+
+    [ Phi_T(x0) - x0 ]        (periodicity)
+    [ x0[a] - level  ]        (phase anchor, pins the free time shift)
+
+and Jacobian  [[M - I, xdot(T)], [e_a^T, 0]].  The monodromy matrix M is
+propagated with the trajectory (joint RK4 on the variational system) and
+is reused directly by the Floquet/PPV stage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg import ConvergenceError
+from repro.phasenoise.ode import ODESystem, integrate, rk4_step_with_sensitivity
+
+__all__ = ["OscillatorPSS", "estimate_period", "find_oscillator_pss"]
+
+
+@dataclasses.dataclass
+class OscillatorPSS:
+    """Converged oscillator limit cycle.
+
+    ``t``/``X`` sample exactly one period; ``monodromy`` is the state
+    transition matrix over that period, whose leading Floquet multiplier
+    is 1 (quality check: see ``floquet_error``).
+    """
+
+    system: ODESystem
+    x0: np.ndarray
+    period: float
+    t: np.ndarray
+    X: np.ndarray
+    monodromy: np.ndarray
+    step_transitions: np.ndarray  # (steps, n, n) per-step Phi(t_{k+1}, t_k)
+    iterations: int
+
+    @property
+    def f0(self) -> float:
+        return 1.0 / self.period
+
+    @property
+    def floquet_error(self) -> float:
+        """|largest multiplier - 1|; should be ~0 for a true limit cycle."""
+        eigs = np.linalg.eigvals(self.monodromy)
+        return float(np.min(np.abs(eigs - 1.0)))
+
+    def harmonics(self, state: int, kmax: int = 8) -> np.ndarray:
+        """Complex Fourier coefficients X_k, k = 0..kmax, of one state.
+
+        Normalized so that ``x(t) = sum_k X_k exp(2 pi i k t / T)`` with
+        ``X_{-k} = conj(X_k)``.
+        """
+        w = self.X[state, :-1]
+        spec = np.fft.fft(w) / w.size
+        return spec[: kmax + 1]
+
+
+def estimate_period(
+    system: ODESystem,
+    x0: Optional[np.ndarray] = None,
+    t_settle: float = 0.0,
+    t_window: float = 0.0,
+    steps_per_unit: Optional[int] = None,
+    state: int = 0,
+    total_steps: int = 40000,
+) -> Tuple[np.ndarray, float]:
+    """Settle onto the limit cycle and estimate (x_start, period).
+
+    Runs a transient for ``t_settle``, then measures the spacing of
+    rising zero crossings (relative to the mean) of ``state`` over
+    ``t_window``.
+    """
+    n = system.n
+    if x0 is None:
+        rng = np.random.default_rng(7)
+        x0 = 0.1 + 0.1 * rng.standard_normal(n)
+    if t_settle <= 0 or t_window <= 0:
+        raise ValueError("t_settle and t_window must be positive")
+    _, Xs = integrate(system, x0, t_settle, max(1000, total_steps // 4))
+    x_start = Xs[:, -1]
+    t, X = integrate(system, x_start, t_window, total_steps)
+    w = X[state] - X[state].mean()
+    sign = np.sign(w)
+    idx = np.nonzero((sign[:-1] <= 0) & (sign[1:] > 0))[0]
+    if idx.size < 3:
+        raise ConvergenceError(
+            "period estimation failed: fewer than 3 rising crossings in the "
+            "observation window — the circuit may not be oscillating"
+        )
+    # linear interpolation of the crossing instants
+    crossings = t[idx] + (t[idx + 1] - t[idx]) * (-w[idx]) / (w[idx + 1] - w[idx])
+    periods = np.diff(crossings)
+    return x_start, float(np.median(periods))
+
+
+def _integrate_cycle(system: ODESystem, x0: np.ndarray, period: float, steps: int):
+    """One period with per-step transition matrices."""
+    n = system.n
+    h = period / steps
+    x = x0.copy()
+    I = np.eye(n)
+    X = np.empty((n, steps + 1))
+    X[:, 0] = x
+    Phis = np.empty((steps, n, n))
+    for k in range(steps):
+        x, S = rk4_step_with_sensitivity(system, x, I, h)
+        X[:, k + 1] = x
+        Phis[k] = S
+    M = I
+    for k in range(steps):
+        M = Phis[k] @ M
+    t = np.linspace(0.0, period, steps + 1)
+    return t, X, M, Phis
+
+
+def find_oscillator_pss(
+    system: ODESystem,
+    x0: Optional[np.ndarray] = None,
+    period_guess: Optional[float] = None,
+    steps: int = 400,
+    anchor_state: int = 0,
+    t_settle: Optional[float] = None,
+    abstol: float = 1e-10,
+    maxiter: int = 50,
+) -> OscillatorPSS:
+    """Newton shooting for the limit cycle of an autonomous system.
+
+    Parameters
+    ----------
+    x0, period_guess:
+        Starting point on (or near) the cycle and period estimate; if
+        either is missing, a settle-and-measure transient supplies them
+        (``t_settle`` defaults to 20 estimated periods).
+    steps:
+        RK4 steps per period (also the sampling density handed to the
+        Floquet/PPV stage).
+    anchor_state:
+        The state pinned by the phase condition ``x0[a] = const``.
+    """
+    if x0 is None or period_guess is None:
+        guess_T = period_guess or 1.0
+        settle = t_settle if t_settle is not None else 20.0 * guess_T
+        window = 10.0 * guess_T
+        x0_est, T_est = estimate_period(
+            system, x0, t_settle=settle, t_window=window, state=anchor_state
+        )
+        x0 = x0_est if x0 is None else np.asarray(x0, dtype=float)
+        period_guess = T_est if period_guess is None else period_guess
+
+    x = np.asarray(x0, dtype=float).copy()
+    T = float(period_guess)
+    n = system.n
+    anchor_level = float(x[anchor_state])
+
+    for it in range(maxiter):
+        t, X, M, Phis = _integrate_cycle(system, x, T, steps)
+        xT = X[:, -1]
+        F = np.empty(n + 1)
+        F[:n] = xT - x
+        F[n] = x[anchor_state] - anchor_level
+        scale = max(1.0, float(np.linalg.norm(x)))
+        if np.linalg.norm(F[:n]) <= abstol * scale and abs(F[n]) <= abstol * scale:
+            return OscillatorPSS(
+                system=system,
+                x0=x,
+                period=T,
+                t=t,
+                X=X,
+                monodromy=M,
+                step_transitions=Phis,
+                iterations=it,
+            )
+        J = np.zeros((n + 1, n + 1))
+        J[:n, :n] = M - np.eye(n)
+        J[:n, n] = system.f(xT)
+        J[n, anchor_state] = 1.0
+        try:
+            dz = np.linalg.solve(J, F)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(f"singular shooting Jacobian: {exc}") from exc
+        # cap the period update to keep the homotopy sane
+        if abs(dz[n]) > 0.3 * T:
+            dz *= 0.3 * T / abs(dz[n])
+        x = x - dz[:n]
+        T = T - dz[n]
+        if T <= 0:
+            raise ConvergenceError("period iterate went non-positive")
+
+    raise ConvergenceError(
+        f"oscillator shooting failed to converge in {maxiter} iterations"
+    )

@@ -1,0 +1,36 @@
+"""Generators for the paper's example RF systems and RF metrics."""
+
+from repro.rf.metrics import (
+    CompressionResult,
+    acpr_from_two_tone,
+    compression_point,
+    db10,
+    db20,
+    dbc,
+    ip3_from_two_tone,
+    noise_figure_db,
+)
+from repro.rf.mixer import MIXER_DEFAULTS, switching_mixer
+from repro.rf.modulator import ModulatorSpec, quadrature_modulator
+from repro.rf.oscillators import lc_oscillator, mna_ring_oscillator
+from repro.rf.receiver import ReceiverSpec, lna_stage, receiver_front_end
+
+__all__ = [
+    "switching_mixer",
+    "MIXER_DEFAULTS",
+    "ModulatorSpec",
+    "quadrature_modulator",
+    "lc_oscillator",
+    "mna_ring_oscillator",
+    "ReceiverSpec",
+    "receiver_front_end",
+    "lna_stage",
+    "db20",
+    "db10",
+    "dbc",
+    "ip3_from_two_tone",
+    "acpr_from_two_tone",
+    "CompressionResult",
+    "compression_point",
+    "noise_figure_db",
+]

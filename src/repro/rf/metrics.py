@@ -1,0 +1,183 @@
+"""RF performance metrics (paper sec. 1's specification list).
+
+"Typical specifications ... include sensitivity, linearity, adjacent
+channel interference, and power level.  These specifications depend on
+other performance measures such as noise figure, intercept point, and
+1dB compression point."  These helpers compute those measures from the
+simulation engines: IP3 from two-tone HB, 1 dB compression from an
+HB amplitude sweep, noise figure from the stationary noise analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.noise import NoiseResult
+from repro.hb.hb_core import HBResult
+from repro.netlist.components import BOLTZMANN
+
+__all__ = [
+    "db20",
+    "db10",
+    "dbc",
+    "ip3_from_two_tone",
+    "acpr_from_two_tone",
+    "CompressionResult",
+    "compression_point",
+    "noise_figure_db",
+]
+
+
+def db20(x) -> np.ndarray:
+    """Amplitude ratio in dB."""
+    return 20.0 * np.log10(np.abs(np.asarray(x)) + 1e-300)
+
+
+def db10(x) -> np.ndarray:
+    """Power ratio in dB."""
+    return 10.0 * np.log10(np.abs(np.asarray(x)) + 1e-300)
+
+
+def dbc(amplitude: float, carrier_amplitude: float) -> float:
+    """Level of a spur relative to the carrier in dBc."""
+    return float(db20(amplitude) - db20(carrier_amplitude))
+
+
+def ip3_from_two_tone(
+    hb: HBResult,
+    node,
+    fund_index: Tuple[int, int] = (1, 0),
+    im3_index: Tuple[int, int] = (2, -1),
+    input_amplitude: Optional[float] = None,
+) -> dict:
+    """Third-order intercept from a two-tone HB solution.
+
+    With fundamental output amplitude A1 and IM3 amplitude A3 (both at
+    the same small input level), the output intercept amplitude is
+
+        OIP3 = A1 * sqrt(A1 / A3),
+
+    i.e. +delta/2 dB above the fundamental where delta = A1/A3 in dB.
+    ``IIP3`` is referred to the input when ``input_amplitude`` is given
+    and the gain is assumed linear at the test level.
+    """
+    a1 = hb.amplitude_at(node, fund_index)
+    a3 = hb.amplitude_at(node, im3_index)
+    if a3 <= 0:
+        raise ValueError("IM3 amplitude is zero — increase drive or harmonics")
+    oip3_amp = a1 * np.sqrt(a1 / a3)
+    out = {
+        "fund_amplitude": a1,
+        "im3_amplitude": a3,
+        "im3_dbc": dbc(a3, a1),
+        "oip3_amplitude": float(oip3_amp),
+        "oip3_db": float(db20(oip3_amp)),
+    }
+    if input_amplitude is not None:
+        gain = a1 / input_amplitude
+        out["gain_db"] = float(db20(gain))
+        out["iip3_amplitude"] = float(oip3_amp / gain)
+        out["iip3_db"] = float(db20(oip3_amp / gain))
+    return out
+
+
+@dataclasses.dataclass
+class CompressionResult:
+    """1 dB compression sweep data."""
+
+    input_amplitudes: np.ndarray
+    output_amplitudes: np.ndarray
+    small_signal_gain: float
+    p1db_input: float  # input amplitude at 1 dB gain compression (nan if not reached)
+
+    @property
+    def gain_db(self) -> np.ndarray:
+        return db20(self.output_amplitudes / self.input_amplitudes)
+
+
+def compression_point(
+    solve_amplitude: Callable[[float], float],
+    amplitudes: Sequence[float],
+) -> CompressionResult:
+    """1 dB compression point from an amplitude sweep.
+
+    ``solve_amplitude(a_in)`` must return the fundamental output
+    amplitude (e.g. a closure running HB on a rebuilt circuit).  The
+    small-signal gain is taken from the lowest drive; the compression
+    point is interpolated where gain drops 1 dB below it.
+    """
+    amps = np.asarray(list(amplitudes), dtype=float)
+    outs = np.array([solve_amplitude(a) for a in amps])
+    gains = db20(outs / amps)
+    g0 = gains[0]
+    drop = g0 - gains
+    p1 = np.nan
+    above = np.nonzero(drop >= 1.0)[0]
+    if above.size:
+        k = above[0]
+        if k == 0:
+            p1 = amps[0]
+        else:
+            frac = (1.0 - drop[k - 1]) / (drop[k] - drop[k - 1])
+            p1 = 10 ** (np.log10(amps[k - 1]) + frac * (np.log10(amps[k]) - np.log10(amps[k - 1])))
+    return CompressionResult(
+        input_amplitudes=amps,
+        output_amplitudes=outs,
+        small_signal_gain=float(g0),
+        p1db_input=float(p1),
+    )
+
+
+def noise_figure_db(
+    noise: NoiseResult,
+    source_contribution_name: str,
+    freq_index: int = 0,
+) -> float:
+    """Noise figure from a stationary noise analysis.
+
+    F = (total output noise PSD) / (output noise PSD due to the source
+    resistance alone); NF = 10 log10 F.  The source resistor's
+    contribution is looked up by its noise-source name (e.g.
+    ``"Rs.thermal"``).
+    """
+    total = noise.psd[freq_index]
+    source = noise.contributions[source_contribution_name][freq_index]
+    if source <= 0:
+        raise ValueError("source contribution is zero; check the source name")
+    return float(db10(total / source))
+
+
+def acpr_from_two_tone(
+    hb: HBResult,
+    node,
+    fund_indices=((1, 0), (0, 1)),
+    adjacent_indices=((2, -1), (-1, 2)),
+    alternate_indices=((3, -2), (-2, 3)),
+) -> dict:
+    """Adjacent-channel power ratio estimate from a two-tone HB run.
+
+    Paper sec. 1 lists "adjacent channel interference" among the specs
+    RF verification must predict.  With two closely spaced tones
+    standing in for a modulated channel, the odd-order intermodulation
+    products land exactly where spectral regrowth pollutes the adjacent
+    (IM3) and alternate (IM5) channels:
+
+        ACPR_adj = (IM3 power) / (two-tone channel power)
+
+    Returns both ratios in dBc along with the raw powers.
+    """
+    p_main = sum(hb.amplitude_at(node, idx) ** 2 for idx in fund_indices)
+    p_adj = sum(hb.amplitude_at(node, idx) ** 2 for idx in adjacent_indices)
+    p_alt = sum(hb.amplitude_at(node, idx) ** 2 for idx in alternate_indices)
+    if p_main <= 0:
+        raise ValueError("no power at the fundamental indices")
+    return {
+        "channel_power": p_main,
+        "adjacent_power": p_adj,
+        "alternate_power": p_alt,
+        "acpr_adjacent_db": float(db10(p_adj / p_main)),
+        "acpr_alternate_db": float(db10(p_alt / p_main)),
+    }

@@ -1,0 +1,36 @@
+"""Reduced-order modeling (paper sec. 5)."""
+
+from repro.rom.awe import PadeModel, awe
+from repro.rom.krylov import arnoldi, krylov_basis, prima, pvl
+from repro.rom.noise_rom import NoiseROM
+from repro.rom.passivity import PassivityReport, check_passivity, stable_poles_only
+from repro.rom.romdevice import ReducedOrderBlock, rom_to_fd_block
+from repro.rom.statespace import DescriptorSystem, ReducedSystem, port_descriptor
+from repro.rom.vecfit import (
+    VectorFitResult,
+    initial_poles,
+    vector_fit,
+    vector_fit_common_poles,
+)
+
+__all__ = [
+    "DescriptorSystem",
+    "ReducedSystem",
+    "port_descriptor",
+    "awe",
+    "PadeModel",
+    "pvl",
+    "arnoldi",
+    "prima",
+    "krylov_basis",
+    "PassivityReport",
+    "check_passivity",
+    "stable_poles_only",
+    "NoiseROM",
+    "ReducedOrderBlock",
+    "rom_to_fd_block",
+    "VectorFitResult",
+    "vector_fit",
+    "vector_fit_common_poles",
+    "initial_poles",
+]

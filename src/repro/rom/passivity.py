@@ -1,0 +1,98 @@
+"""Passivity and stability checks for reduced-order models.
+
+The paper warns that "Lanczos-based methods may produce non-passive
+reduced-order models of passive linear systems.  In these cases
+post-processing is required."  This module provides the checks (sampled
+positive-realness of the admittance, pole stability) and the simple
+post-processing (unstable-pole flipping/removal) that realize that
+remark; PRIMA needs neither — that contrast is an explicit test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.rom.statespace import ReducedSystem
+
+__all__ = ["PassivityReport", "check_passivity", "stable_poles_only"]
+
+
+@dataclasses.dataclass
+class PassivityReport:
+    """Outcome of sampled positive-real and stability tests."""
+
+    is_stable: bool
+    is_positive_real: bool
+    min_hermitian_eig: float
+    worst_frequency: float
+    unstable_poles: np.ndarray
+
+    @property
+    def is_passive(self) -> bool:
+        return self.is_stable and self.is_positive_real
+
+
+def check_passivity(
+    rom: ReducedSystem,
+    omegas: Sequence[float],
+    tol: float = -1e-12,
+) -> PassivityReport:
+    """Sampled passivity test of a (square) admittance-form ROM.
+
+    Positive-realness requires the Hermitian part of ``Y(j w)`` to be
+    positive semidefinite for all real w; we test on the given grid and
+    report the worst eigenvalue and where it occurs.  Stability is
+    checked from the reduced pole set.
+    """
+    omegas = np.asarray(list(omegas), dtype=float)
+    H = rom.transfer(1j * omegas)
+    worst = np.inf
+    worst_f = 0.0
+    for k in range(omegas.size):
+        Yh = 0.5 * (H[k] + H[k].conj().T)
+        lam = float(np.min(np.linalg.eigvalsh(Yh)))
+        if lam < worst:
+            worst, worst_f = lam, omegas[k]
+    poles = rom.poles()
+    unstable = poles[np.real(poles) > 1e-9 * np.max(np.abs(poles) + 1e-300)]
+    return PassivityReport(
+        is_stable=unstable.size == 0,
+        is_positive_real=worst >= tol,
+        min_hermitian_eig=worst,
+        worst_frequency=worst_f,
+        unstable_poles=unstable,
+    )
+
+
+def stable_poles_only(rom: ReducedSystem) -> ReducedSystem:
+    """Post-process a SISO ROM by discarding unstable poles.
+
+    Expands the reduced model into poles/residues, drops right-half-plane
+    poles, and rebuilds a (diagonal) state-space realization — the simple
+    post-processing step the paper alludes to.  Only meaningful for SISO
+    reduced models.
+    """
+    if rom.num_inputs != 1 or rom.num_outputs != 1:
+        raise ValueError("pole post-processing implemented for SISO ROMs")
+    import scipy.linalg as sla
+
+    lam = sla.eig(-rom.G, rom.C, right=False)
+    lam = lam[np.isfinite(lam)]
+    # residues by numerical contour sampling around each retained pole
+    keep = np.real(lam) <= 0
+    lam_keep = lam[keep]
+    residues = []
+    for p in lam_keep:
+        eps = max(1e-6 * abs(p), 1e-3)
+        s_pts = p + eps * np.exp(1j * np.array([0.0, np.pi / 2, np.pi, 3 * np.pi / 2]))
+        h = rom.transfer(s_pts)[:, 0, 0]
+        residues.append(np.mean(h * (s_pts - p)))
+    k = lam_keep.size
+    Cd = np.eye(k, dtype=complex)
+    Gd = -np.diag(lam_keep)
+    Bd = np.ones((k, 1), dtype=complex)
+    Ld = np.array(residues, dtype=complex)[:, None]
+    return ReducedSystem(C=Cd, G=Gd, B=Bd, L=Ld, s0=rom.s0)

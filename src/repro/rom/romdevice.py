@@ -1,0 +1,116 @@
+"""Reduced-order models as circuit elements — the mixed-domain bridge.
+
+Paper sec. 5: "the reduced-order model should have efficient
+representations in both the time and frequency domains."  Two adapters
+realize that:
+
+* :class:`ReducedOrderBlock` — an MNA :class:`~repro.netlist.components.Device`
+  stamping the reduced state equations
+
+      Cr dz/dt + Gr z = Br v_ports,      i_ports = Lr^T z,
+
+  so a PRIMA/Arnoldi admittance ROM runs inside DC/AC/**transient**/
+  shooting like any other element.
+* :func:`rom_to_fd_block` — wraps the same ROM as a
+  :class:`~repro.mpde.mpde_core.FrequencyDomainBlock` evaluated as
+  ``Y(j w)`` inside **harmonic balance**, the one analysis that accepts
+  frequency-domain models natively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpde.mpde_core import FrequencyDomainBlock
+from repro.netlist.components import Device
+from repro.rom.statespace import ReducedSystem
+
+__all__ = ["ReducedOrderBlock", "rom_to_fd_block"]
+
+
+class ReducedOrderBlock(Device):
+    """An admittance-form ROM stamped as an MNA device.
+
+    The ROM must be square (inputs = outputs = ports, admittance
+    convention: port current flows *into* the block).  Its reduced
+    states become branch-type unknowns of the enclosing circuit.
+    Complex-valued reduced matrices are rejected: use a real expansion
+    point (PRIMA / real-s0 Arnoldi) for time-domain use — exactly the
+    paper's point about domain-compatible models.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[str], rom: ReducedSystem):
+        if rom.num_inputs != rom.num_outputs or rom.num_inputs != len(nodes):
+            raise ValueError(
+                f"{name}: ROM must be square with one port per node "
+                f"(ports={rom.num_inputs}, nodes={len(nodes)})"
+            )
+        mats = [rom.C, rom.G, rom.B, rom.L] + ([rom.D] if rom.D is not None else [])
+        for mat in mats:
+            if np.iscomplexobj(mat) and np.max(np.abs(np.imag(mat))) > 1e-12 * max(
+                1.0, np.max(np.abs(mat))
+            ):
+                raise ValueError(
+                    f"{name}: complex-valued ROM cannot be stamped in the time "
+                    "domain; rebuild it about a real expansion point"
+                )
+        super().__init__(name, list(nodes))
+        self.rom = rom
+        self.n_branches = rom.order
+
+    def g_stamps(self):
+        stamps = []
+        Gr = np.real(self.rom.G)
+        Br = np.real(self.rom.B)
+        Lr = np.real(self.rom.L)
+        z = self.branch_idx
+        ports = self.node_idx
+        order = self.rom.order
+        for i in range(order):
+            for j in range(order):
+                if Gr[i, j] != 0.0:
+                    stamps.append((z[i], z[j], float(Gr[i, j])))
+            for p, node in enumerate(ports):
+                if Br[i, p] != 0.0:
+                    stamps.append((z[i], node, -float(Br[i, p])))
+        # port currents into the block: i_p = (Lr^T z)_p + (D v)_p
+        for p, node in enumerate(ports):
+            for i in range(order):
+                if Lr[i, p] != 0.0:
+                    stamps.append((node, z[i], float(Lr[i, p])))
+        if self.rom.D is not None:
+            Dr = np.real(self.rom.D)
+            for p, node_p in enumerate(ports):
+                for q_, node_q in enumerate(ports):
+                    if Dr[p, q_] != 0.0:
+                        stamps.append((node_p, node_q, float(Dr[p, q_])))
+        return [(r, c, v) for r, c, v in stamps if r >= 0 and c >= 0]
+
+    def c_stamps(self):
+        stamps = []
+        Cr = np.real(self.rom.C)
+        z = self.branch_idx
+        for i in range(self.rom.order):
+            for j in range(self.rom.order):
+                if Cr[i, j] != 0.0:
+                    stamps.append((z[i], z[j], float(Cr[i, j])))
+        return stamps
+
+
+def rom_to_fd_block(system, rom: ReducedSystem, nodes: Sequence[str]) -> FrequencyDomainBlock:
+    """Wrap an admittance ROM as an HB frequency-domain block.
+
+    ``system`` is the compiled host circuit (for node index lookup);
+    ``nodes`` the port node names in ROM port order.
+    """
+    if rom.num_inputs != rom.num_outputs or rom.num_inputs != len(nodes):
+        raise ValueError("ROM must be square with one port per node")
+    ports = np.array([system.node(nd) for nd in nodes])
+
+    def admittance(omega):
+        omega = np.atleast_1d(np.asarray(omega, dtype=float))
+        return rom.transfer(1j * omega)
+
+    return FrequencyDomainBlock(ports=ports, admittance=admittance)

@@ -1,0 +1,190 @@
+"""Descriptor-form linear systems for reduced-order modeling.
+
+Large linear sub-blocks (interconnect, package, extracted passives) are
+handled as descriptor systems
+
+    C dx/dt + G x = B u,      y = L^T x,
+    H(s) = L^T (G + s C)^{-1} B,
+
+built either directly or by linearizing a compiled circuit.  Reduction
+algorithms (:mod:`repro.rom.pvl`, ``arnoldi``, ``prima``) map these to
+small dense :class:`ReducedSystem` objects with identical interfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.netlist.components import ISource, VSource
+from repro.netlist.mna import MNASystem
+
+__all__ = ["DescriptorSystem", "ReducedSystem", "port_descriptor"]
+
+
+@dataclasses.dataclass
+class DescriptorSystem:
+    """Sparse/dense descriptor system with p inputs and m outputs."""
+
+    C: object  # (n, n)
+    G: object  # (n, n)
+    B: np.ndarray  # (n, p)
+    L: np.ndarray  # (n, m)
+
+    @property
+    def order(self) -> int:
+        return self.B.shape[0]
+
+    @property
+    def num_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def num_outputs(self) -> int:
+        return self.L.shape[1]
+
+    def transfer(self, s_values: Sequence[complex]) -> np.ndarray:
+        """H(s) over an array of complex frequencies -> (len(s), m, p)."""
+        s_values = np.asarray(list(s_values), dtype=complex)
+        out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
+        sparse = sp.issparse(self.G) or sp.issparse(self.C)
+        for k, s in enumerate(s_values):
+            A = self.G + s * self.C
+            if sparse:
+                X = spla.spsolve(sp.csc_matrix(A), self.B.astype(complex))
+                X = np.atleast_2d(X)
+                if X.shape[0] != self.order:
+                    X = X.T
+            else:
+                X = np.linalg.solve(A, self.B.astype(complex))
+            out[k] = self.L.T @ X
+        return out
+
+    def moments(self, q: int, s0: complex = 0.0, scale: float = 1.0) -> np.ndarray:
+        """First q moments of H about s0: H(s0 + sigma) = sum m_k sigma^k.
+
+        m_k = L^T (-A)^k r with A = (G + s0 C)^{-1} C and
+        r = (G + s0 C)^{-1} B.  Returned shape (q, m, p).
+
+        ``scale`` returns frequency-normalized moments ``m_k scale^k``
+        (the expansion in ``sigma' = sigma/scale``), applied inside the
+        recursion so that extreme time-constant ratios neither overflow
+        nor underflow — AWE depends on this.
+        """
+        A0 = self.G + s0 * self.C
+        if sp.issparse(A0):
+            lu = spla.splu(sp.csc_matrix(A0))
+            solve = lu.solve
+        else:
+            import scipy.linalg as sla
+
+            lu = sla.lu_factor(np.asarray(A0, dtype=complex if np.iscomplexobj(s0) or s0 != 0 else float))
+            solve = lambda rhs: sla.lu_solve(lu, rhs)  # noqa: E731
+        Cd = self.C.toarray() if sp.issparse(self.C) else np.asarray(self.C)
+        vec = solve(np.asarray(self.B, dtype=float) if s0 == 0 else self.B.astype(complex))
+        vec = np.atleast_2d(vec)
+        if vec.shape[0] != self.order:
+            vec = vec.T
+        out = np.empty((q, self.num_outputs, self.num_inputs), dtype=complex)
+        for k in range(q):
+            out[k] = ((-1.0) ** k) * (self.L.T @ vec)
+            vec = scale * solve(Cd @ vec)
+            vec = np.atleast_2d(vec)
+            if vec.shape[0] != self.order:
+                vec = vec.T
+        return out
+
+
+@dataclasses.dataclass
+class ReducedSystem:
+    """Dense reduced model with the same transfer interface.
+
+    ``D`` is an optional direct feedthrough term (outputs x inputs) —
+    rational fits of admittance data generally need one.
+    """
+
+    C: np.ndarray
+    G: np.ndarray
+    B: np.ndarray
+    L: np.ndarray
+    s0: complex = 0.0
+    D: Optional[np.ndarray] = None
+
+    @property
+    def order(self) -> int:
+        return self.B.shape[0]
+
+    @property
+    def num_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def num_outputs(self) -> int:
+        return self.L.shape[1]
+
+    def transfer(self, s_values: Sequence[complex]) -> np.ndarray:
+        s_values = np.asarray(list(s_values), dtype=complex)
+        out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
+        for k, s in enumerate(s_values):
+            out[k] = self.L.T @ np.linalg.solve(self.G + s * self.C, self.B.astype(complex))
+        if self.D is not None:
+            out = out + np.asarray(self.D)[None, :, :]
+        return out
+
+    def moments(self, q: int, s0: complex = 0.0) -> np.ndarray:
+        m = DescriptorSystem(self.C, self.G, self.B, self.L).moments(q, s0)
+        if self.D is not None:
+            m[0] = m[0] + np.asarray(self.D)
+        return m
+
+    def poles(self) -> np.ndarray:
+        """Finite generalized eigenvalues of (-G, C)."""
+        import scipy.linalg as sla
+
+        w = sla.eig(-self.G, self.C, right=False, homogeneous_eigvals=True)
+        alphas, betas = np.asarray(w[0]), np.asarray(w[1])
+        finite = np.abs(betas) > 1e-12 * max(float(np.max(np.abs(betas))), 1e-300)
+        return alphas[finite] / betas[finite]
+
+
+def port_descriptor(system: MNASystem, port_sources: Sequence[str]) -> DescriptorSystem:
+    """Port-admittance descriptor of a linear circuit.
+
+    The circuit must contain a :class:`VSource` at every port (value
+    irrelevant); inputs are the port voltages, outputs the currents
+    flowing *into* the rest of the circuit, so ``H(s)`` is the port
+    admittance matrix ``Y(s)`` — the form both the HB frequency-domain
+    hook and the time-domain ROM device expect.
+
+    The port-source branch equations are sign-flipped so that for a
+    passive RLC block the matrices carry the PRIMA structure
+    ``G = [[N, E], [-E^T, 0]]`` with ``N + N^T >= 0``, ``C`` symmetric
+    PSD, and ``L = B`` — the precondition for congruence reduction to
+    preserve passivity.  (Row scaling changes nothing about ``H(s)``.)
+    """
+    x0 = np.zeros(system.n)
+    G = sp.lil_matrix(system.G(x0))
+    C = sp.lil_matrix(system.C(x0))
+    p = len(port_sources)
+    B = np.zeros((system.n, p))
+    L = np.zeros((system.n, p))
+    for k, name in enumerate(port_sources):
+        dev = None
+        for d in system.devices:
+            if d.name == name:
+                dev = d
+                break
+        if dev is None or not isinstance(dev, VSource):
+            raise KeyError(f"{name!r} is not a VSource in this circuit")
+        br = dev.branch_idx[0]
+        # flip the branch row:  (v+ - v-) = u   becomes   -(v+ - v-) = -u
+        G[br, :] = -G[br, :]
+        C[br, :] = -C[br, :]
+        B[br, k] = -1.0
+        # current delivered into the block is minus the branch current
+        L[br, k] = -1.0
+    return DescriptorSystem(C=sp.csr_matrix(C), G=sp.csr_matrix(G), B=B, L=L)

@@ -1,0 +1,334 @@
+"""Vector fitting: rational models from tabulated frequency data.
+
+Paper sec. 4: "Output from the simulator is typically an S parameter
+matrix, which can be used directly in a frequency-domain simulation.
+Alternatively, a circuit model can be constructed, using either
+*parameter fitting* or the model reduction techniques described in
+Section 5."  The model-reduction route needs the matrices; measured or
+field-solver data comes as samples ``H(j w_k)``.  Vector fitting is the
+parameter-fitting workhorse: iteratively relocated poles
+
+    H(s) ~ d + sum_i  r_i / (s - p_i)
+
+with each iteration solving one linear least-squares problem for the
+weighting function sigma(s) and taking the new poles as sigma's zeros.
+The result converts to a :class:`~repro.rom.statespace.ReducedSystem`
+(real block-diagonal realization), so a *fitted* model plugs into the
+same time-domain / HB co-simulation hooks as a *reduced* one — closing
+the paper's sec. 4 -> sec. 5 pipeline from data instead of matrices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rom.statespace import ReducedSystem
+
+__all__ = ["VectorFitResult", "vector_fit", "vector_fit_common_poles", "initial_poles"]
+
+
+@dataclasses.dataclass
+class VectorFitResult:
+    """Fitted rational model ``H(s) = d + sum r_i / (s - p_i)``."""
+
+    poles: np.ndarray
+    residues: np.ndarray
+    d: float
+    rms_error: float
+    iterations: int
+
+    def transfer(self, s_values) -> np.ndarray:
+        s_values = np.asarray(s_values, dtype=complex)
+        out = np.full(s_values.shape, self.d, dtype=complex)
+        for p, r in zip(self.poles, self.residues):
+            out = out + r / (s_values - p)
+        return out
+
+    def to_reduced_system(self) -> ReducedSystem:
+        """Real block-diagonal state-space realization.
+
+        Real poles map to 1x1 blocks; conjugate pairs to the rotation
+        block ``[[a, b], [-b, a]]`` with ``L = [2 Re r, 2 Im r]`` — the
+        standard real Gilbert realization.  The feedthrough ``d`` is
+        carried in the ReducedSystem ``D`` term.
+        """
+        blocks_A: list = []
+        Bs: list = []
+        Ls: list = []
+        used = np.zeros(self.poles.size, dtype=bool)
+        for i, p in enumerate(self.poles):
+            if used[i]:
+                continue
+            r = self.residues[i]
+            if abs(p.imag) < 1e-9 * max(abs(p.real), 1.0):
+                blocks_A.append(np.array([[p.real]]))
+                Bs.append([1.0])
+                Ls.append([r.real])
+                used[i] = True
+            else:
+                # find the conjugate partner
+                j = None
+                for k in range(i + 1, self.poles.size):
+                    if not used[k] and abs(self.poles[k] - np.conj(p)) <= 1e-6 * abs(p):
+                        j = k
+                        break
+                if j is None:
+                    raise ValueError("complex pole without conjugate partner")
+                a, b = p.real, p.imag
+                blocks_A.append(np.array([[a, b], [-b, a]]))
+                Bs.append([1.0, 0.0])
+                Ls.append([2.0 * r.real, 2.0 * r.imag])
+                used[i] = used[j] = True
+        order = sum(blk.shape[0] for blk in blocks_A)
+        A = np.zeros((order, order))
+        pos = 0
+        for blk in blocks_A:
+            k = blk.shape[0]
+            A[pos : pos + k, pos : pos + k] = blk
+            pos += k
+        B = np.concatenate(Bs)[:, None]
+        L = np.concatenate(Ls)[:, None]
+        D = np.array([[self.d]])
+        return ReducedSystem(C=np.eye(order), G=-A, B=B, L=L, D=D)
+
+
+def initial_poles(freqs: Sequence[float], n_poles: int) -> np.ndarray:
+    """Standard VF starting poles: log-spaced, lightly damped pairs."""
+    freqs = np.asarray(list(freqs), dtype=float)
+    f_lo = max(freqs.min(), 1e-3)
+    f_hi = freqs.max()
+    n_pairs = n_poles // 2
+    poles = []
+    if n_pairs:
+        betas = 2 * np.pi * np.geomspace(f_lo, f_hi, n_pairs)
+        for beta in betas:
+            alpha = -beta / 100.0
+            poles.extend([alpha + 1j * beta, alpha - 1j * beta])
+    if n_poles % 2:
+        poles.append(-2 * np.pi * np.sqrt(f_lo * f_hi))
+    return np.array(poles, dtype=complex)
+
+
+def _conjugate_basis(s, poles):
+    """Real-coefficient partial-fraction basis columns.
+
+    For a real pole: 1/(s-p).  For each conjugate pair only one member
+    is stored; its two columns are 1/(s-p)+1/(s-p*) and
+    j/(s-p)-j/(s-p*), keeping the LS unknowns real.
+    Returns (columns, mapping) where mapping reconstructs complex
+    residues from the real solution vector.
+    """
+    cols = []
+    mapping = []  # (kind, pole_index) per solution entry
+    skip = np.zeros(poles.size, dtype=bool)
+    for i, p in enumerate(poles):
+        if skip[i]:
+            continue
+        if abs(p.imag) < 1e-9 * max(abs(p.real), 1.0):
+            cols.append(1.0 / (s - p))
+            mapping.append(("real", i))
+            skip[i] = True
+        else:
+            j = None
+            for k in range(i + 1, poles.size):
+                if not skip[k] and abs(poles[k] - np.conj(p)) <= 1e-6 * abs(p):
+                    j = k
+                    break
+            if j is None:
+                raise ValueError("complex pole without conjugate partner")
+            cols.append(1.0 / (s - p) + 1.0 / (s - np.conj(p)))
+            cols.append(1j / (s - p) - 1j / (s - np.conj(p)))
+            mapping.append(("cplx_re", i))
+            mapping.append(("cplx_im", i))
+            skip[i] = skip[j] = True
+    return np.column_stack(cols), mapping
+
+
+def _residues_from_solution(x, mapping, poles):
+    res = np.zeros(poles.size, dtype=complex)
+    for val, (kind, i) in zip(x, mapping):
+        if kind == "real":
+            res[i] += val
+        elif kind == "cplx_re":
+            res[i] += val
+            # conjugate partner handled implicitly when evaluating
+        else:  # cplx_im
+            res[i] += 1j * val
+    # fill conjugate partners
+    out_poles = []
+    out_res = []
+    skip = np.zeros(poles.size, dtype=bool)
+    for i, p in enumerate(poles):
+        if skip[i]:
+            continue
+        if abs(p.imag) < 1e-9 * max(abs(p.real), 1.0):
+            out_poles.append(p)
+            out_res.append(res[i])
+            skip[i] = True
+        else:
+            out_poles.append(p)
+            out_res.append(res[i])
+            out_poles.append(np.conj(p))
+            out_res.append(np.conj(res[i]))
+            for k in range(i + 1, poles.size):
+                if not skip[k] and abs(poles[k] - np.conj(p)) <= 1e-6 * abs(p):
+                    skip[k] = True
+                    break
+            skip[i] = True
+    return np.array(out_poles), np.array(out_res)
+
+
+def vector_fit(
+    freqs: Sequence[float],
+    H: Sequence[complex],
+    n_poles: int,
+    iterations: int = 8,
+    enforce_stable: bool = True,
+    fit_d: bool = True,
+    poles0: Optional[np.ndarray] = None,
+) -> VectorFitResult:
+    """Fit a rational model to SISO frequency samples ``H(j 2 pi f)``.
+
+    Parameters
+    ----------
+    freqs, H:
+        Sample frequencies (Hz) and complex responses.
+    n_poles:
+        Model order (conjugate pairs counted individually).
+    iterations:
+        Pole-relocation sweeps; convergence is typically 3-8.
+    enforce_stable:
+        Flip any right-half-plane pole into the left half plane after
+        each relocation (the standard VF stabilization).
+    """
+    freqs = np.asarray(list(freqs), dtype=float)
+    Hs = np.asarray(list(H), dtype=complex)
+    s = 2j * np.pi * freqs
+    weights = 1.0 / np.maximum(np.abs(Hs), 1e-12 * np.max(np.abs(Hs)))
+    poles = initial_poles(freqs, n_poles) if poles0 is None else np.asarray(poles0)
+
+    for it in range(iterations):
+        basis, mapping = _conjugate_basis(s[:, None], poles)
+        ncols = basis.shape[1]
+        # unknowns: residues of H*sigma (ncols) + d (1) + sigma residues (ncols)
+        n_d = 1 if fit_d else 0
+        A = np.zeros((2 * s.size, 2 * ncols + n_d))
+        rhs = np.zeros(2 * s.size)
+        WH = (weights * Hs)[:, None]
+        blockH = weights[:, None] * basis
+        blockS = -WH * basis
+        A[: s.size, :ncols] = np.real(blockH)
+        A[s.size :, :ncols] = np.imag(blockH)
+        if fit_d:
+            A[: s.size, ncols] = np.real(weights)
+            A[s.size :, ncols] = 0.0
+        A[: s.size, ncols + n_d :] = np.real(blockS)
+        A[s.size :, ncols + n_d :] = np.imag(blockS)
+        rhs[: s.size] = np.real(weights * Hs)
+        rhs[s.size :] = np.imag(weights * Hs)
+        sol, *_ = np.linalg.lstsq(A, rhs, rcond=None)
+        sigma_res = sol[ncols + n_d :]
+        _, c_tilde = _residues_from_solution(sigma_res, mapping, poles)
+        # new poles: zeros of sigma(s) = 1 + sum c_i/(s - p_i)
+        # = eig( diag(p) - ones * c^T )
+        Ap = np.diag(poles) - np.outer(np.ones(poles.size), c_tilde)
+        new_poles = np.linalg.eigvals(Ap)
+        if enforce_stable:
+            new_poles = np.where(
+                new_poles.real > 0, -new_poles.real + 1j * new_poles.imag, new_poles
+            )
+        # re-pair conjugates cleanly
+        new_poles = np.sort_complex(new_poles)
+        poles = new_poles
+
+    # final residue fit with fixed poles
+    basis, mapping = _conjugate_basis(s[:, None], poles)
+    ncols = basis.shape[1]
+    n_d = 1 if fit_d else 0
+    A = np.zeros((2 * s.size, ncols + n_d))
+    A[: s.size, :ncols] = np.real(weights[:, None] * basis)
+    A[s.size :, :ncols] = np.imag(weights[:, None] * basis)
+    if fit_d:
+        A[: s.size, ncols] = np.real(weights)
+    rhs = np.concatenate([np.real(weights * Hs), np.imag(weights * Hs)])
+    sol, *_ = np.linalg.lstsq(A, rhs, rcond=None)
+    d_val = float(sol[ncols]) if fit_d else 0.0
+    out_poles, out_res = _residues_from_solution(sol[:ncols], mapping, poles)
+
+    fit = VectorFitResult(
+        poles=out_poles, residues=out_res, d=d_val, rms_error=0.0, iterations=iterations
+    )
+    err = fit.transfer(s) - Hs
+    fit.rms_error = float(np.sqrt(np.mean(np.abs(err) ** 2)) / np.sqrt(np.mean(np.abs(Hs) ** 2)))
+    return fit
+
+def vector_fit_common_poles(
+    freqs: Sequence[float],
+    H_set,
+    n_poles: int,
+    iterations: int = 8,
+    enforce_stable: bool = True,
+    fit_d: bool = True,
+):
+    """Fit several responses with one *shared* pole set (classic VF).
+
+    This is vector fitting's trademark for multiports: all entries of an
+    S/Y matrix share the structure's resonances, so the sigma iteration
+    is driven by every response at once (stacked least squares) and only
+    the residues differ per entry.
+
+    Parameters
+    ----------
+    H_set:
+        Array-like of shape (k, m): k responses sampled at the m
+        frequencies.
+
+    Returns a list of k :class:`VectorFitResult` sharing ``poles``.
+    """
+    freqs = np.asarray(list(freqs), dtype=float)
+    H_set = np.asarray(H_set, dtype=complex)
+    if H_set.ndim == 1:
+        H_set = H_set[None, :]
+    k, m = H_set.shape
+    s = 2j * np.pi * freqs
+    poles = initial_poles(freqs, n_poles)
+
+    for _ in range(iterations):
+        basis, mapping = _conjugate_basis(s[:, None], poles)
+        ncols = basis.shape[1]
+        n_d = 1 if fit_d else 0
+        # stacked LS: per-response residue/d unknowns + SHARED sigma unknowns
+        per = ncols + n_d
+        A = np.zeros((2 * m * k, per * k + ncols))
+        rhs = np.zeros(2 * m * k)
+        for r in range(k):
+            Hr = H_set[r]
+            w = 1.0 / np.maximum(np.abs(Hr), 1e-12 * np.max(np.abs(Hr)))
+            row0 = 2 * m * r
+            blockH = w[:, None] * basis
+            blockS = -(w * Hr)[:, None] * basis
+            A[row0 : row0 + m, per * r : per * r + ncols] = np.real(blockH)
+            A[row0 + m : row0 + 2 * m, per * r : per * r + ncols] = np.imag(blockH)
+            if fit_d:
+                A[row0 : row0 + m, per * r + ncols] = np.real(w)
+            A[row0 : row0 + m, per * k :] = np.real(blockS)
+            A[row0 + m : row0 + 2 * m, per * k :] = np.imag(blockS)
+            rhs[row0 : row0 + m] = np.real(w * Hr)
+            rhs[row0 + m : row0 + 2 * m] = np.imag(w * Hr)
+        sol, *_ = np.linalg.lstsq(A, rhs, rcond=None)
+        _, c_tilde = _residues_from_solution(sol[per * k :], mapping, poles)
+        Ap = np.diag(poles) - np.outer(np.ones(poles.size), c_tilde)
+        new_poles = np.linalg.eigvals(Ap)
+        if enforce_stable:
+            new_poles = np.where(
+                new_poles.real > 0, -new_poles.real + 1j * new_poles.imag, new_poles
+            )
+        poles = np.sort_complex(new_poles)
+
+    return [
+        vector_fit(freqs, H_set[r], n_poles, iterations=0, poles0=poles, fit_d=fit_d)
+        for r in range(k)
+    ]

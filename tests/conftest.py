@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical circuits used across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, Sine
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "fast",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("fast")
+except ImportError:  # pragma: no cover
+    pass
+
+
+RC_R = 1e3
+RC_C = 1e-9
+RC_FREQ = 1e6
+
+
+@pytest.fixture
+def rc_lowpass():
+    """Driven RC lowpass: V source -> R -> out node with C to ground."""
+    ckt = Circuit("rc lowpass")
+    ckt.vsource("V1", "in", "0", Sine(1.0, RC_FREQ))
+    ckt.resistor("R1", "in", "out", RC_R)
+    ckt.capacitor("C1", "out", "0", RC_C)
+    return ckt.compile()
+
+
+@pytest.fixture
+def rc_theory_gain():
+    """|H| of the RC lowpass at its drive frequency."""
+    w = 2 * np.pi * RC_FREQ
+    return 1.0 / np.sqrt(1.0 + (w * RC_R * RC_C) ** 2)
+
+
+@pytest.fixture
+def diode_rectifier():
+    """Half-wave rectifier: sine -> diode -> RC load."""
+    ckt = Circuit("rectifier")
+    ckt.vsource("V1", "in", "0", Sine(2.0, 1e6))
+    ckt.diode("D1", "in", "out")
+    ckt.resistor("RL", "out", "0", 10e3)
+    ckt.capacitor("CL", "out", "0", 1e-9)
+    return ckt.compile()
+
+
+@pytest.fixture
+def resistive_divider():
+    ckt = Circuit("divider")
+    ckt.vsource("V1", "in", "0", 10.0)
+    ckt.resistor("R1", "in", "mid", 1e3)
+    ckt.resistor("R2", "mid", "0", 1e3)
+    return ckt.compile()
+
+
+@pytest.fixture
+def rlc_tank():
+    """Current-driven parallel RLC resonant at ~5.03 MHz."""
+    ckt = Circuit("rlc")
+    ckt.isource("I1", "0", "out", Sine(1e-3, 1e6))
+    ckt.resistor("R1", "out", "0", 1e3)
+    ckt.inductor("L1", "out", "0", 1e-6)
+    ckt.capacitor("C1", "out", "0", 1e-9)
+    return ckt.compile()

@@ -1,0 +1,125 @@
+"""Tests for AC and transient analyses against closed-form references."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, dc_analysis, transient_analysis
+from repro.netlist import Circuit, Sine
+
+
+class TestAC:
+    def test_rc_lowpass_magnitude(self, rc_lowpass):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        ac = ac_analysis(rc_lowpass, "V1", [fc / 100, fc, 100 * fc])
+        mag = np.abs(ac.voltage(rc_lowpass, "out"))
+        np.testing.assert_allclose(mag[0], 1.0, rtol=1e-3)
+        np.testing.assert_allclose(mag[1], 1 / np.sqrt(2), rtol=1e-6)
+        np.testing.assert_allclose(mag[2], 0.01, rtol=1e-3)
+
+    def test_rc_phase(self, rc_lowpass):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        ac = ac_analysis(rc_lowpass, "V1", [fc])
+        phase = np.angle(ac.voltage(rc_lowpass, "out"))
+        np.testing.assert_allclose(phase[0], -np.pi / 4, rtol=1e-6)
+
+    def test_rlc_resonance(self, rlc_tank):
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        ac = ac_analysis(rlc_tank, "I1", [f0])
+        # at resonance the tank impedance is just R
+        np.testing.assert_allclose(np.abs(ac.voltage(rlc_tank, "out"))[0], 1e3, rtol=1e-6)
+
+    def test_current_source_excitation(self):
+        ckt = Circuit()
+        ckt.isource("I1", "0", "a", Sine(1.0, 1e6))
+        ckt.resistor("R1", "a", "0", 50.0)
+        sys = ckt.compile()
+        ac = ac_analysis(sys, "I1", [1e6])
+        np.testing.assert_allclose(np.abs(ac.voltage(sys, "a"))[0], 50.0, rtol=1e-9)
+
+    def test_transfer_db(self, rc_lowpass):
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        ac = ac_analysis(rc_lowpass, "V1", [fc])
+        np.testing.assert_allclose(ac.transfer_db(rc_lowpass, "out")[0], -3.0103, atol=1e-3)
+
+    def test_unknown_source_raises(self, rc_lowpass):
+        with pytest.raises(KeyError):
+            ac_analysis(rc_lowpass, "Vnope", [1e6])
+
+
+class TestTransient:
+    def test_rc_step_charging(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        sys = ckt.compile()
+        tau = 1e-6
+        # start discharged (zero state), watch the exponential charge
+        x0 = np.zeros(sys.n)
+        x0[sys.node("in")] = 1.0
+        tr = transient_analysis(sys, t_stop=5 * tau, dt=tau / 200, x0=x0)
+        v = tr.voltage(sys, "out")
+        expect = 1.0 - np.exp(-tr.t / tau)
+        np.testing.assert_allclose(v, expect, atol=5e-3)
+
+    def test_sine_steady_state_amplitude(self, rc_lowpass, rc_theory_gain):
+        tr = transient_analysis(rc_lowpass, t_stop=20e-6, dt=5e-9)
+        v = tr.voltage(rc_lowpass, "out")
+        tail = v[len(v) // 2 :]
+        amp = 0.5 * (tail.max() - tail.min())
+        np.testing.assert_allclose(amp, rc_theory_gain, rtol=1e-3)
+
+    def test_trap_more_accurate_than_be(self, rc_lowpass, rc_theory_gain):
+        def amp(method):
+            tr = transient_analysis(rc_lowpass, t_stop=10e-6, dt=2e-8, method=method)
+            # Fourier projection over the last 4 periods avoids the
+            # discrete-sampling bias of a max/min amplitude estimate
+            n = 200  # 4 periods at 50 points/period
+            v = tr.voltage(rc_lowpass, "out")[-n:]
+            t = tr.t[-n:]
+            c = np.mean(v * np.exp(-2j * np.pi * 1e6 * t))
+            return 2.0 * np.abs(c)
+
+        err_trap = abs(amp("trap") - rc_theory_gain)
+        err_be = abs(amp("be") - rc_theory_gain)
+        assert err_trap < err_be
+
+    def test_lc_energy_conservation_trap(self):
+        # undriven LC tank: trapezoidal rule conserves the oscillation
+        ckt = Circuit()
+        ckt.inductor("L1", "a", "0", 1e-6)
+        ckt.capacitor("C1", "a", "0", 1e-9)
+        sys = ckt.compile()
+        x0 = np.zeros(sys.n)
+        x0[sys.node("a")] = 1.0
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        tr = transient_analysis(sys, t_stop=20 / f0, dt=1 / f0 / 200, x0=x0, method="trap")
+        v = tr.voltage(sys, "a")
+        assert abs(v[-200:].max() - 1.0) < 1e-2  # amplitude preserved
+
+    def test_adaptive_fewer_points_than_fixed(self, diode_rectifier):
+        fixed = transient_analysis(diode_rectifier, t_stop=2e-6, dt=1e-9)
+        adaptive = transient_analysis(
+            diode_rectifier, t_stop=2e-6, dt=1e-9, adaptive=True, lte_tol=1e-4
+        )
+        assert adaptive.t.size < fixed.t.size
+        # both agree on the final rectified value
+        vf = fixed.voltage(diode_rectifier, "out")[-1]
+        va = adaptive.voltage(diode_rectifier, "out")[-1]
+        np.testing.assert_allclose(va, vf, rtol=5e-2)
+
+    def test_rectifier_charges_positive(self, diode_rectifier):
+        tr = transient_analysis(diode_rectifier, t_stop=4e-6, dt=4e-9)
+        v = tr.voltage(diode_rectifier, "out")
+        assert v[-1] > 0.8  # several diode drops below 2 V peak but well above 0
+
+    def test_unknown_method_rejected(self, rc_lowpass):
+        with pytest.raises(ValueError):
+            transient_analysis(rc_lowpass, 1e-6, 1e-9, method="euler")
+
+    def test_callback_invoked(self, rc_lowpass):
+        seen = []
+        transient_analysis(
+            rc_lowpass, t_stop=1e-7, dt=1e-8, callback=lambda t, x: seen.append(t)
+        )
+        assert len(seen) == 10

@@ -1,0 +1,185 @@
+"""Tests for Circuit compilation and the MNASystem evaluation layer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, DC, MultiTone, Sine
+
+
+class TestCircuitBuilding:
+    def test_node_ordering_first_appearance(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "b", "a", 1.0)
+        ckt.resistor("R2", "a", "c", 1.0)
+        assert ckt.node_names() == ["b", "a", "c"]
+
+    def test_ground_aliases_excluded(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "a", "0", 1.0)
+        ckt.resistor("R2", "a", "gnd", 1.0)
+        ckt.resistor("R3", "a", "GND", 1.0)
+        assert ckt.node_names() == ["a"]
+
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.resistor("R1", "b", "0", 1.0)
+
+    def test_membership_and_lookup(self):
+        ckt = Circuit()
+        r = ckt.resistor("R1", "a", "0", 1.0)
+        assert "R1" in ckt
+        assert ckt["R1"] is r
+        assert len(ckt) == 1
+
+    def test_branch_indices_after_nodes(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.inductor("L1", "a", "b", 1e-9)
+        sys = ckt.compile()
+        assert sys.n == 4  # a, b + two branch currents
+        assert sys.branch("V1") == 2
+        assert sys.branch("L1") == 3
+
+    def test_branch_lookup_missing(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "a", "0", 1.0)
+        sys = ckt.compile()
+        with pytest.raises(KeyError):
+            sys.branch("R1")
+
+
+class TestMNAEvaluation:
+    def make_rc(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", Sine(1.0, 1e6, offset=0.5))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        return ckt.compile()
+
+    def test_f_linear(self):
+        sys = self.make_rc()
+        x = np.array([1.0, 0.25, 0.0])  # v_in, v_out, i_src
+        f = sys.f(x)
+        # KCL at out: (v_out - v_in)/R
+        np.testing.assert_allclose(f[sys.node("out")], (0.25 - 1.0) / 1e3)
+
+    def test_q_linear(self):
+        sys = self.make_rc()
+        x = np.array([1.0, 0.25, 0.0])
+        q = sys.q(x)
+        np.testing.assert_allclose(q[sys.node("out")], 0.25 * 1e-9)
+
+    def test_b_scalar_and_vector(self):
+        sys = self.make_rc()
+        b0 = sys.b(0.0)
+        assert b0.shape == (3,)
+        bt = sys.b(np.array([0.0, 0.25e-6]))
+        assert bt.shape == (3, 2)
+        np.testing.assert_allclose(bt[:, 0], b0)
+        # quarter period of 1 MHz: sin = 1 -> source = 1.5
+        np.testing.assert_allclose(bt[sys.branch("V1"), 1], 1.5, rtol=1e-12)
+
+    def test_b_dc_uses_offset(self):
+        sys = self.make_rc()
+        np.testing.assert_allclose(sys.b_dc()[sys.branch("V1")], 0.5)
+
+    def test_source_frequencies_deduplicated(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 1e6))
+        ckt.isource("I1", "a", "0", Sine(1.0, 1e6))
+        ckt.vsource("V2", "b", "0", MultiTone([(1.0, 2e6, 0.0), (0.1, 1e6, 0.0)]))
+        ckt.resistor("R1", "a", "0", 1.0)
+        ckt.resistor("R2", "b", "0", 1.0)
+        sys = ckt.compile()
+        assert sys.source_frequencies() == (1e6, 2e6)
+
+    def test_batch_f_matches_columns(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "d", 100.0)
+        ckt.diode("D1", "d", "0")
+        sys = ckt.compile()
+        rng = np.random.default_rng(0)
+        X = 0.3 * rng.standard_normal((sys.n, 5))
+        F = sys.f(X)
+        for k in range(5):
+            np.testing.assert_allclose(F[:, k], sys.f(X[:, k]), rtol=1e-12)
+
+    def test_point_jacobian_matches_fd(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "d", 100.0)
+        ckt.diode("D1", "d", "0", tt=1e-9)
+        sys = ckt.compile()
+        x = np.array([1.0, 0.4, -1e-3])
+        G = sys.G(x).toarray()
+        C = sys.C(x).toarray()
+        h = 1e-7
+        for j in range(sys.n):
+            xp, xm = x.copy(), x.copy()
+            xp[j] += h
+            xm[j] -= h
+            np.testing.assert_allclose(
+                G[:, j], (sys.f(xp) - sys.f(xm)) / (2 * h), rtol=1e-4, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                C[:, j], (sys.q(xp) - sys.q(xm)) / (2 * h), rtol=1e-4, atol=1e-15
+            )
+
+    def test_batch_jacobian_matches_point(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "d", 100.0)
+        ckt.diode("D1", "d", "0", cj0=1e-12)
+        sys = ckt.compile()
+        rng = np.random.default_rng(1)
+        X = 0.3 * rng.standard_normal((sys.n, 4))
+        rows, cols = sys.jacobian_pattern()
+        g_vals, c_vals = sys.batch_jacobians(X)
+        import scipy.sparse as sp
+
+        for k in range(4):
+            G_batch = sp.csr_matrix((g_vals[:, k], (rows, cols)), shape=(sys.n, sys.n))
+            np.testing.assert_allclose(
+                G_batch.toarray(), sys.G(X[:, k]).toarray(), rtol=1e-12, atol=1e-15
+            )
+            C_batch = sp.csr_matrix((c_vals[:, k], (rows, cols)), shape=(sys.n, sys.n))
+            np.testing.assert_allclose(
+                C_batch.toarray(), sys.C(X[:, k]).toarray(), rtol=1e-12, atol=1e-20
+            )
+
+    def test_noise_injection_vectors(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "a", "0", 1e3)
+        ckt.resistor("R2", "a", "b", 1e3)
+        sys = ckt.compile()
+        inj = sys.noise_injection_vectors()
+        assert len(inj) == 2
+        src, u = inj[1]  # R2 couples a and b
+        assert u[sys.node("a")] == 1.0
+        assert u[sys.node("b")] == -1.0
+
+
+class TestKCLStructure:
+    def test_current_conservation_through_source(self, resistive_divider):
+        """Sum of KCL equations implies source current equals loop current."""
+        from repro.analysis import dc_analysis
+
+        sys = resistive_divider
+        x = dc_analysis(sys).x
+        i_src = x[sys.branch("V1")]
+        np.testing.assert_allclose(i_src, -10.0 / 2000.0, rtol=1e-9)
+
+    def test_inductor_dc_short(self):
+        from repro.analysis import dc_analysis
+
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.resistor("R1", "a", "b", 100.0)
+        ckt.inductor("L1", "b", "0", 1e-6)
+        sys = ckt.compile()
+        x = dc_analysis(sys).x
+        np.testing.assert_allclose(x[sys.node("b")], 0.0, atol=1e-9)
+        np.testing.assert_allclose(x[sys.branch("L1")], 0.01, rtol=1e-9)

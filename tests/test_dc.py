@@ -1,0 +1,118 @@
+"""Tests for DC operating-point analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_analysis
+from repro.linalg import ConvergenceError
+from repro.netlist import Circuit, Sine
+
+
+class TestLinearDC:
+    def test_divider(self, resistive_divider):
+        res = dc_analysis(resistive_divider)
+        assert res.voltage(resistive_divider, "mid") == pytest.approx(5.0)
+        assert res.strategy == "newton"
+        assert res.residual_norm < 1e-9
+
+    def test_sine_source_uses_dc_offset(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 1e6, offset=2.0))
+        ckt.resistor("R1", "a", "0", 1e3)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "a") == pytest.approx(2.0)
+
+    def test_current_source(self):
+        ckt = Circuit()
+        ckt.isource("I1", "0", "a", 1e-3)
+        ckt.resistor("R1", "a", "0", 1e3)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "a") == pytest.approx(1.0)
+
+    def test_vcvs(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", 1.0)
+        ckt.vcvs("E1", "b", "0", "a", "0", 5.0)
+        ckt.resistor("R1", "a", "x", 1e3)
+        ckt.resistor("Rx", "x", "0", 1e3)
+        ckt.resistor("R2", "b", "0", 1e3)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "b") == pytest.approx(5.0)
+
+
+class TestNonlinearDC:
+    def test_diode_drop(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 5.0)
+        ckt.resistor("R1", "in", "d", 1e3)
+        ckt.diode("D1", "d", "0")
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        vd = res.voltage(sys, "d")
+        assert 0.55 < vd < 0.8
+        # KCL closure: resistor current equals diode current
+        i_r = (5.0 - vd) / 1e3
+        i_d = ckt["D1"].current(vd)[0]
+        np.testing.assert_allclose(i_r, i_d, rtol=1e-6)
+
+    def test_reverse_diode_blocks(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", -5.0)
+        ckt.resistor("R1", "in", "d", 1e3)
+        ckt.diode("D1", "d", "0")
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "d") == pytest.approx(-5.0, abs=1e-3)
+
+    def test_bjt_common_emitter(self):
+        ckt = Circuit()
+        ckt.vsource("Vcc", "vcc", "0", 5.0)
+        ckt.vsource("Vb", "vb", "0", 0.7)
+        ckt.resistor("Rb", "vb", "b", 10e3)
+        ckt.resistor("Rc", "vcc", "c", 1e3)
+        ckt.bjt("Q1", "c", "b", "0")
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        vc = res.voltage(sys, "c")
+        assert 0.0 < vc < 5.0  # transistor is conducting
+
+    def test_diode_stack_needs_continuation(self):
+        # a chain of diodes straight across a supply is a hard DC problem
+        ckt = Circuit()
+        ckt.vsource("V1", "n0", "0", 3.0)
+        for k in range(4):
+            ckt.diode(f"D{k}", f"n{k}", f"n{k+1}")
+        ckt.resistor("Rl", "n4", "0", 10.0)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.residual_norm < 1e-6
+        drops = [res.voltage(sys, f"n{k}") - res.voltage(sys, f"n{k+1}") for k in range(4)]
+        # equal devices share the drop equally
+        np.testing.assert_allclose(drops, drops[0], rtol=1e-6)
+
+    def test_initial_guess_respected(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 5.0)
+        ckt.resistor("R1", "in", "d", 1e3)
+        ckt.diode("D1", "d", "0")
+        sys = ckt.compile()
+        ref = dc_analysis(sys)
+        warm = dc_analysis(sys, x0=ref.x)
+        assert warm.iterations <= ref.iterations
+        np.testing.assert_allclose(warm.x, ref.x, rtol=1e-8)
+
+
+class TestMOSFETDC:
+    def test_nmos_inverter(self):
+        ckt = Circuit()
+        ckt.vsource("Vdd", "vdd", "0", 3.0)
+        ckt.vsource("Vg", "g", "0", 2.0)
+        ckt.resistor("Rd", "vdd", "d", 10e3)
+        ckt.mosfet("M1", "d", "g", "0", kp=2e-4, vth=0.5)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        vd = res.voltage(sys, "d")
+        assert vd < 1.5  # strongly on, output pulled low

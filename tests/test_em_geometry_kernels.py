@@ -1,0 +1,134 @@
+"""Tests for panel/segment geometry and the electrostatic kernel."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    EPS0,
+    Panel,
+    PanelKernel,
+    conductor_bus,
+    crossing_bus,
+    make_plate,
+    parallel_plates,
+    rect_self_integral,
+    spiral_segments,
+    square_spiral_path,
+)
+
+
+class TestPanel:
+    def test_area_and_sides(self):
+        p = Panel(
+            center=np.zeros(3),
+            e1=np.array([0.5, 0, 0]),
+            e2=np.array([0, 1.0, 0]),
+        )
+        assert p.area == pytest.approx(2.0)
+        assert p.sides == (1.0, 2.0)
+
+    def test_corners(self):
+        p = Panel(np.zeros(3), np.array([1.0, 0, 0]), np.array([0, 1.0, 0]))
+        corners = p.corners()
+        assert corners.shape == (4, 3)
+        np.testing.assert_allclose(np.abs(corners).max(), 1.0)
+
+    def test_quadrature_integrates_area(self):
+        p = Panel(np.zeros(3), np.array([0.3, 0, 0]), np.array([0, 0.7, 0]))
+        pts, wts = p.quadrature(order=3)
+        np.testing.assert_allclose(wts.sum(), p.area, rtol=1e-12)
+
+    def test_quadrature_integrates_linear_exactly(self):
+        p = Panel(np.array([1.0, 2.0, 0.0]), np.array([0.4, 0, 0]), np.array([0, 0.2, 0]))
+        pts, wts = p.quadrature(order=2)
+        # integral of x over the panel = x_center * area
+        np.testing.assert_allclose((pts[:, 0] * wts).sum(), 1.0 * p.area, rtol=1e-12)
+
+
+class TestGenerators:
+    def test_make_plate_count_and_area(self):
+        panels = make_plate(2.0, 1.0, 4, 2)
+        assert len(panels) == 8
+        np.testing.assert_allclose(sum(p.area for p in panels), 2.0)
+
+    def test_parallel_plates_conductors(self):
+        panels = parallel_plates(1.0, 0.1, 3)
+        assert {p.conductor for p in panels} == {0, 1}
+        z = sorted({p.center[2] for p in panels})
+        assert z == [-0.05, 0.05]
+
+    def test_conductor_bus_pitch(self):
+        panels = conductor_bus(3, 1e-6, 10e-6, 4e-6, 1, 4)
+        xs = sorted({round(p.center[0] * 1e6, 3) for p in panels})
+        assert xs == [-4.0, 0.0, 4.0]
+
+    def test_crossing_bus_layers(self):
+        panels = crossing_bus(2, 1e-6, 10e-6, 4e-6, 1, 4, gap=2e-6)
+        assert {p.conductor for p in panels} == {0, 1, 2, 3}
+        assert len({round(p.center[2] * 1e6, 3) for p in panels}) == 2
+
+    def test_spiral_path_shrinks(self):
+        path = square_spiral_path(3, 100e-6, 5e-6, 3e-6)
+        assert path.shape[1] == 3
+        # spiral contracts: later corner radii smaller than the first
+        r_first = np.linalg.norm(path[0, :2])
+        r_last = np.linalg.norm(path[-1, :2])
+        assert r_last < r_first
+
+    def test_spiral_segments_split(self):
+        segs_coarse = spiral_segments(2, 100e-6, 5e-6, 3e-6, 1e-6)
+        segs_fine = spiral_segments(
+            2, 100e-6, 5e-6, 3e-6, 1e-6, max_segment_length=20e-6
+        )
+        assert len(segs_fine) > len(segs_coarse)
+        total_coarse = sum(s.length for s in segs_coarse)
+        total_fine = sum(s.length for s in segs_fine)
+        np.testing.assert_allclose(total_coarse, total_fine, rtol=1e-12)
+
+
+class TestKernel:
+    def test_self_integral_against_quadrature(self):
+        a, b = 1.0, 2.0
+        N = 600
+        xs = (np.arange(N) + 0.5) / N * a - a / 2
+        ys = (np.arange(N) + 0.5) / N * b - b / 2
+        X, Y = np.meshgrid(xs, ys)
+        numeric = np.sum(1.0 / np.hypot(X, Y)) * (a / N) * (b / N)
+        np.testing.assert_allclose(rect_self_integral(a, b), numeric, rtol=5e-3)
+
+    def test_far_field_is_point_charge(self):
+        panels = [
+            Panel(np.zeros(3), np.array([0.5e-6, 0, 0]), np.array([0, 0.5e-6, 0])),
+            Panel(np.array([0, 0, 100e-6]), np.array([0.5e-6, 0, 0]), np.array([0, 0.5e-6, 0])),
+        ]
+        kern = PanelKernel(panels)
+        expect = 1.0 / (4 * np.pi * EPS0 * 100e-6)
+        np.testing.assert_allclose(kern.entry(0, 1), expect, rtol=1e-6)
+
+    def test_symmetry_far(self):
+        panels = make_plate(1.0, 1.0, 3, 3)
+        kern = PanelKernel(panels)
+        np.testing.assert_allclose(kern.entry(0, 8), kern.entry(8, 0), rtol=1e-9)
+
+    def test_block_matches_entries(self):
+        panels = make_plate(1.0, 1.0, 3, 3)
+        kern = PanelKernel(panels)
+        rows = np.array([0, 4, 7])
+        cols = np.array([1, 2])
+        blk = kern.block(rows, cols)
+        for i, r in enumerate(rows):
+            for j, c in enumerate(cols):
+                np.testing.assert_allclose(blk[i, j], kern.entry(r, c), rtol=1e-12)
+
+    def test_dense_positive_definite(self):
+        panels = make_plate(1.0, 1.0, 4, 4)
+        P = PanelKernel(panels).dense()
+        eigs = np.linalg.eigvalsh(0.5 * (P + P.T))
+        assert np.all(eigs > 0)
+
+    def test_ground_plane_reduces_potential(self):
+        panels = make_plate(1e-6, 1e-6, 2, 2, center=(0, 0, 1e-6))
+        free = PanelKernel(panels, ground_plane=False)
+        grounded = PanelKernel(panels, ground_plane=True)
+        assert grounded.entry(0, 3) < free.entry(0, 3)
+        assert grounded.entry(0, 0) < free.entry(0, 0)

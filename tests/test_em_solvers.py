@@ -1,0 +1,153 @@
+"""Tests for the MoM and FD field solvers (the Table 1 pair)."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    EPS0,
+    Box,
+    FDLaplaceSolver,
+    capacitance_matrix,
+    conductor_bus,
+    make_plate,
+    parallel_plates,
+)
+
+
+class TestMoM:
+    def test_unit_square_plate_capacitance(self):
+        """Literature value: C of a 1 m square plate ~ 40.8 pF (0.367 * 4 pi eps0)."""
+        res = capacitance_matrix(make_plate(1.0, 1.0, 12, 12), compute_condition=False)
+        c = res.self_capacitance(0)
+        assert 38e-12 < c < 41.5e-12
+
+    def test_plate_capacitance_scales_linearly_with_size(self):
+        c1 = capacitance_matrix(
+            make_plate(1.0, 1.0, 8, 8), compute_condition=False
+        ).self_capacitance(0)
+        c2 = capacitance_matrix(
+            make_plate(2.0, 2.0, 8, 8), compute_condition=False
+        ).self_capacitance(0)
+        np.testing.assert_allclose(c2 / c1, 2.0, rtol=1e-6)
+
+    def test_parallel_plates_exceed_ideal(self):
+        res = capacitance_matrix(parallel_plates(1.0, 0.1, 10), compute_condition=False)
+        ideal = EPS0 * 1.0 / 0.1
+        c = res.coupling(0, 1)
+        assert ideal < c < 1.4 * ideal  # ideal + fringe
+
+    def test_fringe_shrinks_with_gap(self):
+        def excess(gap):
+            res = capacitance_matrix(
+                parallel_plates(1.0, gap, 8), compute_condition=False
+            )
+            return res.coupling(0, 1) / (EPS0 / gap) - 1.0
+
+        assert excess(0.05) < excess(0.2)
+
+    def test_cap_matrix_symmetric(self):
+        panels = conductor_bus(3, 1e-6, 20e-6, 3e-6, 1, 8)
+        res = capacitance_matrix(panels, compute_condition=False)
+        np.testing.assert_allclose(res.cap_matrix, res.cap_matrix.T, rtol=1e-6)
+
+    def test_cap_matrix_diagonally_dominant(self):
+        panels = conductor_bus(3, 1e-6, 20e-6, 3e-6, 1, 8)
+        C = capacitance_matrix(panels, compute_condition=False).cap_matrix
+        for i in range(3):
+            assert C[i, i] > 0
+            assert C[i, i] >= np.sum(np.abs(C[i])) - C[i, i] - 1e-18
+
+    def test_nearest_neighbour_coupling_strongest(self):
+        panels = conductor_bus(3, 1e-6, 20e-6, 3e-6, 1, 8)
+        res = capacitance_matrix(panels, compute_condition=False)
+        assert res.coupling(0, 1) > res.coupling(0, 2) > 0
+
+    def test_well_conditioned(self):
+        res = capacitance_matrix(make_plate(1.0, 1.0, 8, 8))
+        assert res.condition_number < 1e3  # integral operators: good conditioning
+
+    def test_ground_plane_increases_self_capacitance(self):
+        plate = make_plate(10e-6, 10e-6, 6, 6, center=(0, 0, 1e-6))
+        free = capacitance_matrix(plate, compute_condition=False)
+        grounded = capacitance_matrix(plate, ground_plane=True, compute_condition=False)
+        assert grounded.self_capacitance(0) > free.self_capacitance(0)
+
+
+class TestFDSolver:
+    @pytest.fixture(scope="class")
+    def two_plate_solver(self):
+        return FDLaplaceSolver(
+            domain=(1.0, 1.0, 1.0),
+            shape=(19, 19, 19),
+            boxes=[
+                Box(lo=(0.3, 0.3, 0.35), hi=(0.7, 0.7, 0.40), conductor=0),
+                Box(lo=(0.3, 0.3, 0.60), hi=(0.7, 0.7, 0.65), conductor=1),
+            ],
+        )
+
+    def test_capacitance_reasonable(self, two_plate_solver):
+        res = two_plate_solver.solve(estimate_condition=False)
+        # surface separation 0.2; coarse grid + fringe bound the result
+        ideal = EPS0 * 0.16 / 0.2
+        c12 = -res.cap_matrix[0, 1]
+        assert 0.7 * ideal < c12 < 2.5 * ideal
+
+    def test_matrix_is_sparse_but_large(self, two_plate_solver):
+        res = two_plate_solver.solve(estimate_condition=False)
+        # volume discretization: unknowns >> surface panel counts
+        assert res.unknowns > 4000
+        assert res.matrix_nnz < 8 * res.unknowns  # 7-point stencil
+
+    def test_symmetry(self, two_plate_solver):
+        res = two_plate_solver.solve(estimate_condition=False)
+        np.testing.assert_allclose(
+            res.cap_matrix[0, 1], res.cap_matrix[1, 0], rtol=2e-2
+        )
+
+    def test_conditioning_degrades_with_refinement(self):
+        def cond(shape):
+            s = FDLaplaceSolver(
+                domain=(1.0, 1.0, 1.0),
+                shape=shape,
+                boxes=[Box(lo=(0.4, 0.4, 0.4), hi=(0.6, 0.6, 0.6), conductor=0)],
+            )
+            return s.solve().condition_estimate
+
+        c_coarse = cond((9, 9, 9))
+        c_fine = cond((17, 17, 17))
+        assert c_fine > 2.0 * c_coarse  # ~ h^-2 growth
+
+    def test_agreement_with_mom_for_plates(self, two_plate_solver):
+        """The differential and integral solvers agree on the same structure."""
+        fd = two_plate_solver.solve(estimate_condition=False)
+        mom = capacitance_matrix(
+            parallel_plates(0.4, 0.2, 8), compute_condition=False
+        )
+        c_fd = -fd.cap_matrix[0, 1]
+        c_mom = mom.coupling(0, 1)
+        # same plate size/gap; boundary conditions differ (closed box vs
+        # free space), so agreement is loose but the scale must match
+        assert 0.5 < c_fd / c_mom < 2.0
+
+
+class TestFastCapacitance:
+    def test_matches_dense(self):
+        from repro.em import capacitance_matrix_fast
+
+        panels = conductor_bus(3, 2e-6, 60e-6, 6e-6, 2, 20)
+        dense = capacitance_matrix(panels, compute_condition=False)
+        fast = capacitance_matrix_fast(panels)
+        np.testing.assert_allclose(
+            fast.cap_matrix, dense.cap_matrix, rtol=1e-6
+        )
+        assert fast.matrix_nnz < dense.matrix_nnz
+
+    def test_ground_plane_supported(self):
+        from repro.em import capacitance_matrix_fast
+
+        panels = conductor_bus(2, 2e-6, 60e-6, 6e-6, 2, 16)
+        for p in panels:
+            p.center = p.center + np.array([0.0, 0.0, 2e-6])
+        free = capacitance_matrix_fast(panels, ground_plane=False)
+        gnd = capacitance_matrix_fast(panels, ground_plane=True)
+        assert gnd.self_capacitance(0) > free.self_capacitance(0)

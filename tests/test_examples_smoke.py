@@ -1,0 +1,45 @@
+"""Smoke tests: the quick examples must run clean end to end.
+
+Only the fast examples run here (the mixer/modulator/oscillator walkthroughs
+take minutes and are exercised by the benchmark suite instead).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExampleSmoke:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "HB DC term matches shooting mean" in out
+        assert "dominant source" in out
+
+    def test_am_envelope(self):
+        out = run_example("am_envelope.py")
+        assert "HB cross-check" in out
+        # envelope and HB agree on the demodulated tone within ~10%
+        line = [l for l in out.splitlines() if "% apart" in l][0]
+        pct = float(line.split("(")[1].split("%")[0])
+        assert pct < 12.0
+
+    def test_inductor_extraction(self):
+        out = run_example("inductor_extraction.py")
+        assert "IES3 self capacitance" in out
+        assert "vector fit" in out
+        assert "bandpass response" in out

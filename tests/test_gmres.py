@@ -1,0 +1,111 @@
+"""Tests for the shared GMRES implementation."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import gmres
+
+
+def dense_matvec(A):
+    return lambda v: A @ v
+
+
+class TestGMRESBasics:
+    def test_identity(self):
+        b = np.array([1.0, 2.0, 3.0])
+        res = gmres(lambda v: v, b)
+        assert res.converged
+        np.testing.assert_allclose(res.x, b, atol=1e-10)
+
+    def test_diagonal(self):
+        d = np.array([1.0, 10.0, 100.0])
+        b = np.array([1.0, 1.0, 1.0])
+        res = gmres(lambda v: d * v, b, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, b / d, rtol=1e-9)
+
+    def test_random_well_conditioned(self):
+        rng = np.random.default_rng(0)
+        A = np.eye(30) + 0.1 * rng.standard_normal((30, 30))
+        x_true = rng.standard_normal(30)
+        res = gmres(dense_matvec(A), A @ x_true, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)
+
+    def test_zero_rhs(self):
+        res = gmres(lambda v: 2 * v, np.zeros(5))
+        assert res.converged
+        np.testing.assert_array_equal(res.x, np.zeros(5))
+
+    def test_complex_system(self):
+        rng = np.random.default_rng(1)
+        A = np.eye(20) * (2 + 1j) + 0.1 * (
+            rng.standard_normal((20, 20)) + 1j * rng.standard_normal((20, 20))
+        )
+        x_true = rng.standard_normal(20) + 1j * rng.standard_normal(20)
+        res = gmres(dense_matvec(A), A @ x_true, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)
+
+    def test_initial_guess_exact(self):
+        A = np.diag([1.0, 2.0, 3.0])
+        x_true = np.array([1.0, 1.0, 1.0])
+        res = gmres(dense_matvec(A), A @ x_true, x0=x_true)
+        assert res.converged
+        assert res.iterations == 0
+
+
+class TestGMRESRestartsAndPrecond:
+    def test_restart_still_converges(self):
+        # clustered spectrum: restarted GMRES converges across cycles
+        rng = np.random.default_rng(2)
+        A = np.eye(50) + 0.1 * rng.standard_normal((50, 50))
+        x_true = rng.standard_normal(50)
+        res = gmres(dense_matvec(A), A @ x_true, restart=8, tol=1e-10, maxiter=2000)
+        assert res.converged
+        assert res.iterations > 8  # actually crossed a restart boundary
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6)
+
+    def test_preconditioner_reduces_iterations(self):
+        # badly scaled diagonal with row-scaled coupling: the Jacobi
+        # preconditioner restores a clustered spectrum
+        n = 60
+        rng = np.random.default_rng(3)
+        d = np.geomspace(1.0, 1e6, n)
+        # column-scaled coupling: right preconditioning (x = P y) scales
+        # columns, so A @ diag(1/d) must be the well-conditioned matrix
+        A = np.diag(d) + 0.01 * d[None, :] * rng.standard_normal((n, n))
+        b = rng.standard_normal(n)
+        plain = gmres(dense_matvec(A), b, tol=1e-10, restart=30, maxiter=600)
+        precond = gmres(
+            dense_matvec(A), b, tol=1e-10, restart=30, maxiter=600, precond=lambda v: v / d
+        )
+        assert precond.converged
+        assert precond.iterations < plain.iterations or not plain.converged
+
+    def test_true_residual_reported(self):
+        rng = np.random.default_rng(4)
+        A = np.eye(25) + 0.2 * rng.standard_normal((25, 25))
+        b = rng.standard_normal(25)
+        res = gmres(dense_matvec(A), b, tol=1e-11)
+        r = np.linalg.norm(b - A @ res.x) / np.linalg.norm(b)
+        assert r <= 1e-9
+
+    def test_maxiter_cap(self):
+        # rotation-like matrix that GMRES needs full dimension to solve
+        n = 40
+        A = np.diag(np.ones(n - 1), -1)
+        A[0, -1] = 1.0
+        b = np.zeros(n)
+        b[0] = 1.0
+        res = gmres(dense_matvec(A), b, tol=1e-14, restart=5, maxiter=12)
+        assert res.iterations <= 12
+        assert not res.converged
+
+    def test_residual_history_monotone_within_cycle(self):
+        rng = np.random.default_rng(5)
+        A = np.eye(30) * 3 + 0.2 * rng.standard_normal((30, 30))
+        b = rng.standard_normal(30)
+        res = gmres(dense_matvec(A), b, tol=1e-12, restart=40)
+        hist = np.array(res.residuals)
+        assert np.all(np.diff(hist) <= 1e-12)

@@ -1,0 +1,175 @@
+"""Tests for the cluster tree, ACA low-rank compression, and IES3 operator."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    PanelKernel,
+    aca,
+    admissible,
+    block_partition,
+    build_cluster_tree,
+    compress_operator,
+    conductor_bus,
+    low_rank_block,
+    make_plate,
+    svd_recompress,
+)
+
+
+class TestClusterTree:
+    def test_leaf_size_respected(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((200, 3))
+        tree = build_cluster_tree(pts, leaf_size=16)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.size <= 16
+            else:
+                check(node.left)
+                check(node.right)
+                assert node.size == node.left.size + node.right.size
+
+        check(tree)
+        assert tree.size == 200
+
+    def test_indices_partition(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((100, 3))
+        tree = build_cluster_tree(pts, leaf_size=10)
+        leaves = []
+
+        def collect(node):
+            if node.is_leaf:
+                leaves.append(node.indices)
+            else:
+                collect(node.left)
+                collect(node.right)
+
+        collect(tree)
+        all_idx = np.sort(np.concatenate(leaves))
+        np.testing.assert_array_equal(all_idx, np.arange(100))
+
+    def test_bbox_contains_points(self):
+        rng = np.random.default_rng(2)
+        pts = rng.standard_normal((50, 3))
+        tree = build_cluster_tree(pts, leaf_size=8)
+        assert np.all(pts[tree.indices] >= tree.bbox_lo - 1e-12)
+        assert np.all(pts[tree.indices] <= tree.bbox_hi + 1e-12)
+
+    def test_admissibility(self):
+        a = build_cluster_tree(np.array([[0.0, 0, 0], [1.0, 0, 0]]), leaf_size=4)
+        b = build_cluster_tree(np.array([[10.0, 0, 0], [11.0, 0, 0]]), leaf_size=4)
+        assert admissible(a, b, eta=1.5)
+        assert not admissible(a, a, eta=1.5)  # overlapping: distance 0
+
+    def test_block_partition_covers_matrix(self):
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((80, 3))
+        tree = build_cluster_tree(pts, leaf_size=10)
+        lr, dense = block_partition(tree, tree, eta=1.5)
+        covered = np.zeros((80, 80), dtype=int)
+        for a, b in lr + dense:
+            covered[np.ix_(a.indices, b.indices)] += 1
+        np.testing.assert_array_equal(covered, np.ones((80, 80), dtype=int))
+
+
+class TestACA:
+    def test_exact_low_rank_recovery(self):
+        rng = np.random.default_rng(0)
+        U0 = rng.standard_normal((40, 3))
+        V0 = rng.standard_normal((3, 30))
+        M = U0 @ V0
+        U, V = aca(lambda i: M[i, :].copy(), lambda j: M[:, j].copy(), 40, 30, tol=1e-12)
+        assert U.shape[1] <= 5
+        np.testing.assert_allclose(U @ V, M, atol=1e-9)
+
+    def test_smooth_kernel_compresses(self):
+        x = np.linspace(0.0, 1.0, 50)
+        y = np.linspace(10.0, 11.0, 50)  # well separated
+        M = 1.0 / np.abs(x[:, None] - y[None, :])
+        U, V = aca(lambda i: M[i, :].copy(), lambda j: M[:, j].copy(), 50, 50, tol=1e-8)
+        assert U.shape[1] < 10
+        assert np.max(np.abs(U @ V - M)) / np.max(np.abs(M)) < 1e-6
+
+    def test_svd_recompress_reduces_rank(self):
+        rng = np.random.default_rng(1)
+        U0 = rng.standard_normal((30, 2))
+        V0 = rng.standard_normal((2, 30))
+        # redundant cross: rank 2 stored as rank 6
+        U = np.hstack([U0, U0, U0])
+        V = np.vstack([V0, V0 * 0.5, V0 * 0.1])
+        U2, V2 = svd_recompress(U, V, tol=1e-10)
+        assert U2.shape[1] == 2
+        np.testing.assert_allclose(U2 @ V2, U @ V, atol=1e-9)
+
+    def test_svd_recompress_empty(self):
+        U = np.zeros((5, 0))
+        V = np.zeros((0, 5))
+        U2, V2 = svd_recompress(U, V)
+        assert U2.shape == (5, 0)
+
+    def test_low_rank_block_interface(self):
+        pts_a = np.linspace(0, 1, 20)
+        pts_b = np.linspace(5, 6, 25)
+
+        def entry(rows, cols):
+            return 1.0 / np.abs(pts_a[rows][:, None] - pts_b[cols][None, :])
+
+        U, V = low_rank_block(entry, np.arange(20), np.arange(25), tol=1e-8)
+        M = entry(np.arange(20), np.arange(25))
+        assert np.max(np.abs(U @ V - M)) / np.max(M) < 1e-6
+
+
+class TestCompressedOperator:
+    @pytest.fixture(scope="class")
+    def bus_setup(self):
+        panels = conductor_bus(num=4, width=2e-6, length=80e-6, pitch=6e-6, nx=2, ny=24)
+        kern = PanelKernel(panels)
+        op = compress_operator(kern.block, kern.centers, leaf_size=24, tol=1e-7)
+        return panels, kern, op
+
+    def test_matvec_accuracy(self, bus_setup):
+        panels, kern, op = bus_setup
+        P = kern.dense()
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            x = rng.standard_normal(len(panels))
+            np.testing.assert_allclose(op.matvec(x), P @ x, rtol=1e-5)
+
+    def test_solve_matches_dense(self, bus_setup):
+        panels, kern, op = bus_setup
+        P = kern.dense()
+        sel = np.array([p.conductor for p in panels])
+        v = (sel == 0).astype(float)
+        res = op.solve(v, tol=1e-10)
+        assert res.converged
+        q_dense = np.linalg.solve(P, v)
+        np.testing.assert_allclose(res.x, q_dense, rtol=1e-5, atol=1e-22)
+
+    def test_stats_consistency(self, bus_setup):
+        _, _, op = bus_setup
+        s = op.stats
+        assert s.low_rank_blocks > 0
+        assert s.dense_blocks > 0
+        assert 0 < s.compression_ratio <= 1.2
+        assert s.mean_rank <= s.max_rank
+
+    def test_compression_improves_with_size(self):
+        """Larger problems compress better — the Figure 6 trend."""
+        ratios = []
+        for ny in (12, 48):
+            panels = conductor_bus(4, 2e-6, 80e-6, 6e-6, 1, ny)
+            kern = PanelKernel(panels)
+            op = compress_operator(kern.block, kern.centers, leaf_size=16, tol=1e-6)
+            ratios.append(op.stats.compression_ratio)
+        assert ratios[1] < ratios[0]
+
+    def test_eta_tradeoff(self):
+        panels = conductor_bus(2, 2e-6, 60e-6, 6e-6, 1, 30)
+        kern = PanelKernel(panels)
+        tight = compress_operator(kern.block, kern.centers, eta=0.8, tol=1e-7)
+        loose = compress_operator(kern.block, kern.centers, eta=2.5, tol=1e-7)
+        # looser admissibility -> more low-rank coverage -> fewer stored floats
+        assert loose.stats.stored_floats <= tight.stats.stored_floats

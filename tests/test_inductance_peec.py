@@ -1,0 +1,158 @@
+"""Tests for partial inductance kernels and the PEEC spiral extractor."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    MU0,
+    Segment,
+    SpiralInductor,
+    SubstrateModel,
+    dc_resistance,
+    mutual_neumann,
+    mutual_parallel_filaments,
+    partial_inductance_matrix,
+    self_inductance_bar,
+    wheeler_inductance,
+)
+from repro.em.peec import reference_inductor_model
+
+
+def seg(start, end, w=1e-6, t=1e-6):
+    return Segment(np.asarray(start, float), np.asarray(end, float), w, t)
+
+
+class TestPartialInductance:
+    def test_self_inductance_order_of_magnitude(self):
+        # 1 mm of 10x1 um trace: ~ 1 nH/mm rule of thumb
+        L = self_inductance_bar(1e-3, 10e-6, 1e-6)
+        assert 0.5e-9 < L < 2e-9
+
+    def test_self_inductance_grows_superlinearly(self):
+        L1 = self_inductance_bar(1e-3, 10e-6, 1e-6)
+        L2 = self_inductance_bar(2e-3, 10e-6, 1e-6)
+        assert L2 > 2 * L1  # log(l) term
+
+    def test_mutual_parallel_decays_with_distance(self):
+        m_near = mutual_parallel_filaments(1e-3, 10e-6)
+        m_far = mutual_parallel_filaments(1e-3, 100e-6)
+        assert m_near > m_far > 0
+
+    def test_mutual_less_than_self(self):
+        L = self_inductance_bar(1e-3, 1e-6, 1e-6)
+        M = mutual_parallel_filaments(1e-3, 5e-6)
+        assert M < L
+
+    def test_neumann_matches_grover_for_parallel(self):
+        s1 = seg([0, 0, 0], [1e-3, 0, 0])
+        s2 = seg([0, 20e-6, 0], [1e-3, 20e-6, 0])
+        m_num = mutual_neumann(s1, s2, order=12)
+        m_ana = mutual_parallel_filaments(1e-3, 20e-6)
+        np.testing.assert_allclose(m_num, m_ana, rtol=1e-3)
+
+    def test_perpendicular_segments_no_coupling(self):
+        s1 = seg([0, 0, 0], [1e-3, 0, 0])
+        s2 = seg([0, 50e-6, 0], [0, 50e-6 + 1e-3, 0])
+        assert mutual_neumann(s1, s2) == 0.0
+
+    def test_antiparallel_negative(self):
+        s1 = seg([0, 0, 0], [1e-3, 0, 0])
+        s2 = seg([1e-3, 20e-6, 0], [0, 20e-6, 0])
+        assert mutual_neumann(s1, s2) < 0
+
+    def test_matrix_symmetric_positive_definite(self):
+        segs = [
+            seg([0, 0, 0], [0.5e-3, 0, 0]),
+            seg([0.5e-3, 0, 0], [0.5e-3, 0.5e-3, 0]),
+            seg([0.5e-3, 0.5e-3, 0], [0, 0.5e-3, 0]),
+            seg([0, 10e-6, 0], [0.5e-3, 10e-6, 0]),
+        ]
+        L = partial_inductance_matrix(segs)
+        np.testing.assert_allclose(L, L.T, rtol=1e-12)
+        assert np.all(np.linalg.eigvalsh(L) > 0)
+
+    def test_dc_resistance_copper(self):
+        r = dc_resistance(seg([0, 0, 0], [1e-3, 0, 0], w=10e-6, t=1e-6))
+        np.testing.assert_allclose(r, 1.7e-8 * 1e-3 / 1e-11, rtol=1e-12)
+
+
+class TestSpiralInductor:
+    @pytest.fixture(scope="class")
+    def coil(self):
+        return SpiralInductor(
+            turns=3, outer=200e-6, width=10e-6, spacing=5e-6, thickness=1e-6,
+            nw=2, nt=1, substrate=None, max_segment_length=100e-6,
+        )
+
+    def test_dc_inductance_near_wheeler(self, coil):
+        L_peec = coil.dc_inductance()
+        L_wh = wheeler_inductance(3, 200e-6, 10e-6, 5e-6)
+        assert abs(L_peec - L_wh) / L_wh < 0.25
+
+    def test_dc_resistance_sums_segments(self, coil):
+        total_len = sum(s.length for s in coil.segments)
+        expect = 2.8e-8 * total_len / (10e-6 * 1e-6)
+        np.testing.assert_allclose(coil.dc_resistance_total(), expect, rtol=1e-9)
+
+    def test_lossless_coil_q_grows_with_f(self, coil):
+        freqs = [0.1e9, 0.5e9]
+        _, _, Q = coil.sweep(freqs)
+        assert Q[1] > Q[0] > 0
+
+    def test_skin_effect_raises_resistance(self):
+        kwargs = dict(
+            turns=2, outer=200e-6, width=12e-6, spacing=5e-6, thickness=3e-6,
+            substrate=None, max_segment_length=100e-6,
+        )
+        solid = SpiralInductor(nw=1, nt=1, **kwargs)
+        fil = SpiralInductor(nw=3, nt=2, **kwargs)
+        f_test = 20e9
+        r_solid = np.real(solid.input_impedance(f_test))
+        r_fil = np.real(fil.input_impedance(f_test))
+        # the filament model lets current crowd -> higher AC resistance
+        assert r_fil > r_solid * 1.05
+
+    def test_substrate_creates_self_resonance(self):
+        coil = SpiralInductor(
+            turns=4, outer=300e-6, width=10e-6, spacing=5e-6, thickness=1e-6,
+            nw=1, nt=1, substrate=SubstrateModel(), max_segment_length=100e-6,
+        )
+        freqs = np.geomspace(0.1e9, 20e9, 25)
+        _, L_eff, _ = coil.sweep(freqs)
+        assert L_eff[0] > 0
+        assert np.any(L_eff < 0)  # above self-resonance the coil is capacitive
+
+    def test_substrate_lowers_q(self):
+        base = dict(
+            turns=3, outer=200e-6, width=10e-6, spacing=5e-6, thickness=1e-6,
+            nw=1, nt=1, max_segment_length=100e-6,
+        )
+        lossless = SpiralInductor(substrate=None, **base)
+        lossy = SpiralInductor(substrate=SubstrateModel(), **base)
+        f_test = 3e9
+        q_free = np.imag(lossless.input_impedance(f_test)) / np.real(
+            lossless.input_impedance(f_test)
+        )
+        q_sub = np.imag(lossy.input_impedance(f_test)) / np.real(
+            lossy.input_impedance(f_test)
+        )
+        assert q_sub < q_free
+
+    def test_reference_model_shapes(self, coil):
+        freqs = np.geomspace(0.1e9, 10e9, 10)
+        L_ref, Q_ref = reference_inductor_model(coil, freqs)
+        assert L_ref.shape == Q_ref.shape == freqs.shape
+        assert np.all(L_ref[:3] > 0)
+
+    def test_reference_noise_reproducible(self, coil):
+        freqs = np.geomspace(0.1e9, 10e9, 8)
+        a = reference_inductor_model(coil, freqs, noise_seed=42)
+        b = reference_inductor_model(coil, freqs, noise_seed=42)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestWheeler:
+    def test_scales_with_turns_squared_roughly(self):
+        L2 = wheeler_inductance(2, 300e-6, 10e-6, 5e-6)
+        L4 = wheeler_inductance(4, 300e-6, 10e-6, 5e-6)
+        assert 2.0 < L4 / L2 < 4.5

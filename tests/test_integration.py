@@ -1,0 +1,148 @@
+"""Cross-module integration scenarios: netlists through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, dc_analysis, noise_analysis
+from repro.em import SpiralInductor
+from repro.hb import harmonic_balance
+from repro.mpde import solve_mmft
+from repro.netlist import Circuit, PWL, parse_netlist
+from repro.phasenoise import MNAOscillator, compute_ppv, find_oscillator_pss
+from repro.rf import noise_figure_db
+
+
+class TestNetlistThroughEngines:
+    def test_parsed_mixer_mmft(self):
+        """A netlist-defined switch-free mixer (diode ring style) through MMFT."""
+        ckt = parse_netlist(
+            """
+            diode mixer
+            Vrf rf 0 SIN(0 0.05 100k)
+            Vlo lo 0 SIN(0 1.2 10meg)
+            Rrf rf a 100
+            Rlo lo a 200
+            D1 a out IS=1e-13
+            Rl out 0 500
+            Cl out 0 10p
+            Ca a 0 1p
+            """
+        )
+        sys = ckt.compile()
+        mm = solve_mmft(sys, 100e3, 10e6, slow_harmonics=3, fast_steps=64)
+        # a diode driven by RF+LO mixes: the f_lo +- f_rf product exists
+        assert mm.mix_amplitude("out", 1, 1) > 2e-5
+
+    def test_parsed_amp_noise_figure(self):
+        ckt = parse_netlist(
+            """
+            one-transistor amp
+            Vs src 0 0
+            Rs src ac 50
+            Cc ac b 20p
+            Vbb vb 0 0.8
+            Rb vb b 5k
+            Q1 c b e IS=1e-15 BF=100
+            Re e 0 50
+            Vcc vcc 0 3
+            Rc vcc c 500
+            """
+        )
+        sys = ckt.compile()
+        nz = noise_analysis(sys, "c", [10e6])
+        nf = noise_figure_db(nz, "Rs.thermal")
+        assert 0.5 < nf < 20.0
+
+    def test_parsed_subckt_lc_oscillator_phase_noise(self):
+        """A hierarchy-defined oscillator through the whole sec. 3 pipeline."""
+        ckt = parse_netlist(
+            """
+            .subckt tank a
+            Lt a 0 1n
+            Ct a 0 1p
+            Rt a 0 300
+            .ends
+            X1 osc tank
+            """
+        )
+        # add the nonlinear negative-resistance cell via the API
+        ckt.nonlinear_resistor(
+            "Gneg", "osc", "0",
+            lambda v: -5e-3 * v + 1e-3 * v**3,
+            lambda v: -5e-3 + 3e-3 * v**2,
+        )
+        sys = ckt.compile()
+        osc = MNAOscillator(sys)
+        pss = find_oscillator_pss(
+            osc, period_guess=2 * np.pi * np.sqrt(1e-9 * 1e-12),
+            t_settle=None, steps=200,
+        )
+        ppv = compute_ppv(pss)
+        assert 4.5e9 < pss.f0 < 5.5e9
+        assert ppv.c > 0  # tank resistor thermal noise present
+
+
+class TestExtractionIntoCircuit:
+    def test_extracted_inductor_resonates_in_hb(self):
+        """PEEC-extracted L and R dropped into a circuit: the tank built
+        from extraction results resonates where the extraction says."""
+        coil = SpiralInductor(
+            turns=3, outer=200e-6, width=10e-6, spacing=5e-6, thickness=2e-6,
+            nw=1, nt=1, substrate=None, max_segment_length=150e-6,
+        )
+        L = coil.dc_inductance()
+        R = coil.dc_resistance_total()
+        C = 1e-12
+        f0 = 1.0 / (2 * np.pi * np.sqrt(L * C))
+
+        ckt = Circuit("extracted tank")
+        ckt.isource("I1", "0", "t", 0.0)
+        ckt.inductor("L1", "t", "m", L)
+        ckt.resistor("R1", "m", "0", R)
+        ckt.capacitor("C1", "t", "0", C)
+        sys = ckt.compile()
+        ac = ac_analysis(sys, "I1", np.linspace(0.8 * f0, 1.2 * f0, 41))
+        z = np.abs(ac.voltage(sys, "t"))
+        f_peak = ac.freqs[int(np.argmax(z))]
+        np.testing.assert_allclose(f_peak, f0, rtol=0.05)
+
+
+class TestWaveformsInTransient:
+    def test_pwl_ramp_through_rc(self):
+        from repro.analysis import transient_analysis
+
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", PWL([(0, 0.0), (1e-6, 1.0), (1e-3, 1.0)]))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        sys = ckt.compile()
+        tr = transient_analysis(sys, t_stop=10e-6, dt=20e-9)
+        v = tr.voltage(sys, "out")
+        assert v[-1] > 0.99  # settled to the ramp top
+        assert np.all(np.diff(v) > -1e-9)  # monotone charge
+
+    def test_pulse_drives_logic_like_load(self):
+        from repro.analysis import transient_analysis
+        from repro.netlist import Pulse
+
+        ckt = Circuit()
+        ckt.vsource(
+            "V1", "in", "0",
+            Pulse(v1=0.0, v2=1.0, rise=1e-9, fall=1e-9, width=40e-9, period=100e-9),
+        )
+        ckt.resistor("R1", "in", "out", 100.0)
+        ckt.capacitor("C1", "out", "0", 10e-12)
+        sys = ckt.compile()
+        tr = transient_analysis(sys, t_stop=300e-9, dt=0.5e-9)
+        v = tr.voltage(sys, "out")
+        assert v.max() > 0.95 and v.min() < 0.05  # full swing both ways
+
+
+class TestHBWarmStart:
+    def test_warm_start_reduces_newton_work(self, diode_rectifier):
+        cold = harmonic_balance(diode_rectifier, harmonics=12)
+        warm = harmonic_balance(diode_rectifier, harmonics=12, x0=cold.x)
+        assert warm.newton_iterations <= cold.newton_iterations
+        np.testing.assert_allclose(
+            warm.amplitude_at("out", (0,)), cold.amplitude_at("out", (0,)), rtol=1e-8
+        )

@@ -1,0 +1,254 @@
+"""Tests for multi-time grids, circulant differentiation, and excitations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpde import Axis, MPDEGrid, decompose_waveform
+from repro.netlist import Circuit, DC, MultiTone, Sine, SquareWave
+
+
+class TestAxis:
+    def test_times_uniform(self):
+        ax = Axis("fourier", 1e6, 8)
+        t = ax.times()
+        assert t.size == 8
+        np.testing.assert_allclose(np.diff(t), 1.0 / 1e6 / 8)
+
+    def test_fourier_derivative_of_sine(self):
+        ax = Axis("fourier", 2.0, 32)
+        t = ax.times()
+        y = np.sin(2 * np.pi * 2.0 * t)
+        spec = np.fft.fft(y) * ax.deriv_eigenvalues()
+        dy = np.real(np.fft.ifft(spec))
+        expect = 2 * np.pi * 2.0 * np.cos(2 * np.pi * 2.0 * t)
+        np.testing.assert_allclose(dy, expect, atol=1e-9)
+
+    def test_fd_derivative_first_order(self):
+        ax = Axis("fd", 1.0, 256)
+        t = ax.times()
+        y = np.sin(2 * np.pi * t)
+        spec = np.fft.fft(y) * ax.deriv_eigenvalues()
+        dy = np.real(np.fft.ifft(spec))
+        h = 1.0 / 256
+        expect = (y - np.roll(y, 1)) / h
+        np.testing.assert_allclose(dy, expect, atol=1e-10)
+
+    def test_fd2_more_accurate_than_fd(self):
+        exact_err = {}
+        for kind in ("fd", "fd2"):
+            ax = Axis(kind, 1.0, 64)
+            t = ax.times()
+            y = np.sin(2 * np.pi * t)
+            dy = np.real(np.fft.ifft(np.fft.fft(y) * ax.deriv_eigenvalues()))
+            exact_err[kind] = np.max(np.abs(dy - 2 * np.pi * np.cos(2 * np.pi * t)))
+        assert exact_err["fd2"] < exact_err["fd"] / 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Axis("nope", 1.0, 8)
+        with pytest.raises(ValueError):
+            Axis("fourier", -1.0, 8)
+        with pytest.raises(ValueError):
+            Axis("fourier", 1.0, 1)
+
+    def test_transient_axis_has_no_derivative(self):
+        ax = Axis("transient", 0.0, 4)
+        assert not ax.periodic
+        with pytest.raises(ValueError):
+            ax.deriv_eigenvalues()
+
+
+class TestDecompose:
+    def test_sine_single_piece(self):
+        pieces = decompose_waveform(Sine(1.0, 5.0))
+        assert len(pieces) == 1
+        assert pieces[0][0] == 5.0
+
+    def test_dc_is_frequencyless(self):
+        pieces = decompose_waveform(DC(3.0))
+        assert pieces[0][0] is None
+
+    def test_multitone_split(self):
+        w = MultiTone([(1.0, 2.0, 0.0), (0.5, 3.0, 0.1)], offset=1.0)
+        pieces = decompose_waveform(w)
+        freqs = [p[0] for p in pieces]
+        assert freqs == [None, 2.0, 3.0]
+        # DC piece carries the offset
+        assert pieces[0][1].dc == 1.0
+
+
+class TestGrid:
+    def test_combined_eigenvalues_shape(self):
+        grid = MPDEGrid([Axis("fourier", 1.0, 4), Axis("fd", 10.0, 8)])
+        lam = grid.combined_eigenvalues()
+        assert lam.shape == (4, 8)
+        assert grid.total == 32
+
+    def test_apply_derivative_bivariate(self):
+        grid = MPDEGrid([Axis("fourier", 1.0, 16), Axis("fourier", 50.0, 32)])
+        t1 = grid.axes[0].times()
+        t2 = grid.axes[1].times()
+        Y = np.sin(2 * np.pi * t1)[:, None] * np.cos(2 * np.pi * 50.0 * t2)[None, :]
+        dY = grid.apply_derivative(Y[..., None])[..., 0]
+        expect = (
+            2 * np.pi * np.cos(2 * np.pi * t1)[:, None] * np.cos(2 * np.pi * 50 * t2)[None, :]
+            - 2 * np.pi * 50 * np.sin(2 * np.pi * t1)[:, None] * np.sin(2 * np.pi * 50 * t2)[None, :]
+        )
+        np.testing.assert_allclose(dY, expect, atol=1e-8)
+
+    def test_flatten_roundtrip(self):
+        grid = MPDEGrid([Axis("fourier", 1.0, 4), Axis("fd", 2.0, 6)])
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(grid.total * 3)
+        X = grid.reshape(x, 3)
+        np.testing.assert_array_equal(grid.flatten(X), x)
+        cols = grid.columns(x, 3)
+        assert cols.shape == (3, grid.total)
+        np.testing.assert_array_equal(grid.from_columns(cols), x)
+
+    def test_excitation_axis_matching(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 1e6))
+        ckt.vsource("V2", "b", "0", Sine(0.5, 1e9))
+        ckt.resistor("R1", "a", "b", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", 1e6, 8), Axis("fourier", 1e9, 8)])
+        B = grid.excitation(sys)
+        Bg = B.reshape(8, 8, sys.n)
+        # V1 varies only along axis 0: constant across axis 1, varying
+        # across axis 0
+        br1 = sys.branch("V1")
+        np.testing.assert_allclose(Bg[:, 0, br1], Bg[:, 5, br1])
+        assert not np.allclose(Bg[0, 0, br1], Bg[2, 0, br1])
+        # V2 varies only along axis 1
+        br2 = sys.branch("V2")
+        np.testing.assert_allclose(Bg[0, :, br2], Bg[5, :, br2])
+        assert not np.allclose(Bg[0, 0, br2], Bg[0, 2, br2])
+
+    def test_excitation_harmonic_matching(self):
+        # a 3 MHz source lives on the 1 MHz axis as its 3rd harmonic
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 3e6))
+        ckt.resistor("R1", "a", "0", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", 1e6, 16)])
+        B = grid.excitation(sys)
+        vals = B[:, sys.branch("V1")]
+        t = grid.axes[0].times()
+        np.testing.assert_allclose(vals, np.sin(2 * np.pi * 3e6 * t), atol=1e-12)
+
+    def test_excitation_unmatched_raises(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 1.7e6))
+        ckt.resistor("R1", "a", "0", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", 1e6, 8)])
+        with pytest.raises(ValueError, match="no grid axis"):
+            grid.excitation(sys)
+
+    def test_excitation_transient_time_fallback(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 123.0))  # matches no axis
+        ckt.vsource("V2", "b", "0", Sine(1.0, 1e6))
+        ckt.resistor("R1", "a", "b", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", 1e6, 8)])
+        tau = 1.0 / 123.0 / 4.0  # quarter period -> sin = 1
+        B = grid.excitation(sys, transient_time=tau)
+        np.testing.assert_allclose(B[:, sys.branch("V1")], 1.0, rtol=1e-12)
+
+    def test_interpolate_diagonal_reconstructs(self):
+        grid = MPDEGrid([Axis("fourier", 3.0, 16), Axis("fourier", 40.0, 32)])
+        t1 = grid.axes[0].times()
+        t2 = grid.axes[1].times()
+        X = (np.sin(2 * np.pi * 3 * t1)[:, None] + np.cos(2 * np.pi * 40 * t2)[None, :])[..., None]
+        t = np.linspace(0, 0.3, 50)
+        out = grid.interpolate_diagonal(X, t)
+        expect = np.sin(2 * np.pi * 3 * t) + np.cos(2 * np.pi * 40 * t)
+        np.testing.assert_allclose(out[:, 0], expect, atol=1e-9)
+
+    @given(n1=st.sampled_from([4, 8, 16]), n2=st.sampled_from([4, 8]))
+    def test_derivative_of_constant_is_zero(self, n1, n2):
+        grid = MPDEGrid([Axis("fourier", 1.0, n1), Axis("fd", 7.0, n2)])
+        X = np.ones((n1, n2, 2)) * 3.7
+        dX = grid.apply_derivative(X)
+        np.testing.assert_allclose(dX, 0.0, atol=1e-12)
+
+
+class TestComboMatching:
+    def test_am_sidebands_on_two_tone_grid(self):
+        """AM sidebands (fc +- fm) land as 2-D mix tones, not aliased
+        harmonics of the slow axis."""
+        from repro.netlist import am_source
+
+        fc, fm = 100e6, 1e6
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", am_source(1.0, fc, fm, 0.4))
+        ckt.resistor("R1", "a", "0", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", fm, 16), Axis("fourier", fc, 16)])
+        B = grid.excitation(sys).reshape(16, 16, sys.n)
+        br = sys.branch("V1")
+        spec = np.fft.fft2(B[:, :, br]) / 256
+        # carrier at (0, 1), sidebands at (+-1, 1)
+        np.testing.assert_allclose(2 * abs(spec[0, 1]), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(2 * abs(spec[1, 1]), 0.2, rtol=1e-9)
+        np.testing.assert_allclose(2 * abs(spec[-1, 1]), 0.2, rtol=1e-9)
+
+    def test_unresolvable_harmonic_rejected(self):
+        """A 99x harmonic of a 16-sample axis must not silently alias."""
+        ckt = Circuit()
+        ckt.vsource("V1", "a", "0", Sine(1.0, 99e6))
+        ckt.resistor("R1", "a", "0", 1.0)
+        sys = ckt.compile()
+        grid = MPDEGrid([Axis("fourier", 1e6, 16)])
+        with pytest.raises(ValueError, match="resolves"):
+            grid.excitation(sys)
+
+
+class TestCoreHelpers:
+    def test_block_diag_assembly(self):
+        from repro.mpde.mpde_core import _block_diag_sparse
+
+        pattern = (np.array([0, 1, 1]), np.array([0, 0, 1]))
+        vals = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        M = _block_diag_sparse(pattern, vals, n=2, m=2).toarray()
+        expect = np.array(
+            [
+                [1.0, 0, 0, 0],
+                [2.0, 3.0, 0, 0],
+                [0, 0, 10.0, 0],
+                [0, 0, 20.0, 30.0],
+            ]
+        )
+        np.testing.assert_array_equal(M, expect)
+
+    def test_circulant_matches_fft_application(self):
+        from repro.mpde.mpde_core import _circulant_matrix
+
+        ax = Axis("fourier", 2.0, 8)
+        eigs = ax.deriv_eigenvalues()
+        D = _circulant_matrix(eigs).toarray()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(8)
+        via_fft = np.real(np.fft.ifft(eigs * np.fft.fft(x)))
+        np.testing.assert_allclose(D @ x, via_fft, atol=1e-12)
+
+    def test_circulant_complex_offset(self):
+        from repro.mpde.mpde_core import _circulant_matrix
+
+        ax = Axis("fourier", 2.0, 8)
+        eigs = ax.deriv_eigenvalues() + 1j * 3.0
+        D = _circulant_matrix(eigs)
+        assert np.iscomplexobj(D.toarray())
+        x = np.arange(8.0)
+        via_fft = np.fft.ifft(eigs * np.fft.fft(x))
+        np.testing.assert_allclose(D @ x, via_fft, atol=1e-10)
+
+    def test_fd_circulant_is_banded(self):
+        from repro.mpde.mpde_core import _circulant_matrix
+
+        ax = Axis("fd", 1.0, 64)
+        D = _circulant_matrix(ax.deriv_eigenvalues())
+        assert D.nnz == 2 * 64  # backward difference: two bands

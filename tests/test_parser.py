@@ -1,0 +1,246 @@
+"""Tests for the SPICE-flavoured netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import NetlistError, parse_netlist, parse_value
+from repro.netlist.components import BJT, MOSFET, Capacitor, Diode, Resistor
+from repro.netlist.waveforms import DC, Pulse, Sine
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("4.7k", 4700.0),
+            ("100n", 1e-7),
+            ("1meg", 1e6),
+            ("2.5u", 2.5e-6),
+            ("3p", 3e-12),
+            ("1.5f", 1.5e-15),
+            ("-2m", -2e-3),
+            ("1e-9", 1e-9),
+            ("2.2E3", 2200.0),
+            ("1g", 1e9),
+        ],
+    )
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_unit_suffix_ignored(self):
+        assert parse_value("5v") == 5.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_value("abc")
+
+
+class TestParser:
+    def test_basic_rc(self):
+        ckt = parse_netlist(
+            """
+            test rc circuit
+            V1 in 0 SIN(0 1 1meg)
+            R1 in out 1k
+            C1 out 0 1n
+            .end
+            """
+        )
+        assert ckt.title == "test rc circuit"
+        assert isinstance(ckt["R1"], Resistor)
+        assert ckt["R1"].resistance == 1000.0
+        assert isinstance(ckt["C1"], Capacitor)
+        assert isinstance(ckt["V1"].waveform, Sine)
+        assert ckt["V1"].waveform.freq == 1e6
+
+    def test_dc_source_forms(self):
+        ckt = parse_netlist("V1 a 0 5\nV2 b 0 dc 3.3\nR1 a b 1k\n")
+        assert isinstance(ckt["V1"].waveform, DC)
+        assert ckt["V1"].waveform.value == 5.0
+        assert ckt["V2"].waveform.value == pytest.approx(3.3)
+
+    def test_pulse_source(self):
+        ckt = parse_netlist("V1 a 0 PULSE(0 5 1n 2n 2n 10n 20n)\nR1 a 0 50\n")
+        w = ckt["V1"].waveform
+        assert isinstance(w, Pulse)
+        assert w.period == pytest.approx(20e-9)
+        assert w.v2 == 5.0
+
+    def test_semiconductors(self):
+        ckt = parse_netlist(
+            """
+            D1 a 0 IS=1e-15 N=1.5
+            Q1 c b e BF=80 PNP
+            M1 d g s KP=1m VTH=0.4 PMOS
+            R1 a c 1k
+            R2 d b 1k
+            R3 e s 1k
+            """
+        )
+        assert isinstance(ckt["D1"], Diode)
+        assert ckt["D1"].isat == 1e-15
+        assert isinstance(ckt["Q1"], BJT)
+        assert ckt["Q1"].beta_f == 80.0
+        assert ckt["Q1"].polarity == -1
+        assert isinstance(ckt["M1"], MOSFET)
+        assert ckt["M1"].polarity == -1
+
+    def test_continuation_and_comments(self):
+        ckt = parse_netlist(
+            """
+            * comment line
+            R1 a 0
+            + 2k   ; trailing comment
+            """
+        )
+        assert ckt["R1"].resistance == 2000.0
+
+    def test_mutual_inductance(self):
+        ckt = parse_netlist(
+            """
+            L1 a 0 1u
+            L2 b 0 1u
+            K1 L1 L2 0.9
+            R1 a b 1k
+            """
+        )
+        assert ckt["K1"].coupling == pytest.approx(0.9)
+
+    def test_controlled_sources(self):
+        ckt = parse_netlist("E1 o 0 a 0 10\nG1 p 0 a 0 1m\nR1 a o 1k\nR2 p 0 1k\n")
+        assert ckt["E1"].gain == 10.0
+        assert ckt["G1"].gm == pytest.approx(1e-3)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 1k\nZ1 a b nonsense\n")
+
+    def test_short_card_rejected(self):
+        # (a lone two-token first line reads as a title; mid-file short
+        # cards must be rejected)
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 1k\nR2 b\n")
+
+    def test_end_stops_parsing(self):
+        ckt = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 2k\n")
+        assert "R2" not in ckt
+
+    def test_parsed_circuit_simulates(self):
+        from repro.analysis import dc_analysis
+
+        ckt = parse_netlist(
+            """
+            parsed divider
+            V1 in 0 10
+            R1 in mid 1k
+            R2 mid 0 1k
+            """
+        )
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "mid") == pytest.approx(5.0)
+
+
+class TestSubcircuits:
+    def test_flat_expansion(self):
+        from repro.analysis import dc_analysis
+
+        ckt = parse_netlist(
+            """
+            .subckt divider in out
+            R1 in out 1k
+            R2 out 0 1k
+            .ends
+            V1 top 0 10
+            X1 top tap divider
+            """
+        )
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert res.voltage(sys, "tap") == pytest.approx(5.0)
+        # internal devices carry the instance path
+        assert "X1.R1" in ckt
+
+    def test_nested_instances(self):
+        from repro.analysis import dc_analysis
+
+        ckt = parse_netlist(
+            """
+            .subckt divider in out
+            R1 in out 1k
+            R2 out 0 1k
+            .ends
+            .subckt quad a b
+            Xd1 a m divider
+            Xd2 m b divider
+            .ends
+            V1 top 0 8
+            X1 top tap quad
+            """
+        )
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        # cascaded loaded dividers: v_mid = 8 * 3/(2*3+2) ... solved network
+        assert 0.0 < res.voltage(sys, "tap") < res.voltage(sys, "X1.m")
+
+    def test_internal_nodes_isolated_between_instances(self):
+        ckt = parse_netlist(
+            """
+            .subckt cell a
+            R1 a internal 1k
+            R2 internal 0 1k
+            .ends
+            V1 p 0 1
+            X1 p cell
+            X2 p cell
+            """
+        )
+        names = ckt.node_names()
+        assert "X1.internal" in names and "X2.internal" in names
+
+    def test_mutual_inductor_references_scoped(self):
+        ckt = parse_netlist(
+            """
+            .subckt xfmr p s
+            L1 p 0 1u
+            L2 s 0 1u
+            K1 L1 L2 0.9
+            .ends
+            X1 a b xfmr
+            R1 a b 1k
+            """
+        )
+        assert "X1.K1" in ckt
+        assert ckt["X1.K1"].ind1 is ckt["X1.L1"]
+
+    def test_port_count_mismatch(self):
+        with pytest.raises(NetlistError, match="ports"):
+            parse_netlist(
+                """
+                .subckt cell a b
+                R1 a b 1k
+                .ends
+                X1 p cell
+                """
+            )
+
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistError, match="unknown subcircuit"):
+            parse_netlist("X1 a b nothere\n")
+
+    def test_unterminated_definition(self):
+        with pytest.raises(NetlistError, match="unterminated"):
+            parse_netlist(".subckt cell a\nR1 a 0 1k\n")
+
+    def test_ground_not_renamed(self):
+        ckt = parse_netlist(
+            """
+            .subckt cell a
+            R1 a 0 1k
+            .ends
+            X1 p cell
+            R2 p 0 1k
+            """
+        )
+        assert ckt.node_names() == ["p"]

@@ -1,0 +1,155 @@
+"""Tests for periodic (cyclostationary) noise analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import noise_analysis, periodic_noise_analysis
+from repro.hb import harmonic_balance
+from repro.netlist import Circuit, Sine
+from repro.netlist.components import BOLTZMANN, ELEMENTARY_CHARGE
+
+
+class TestStationaryLimit:
+    def test_linear_circuit_reduces_to_stationary(self):
+        """With a vanishing drive the LPTV analysis is the LTI one."""
+        ckt = Circuit("rc")
+        ckt.vsource("V1", "in", "0", Sine(1e-9, 10e6))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 10e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=4)
+        freqs = [1e4, 1e6, 3e7]
+        pn = periodic_noise_analysis(hb.solution, "out", freqs)
+        st = noise_analysis(sys, "out", freqs)
+        np.testing.assert_allclose(pn.psd, st.psd, rtol=1e-6)
+
+    def test_contributions_sum_to_total(self):
+        ckt = Circuit("rc2")
+        ckt.vsource("V1", "in", "0", Sine(1e-9, 10e6))
+        ckt.resistor("R1", "in", "out", 2e3)
+        ckt.resistor("R2", "out", "0", 3e3)
+        ckt.capacitor("C1", "out", "0", 1e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=4)
+        pn = periodic_noise_analysis(hb.solution, "out", [1e5, 1e7])
+        total = sum(pn.contributions.values())
+        np.testing.assert_allclose(total, pn.psd, rtol=1e-10)
+
+    def test_rejects_two_tone_solutions(self):
+        from repro.netlist import MultiTone
+
+        ckt = Circuit("tt")
+        ckt.vsource("V1", "in", "0", MultiTone([(0.01, 1e6, 0.0), (0.01, 1.3e6, 0.0)]))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, freqs=[1e6, 1.3e6], harmonics=[2, 2])
+        with pytest.raises(ValueError, match="one-tone"):
+            periodic_noise_analysis(hb.solution, "out", [1e4])
+
+
+class TestBiasModulation:
+    def test_shot_noise_follows_average_current(self):
+        """A diode switched by a large LO: its shot noise is set by the
+        *orbit-averaged* current, not the DC operating point — the bias
+        modulation the paper's sec. 1 calls out."""
+        ckt = Circuit("pumped diode")
+        ckt.vsource("Vlo", "lo", "0", Sine(0.75, 10e6, offset=0.2))
+        ckt.resistor("Rs", "lo", "d", 100.0)
+        ckt.diode("D1", "d", "0", isat=1e-14)
+        ckt.capacitor("Cd", "d", "0", 0.1e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=16)
+
+        # orbit samples and their instantaneous shot PSD
+        X = hb.grid.columns(hb.x, sys.n)
+        src = [s for s, _ in sys.noise_injection_vectors() if "shot" in s.name][0]
+        psd_orbit = src.psd_at(X)
+        # analysis at an offset well below the LO, where the diode's
+        # low-frequency noise dominates
+        pn = periodic_noise_analysis(hb.solution, "d", [1e4])
+        shot_contrib = pn.contributions["D1.shot"][0]
+
+        # stationary analysis at the DC point uses the (much smaller)
+        # quiescent current
+        st = noise_analysis(sys, "d", [1e4])
+        shot_dc = st.contributions["D1.shot"][0]
+        assert psd_orbit.max() > 50 * psd_orbit.min()  # strongly modulated
+        assert shot_contrib > 3.0 * shot_dc  # DC analysis underestimates
+
+
+class TestChopperDuty:
+    @staticmethod
+    def _chopped(duty_phase, r_load):
+        ckt = Circuit("chopper")
+        ckt.vsource("Vlo", "lo", "0", Sine(1.0, 10e6, offset=duty_phase))
+        ckt.resistor("Rn", "src", "0", 1e3)
+        ckt.switch("S1", "src", "out", "lo", "0", g_on=1e-1, g_off=1e-10,
+                   sharpness=40.0)
+        ckt.capacitor("Cp", "out", "0", 1e-15)
+        ckt.resistor("Rload", "out", "0", r_load)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=16)
+        pn = periodic_noise_analysis(hb.solution, "out", [1e4])
+        return pn.contributions["Rn.thermal"][0]
+
+    def test_chopped_resistor_contribution_scales_with_duty(self):
+        """With a fast-discharging load (no holding) the chopped
+        resistor's low-frequency contribution follows its on-duty."""
+        full = 4 * BOLTZMANN * 300 * 1e3
+        # duty with control sin + off: 1 - acos(off)/pi
+        low = self._chopped(-0.5, 1e3)  # duty ~ 1/3
+        high = self._chopped(+0.5, 1e3)  # duty ~ 2/3
+        assert low < high < full
+        np.testing.assert_allclose(high / low, 2.0, rtol=0.4)
+
+    def test_track_and_hold_folds_noise(self):
+        """With a holding load the sampled (aliased) noise concentrates at
+        low frequencies: the density EXCEEDS the tracked 4kTR — the noise
+        folding that DC-point analysis cannot predict."""
+        full = 4 * BOLTZMANN * 300 * 1e3
+        held = self._chopped(0.0, 1e7)  # slow discharge: hold mode
+        tracked = self._chopped(0.0, 1e3)  # fast discharge
+        assert held > 1.5 * full  # folding gain over the plain density
+        assert tracked < full
+
+
+class TestHarmonicSidebands:
+    def test_lti_limit_around_harmonic(self):
+        """For a linear circuit, noise observed around k f0 + offset is
+        the stationary noise at that absolute frequency."""
+        from repro.analysis import periodic_noise_analysis
+
+        ckt = Circuit("rc")
+        ckt.vsource("V1", "in", "0", Sine(1e-9, 10e6))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 10e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=4)
+        offset = 1e5
+        for k in (1, 2):
+            pn = periodic_noise_analysis(hb.solution, "out", [offset], harmonic=k)
+            st = noise_analysis(sys, "out", [k * 10e6 + offset])
+            np.testing.assert_allclose(pn.psd[0], st.psd[0], rtol=1e-6)
+
+    def test_carrier_sidebands_see_the_output_filter(self):
+        """Observed through a lowpass whose corner sits between baseband
+        and the carrier, the noise skirt around harmonic 1 is attenuated
+        relative to the baseband noise — the sidebands live at
+        ``f0 + offset``, not at ``offset``."""
+        from repro.analysis import periodic_noise_analysis
+
+        ckt = Circuit("pumped+filter")
+        ckt.vsource("Vlo", "lo", "0", Sine(0.75, 10e6, offset=0.2))
+        ckt.resistor("Rs", "lo", "d", 100.0)
+        ckt.diode("D1", "d", "0", isat=1e-14)
+        ckt.capacitor("Cd", "d", "0", 0.1e-12)
+        # observation filter: 1 MHz corner (passes baseband, kills 10 MHz)
+        ckt.resistor("Rf", "d", "out", 1e3)
+        ckt.capacitor("Cf", "out", "0", 160e-12)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=16)
+        base = periodic_noise_analysis(hb.solution, "out", [1e4], harmonic=0)
+        skirt = periodic_noise_analysis(hb.solution, "out", [1e4], harmonic=1)
+        assert skirt.psd[0] > 0
+        assert skirt.psd[0] < 0.2 * base.psd[0]

@@ -1,0 +1,121 @@
+"""Tests for pole analysis and Touchstone I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pole_analysis
+from repro.em import (
+    TouchstoneData,
+    read_touchstone,
+    s_to_z,
+    write_touchstone,
+    z_to_s,
+)
+from repro.netlist import Circuit
+from repro.rf import lc_oscillator
+
+
+class TestPoleAnalysis:
+    def test_rc_single_pole(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 0.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        sys = ckt.compile()
+        res = pole_analysis(sys)
+        assert res.is_stable
+        np.testing.assert_allclose(res.dominant(), -1.0 / (1e3 * 1e-9), rtol=1e-9)
+
+    def test_rlc_conjugate_pair(self):
+        R, L, C = 1e3, 1e-6, 1e-9
+        ckt = Circuit()
+        ckt.isource("I1", "0", "t", 0.0)
+        ckt.resistor("R1", "t", "0", R)
+        ckt.inductor("L1", "t", "0", L)
+        ckt.capacitor("C1", "t", "0", C)
+        sys = ckt.compile()
+        res = pole_analysis(sys)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(L * C))
+        np.testing.assert_allclose(sorted(res.frequencies_hz())[-1], f0, rtol=1e-2)
+        assert res.is_stable
+
+    def test_oscillator_startup_criterion(self):
+        """Paper sec. 3 oscillators: RHP pole pair at the DC point."""
+        sys = lc_oscillator()  # g1 > 1/R: must start up
+        res = pole_analysis(sys)
+        assert not res.is_stable
+        assert res.unstable.size == 2  # complex growing pair
+        np.testing.assert_allclose(
+            np.abs(np.imag(res.unstable[0])) / (2 * np.pi), 5.03e9, rtol=0.05
+        )
+
+    def test_marginal_oscillator_is_stable(self):
+        sys = lc_oscillator(g1=2e-3, allow_no_startup=True)  # below 1/R
+        res = pole_analysis(sys)
+        assert res.is_stable
+
+
+class TestTouchstone:
+    @pytest.fixture
+    def two_port(self):
+        rng = np.random.default_rng(0)
+        freqs = np.geomspace(1e8, 1e10, 7)
+        Z = (
+            50.0
+            + 20 * rng.standard_normal((7, 2, 2))
+            + 10j * rng.standard_normal((7, 2, 2))
+        )
+        return freqs, z_to_s(Z[0])[None].repeat(7, 0) * 0 + np.array(
+            [z_to_s(Z[k]) for k in range(7)]
+        )
+
+    @pytest.mark.parametrize("fmt", ["RI", "MA", "DB"])
+    def test_roundtrip_two_port(self, tmp_path, two_port, fmt):
+        freqs, S = two_port
+        path = str(tmp_path / "net.s2p")
+        write_touchstone(path, freqs, S, fmt=fmt, comment="test network")
+        data = read_touchstone(path)
+        assert data.num_ports == 2
+        np.testing.assert_allclose(data.freqs, freqs, rtol=1e-8)
+        np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-9)
+        assert data.z0 == 50.0
+
+    def test_one_port_roundtrip(self, tmp_path):
+        freqs = np.array([1e9, 2e9])
+        S = np.array([0.5 + 0.1j, -0.2 + 0.4j])[:, None, None]
+        path = str(tmp_path / "coil.s1p")
+        write_touchstone(path, freqs, S, z0=75.0)
+        data = read_touchstone(path)
+        assert data.z0 == 75.0
+        np.testing.assert_allclose(data.S, S, rtol=1e-8)
+
+    def test_ghz_unit_parsing(self, tmp_path):
+        path = str(tmp_path / "x.s1p")
+        with open(path, "w") as fh:
+            fh.write("# GHz S MA R 50\n1.0 0.5 45.0\n2.0 0.25 -90.0\n")
+        data = read_touchstone(path)
+        np.testing.assert_allclose(data.freqs, [1e9, 2e9])
+        np.testing.assert_allclose(
+            data.S[0, 0, 0], 0.5 * np.exp(1j * np.pi / 4), rtol=1e-9
+        )
+
+    def test_fit_from_touchstone(self, tmp_path):
+        """Measured-file workflow: .s1p -> Y(f) -> vector fit -> model."""
+        from repro.rom import vector_fit
+
+        R, L, C = 5.0, 2e-9, 1e-12
+        freqs = np.geomspace(1e8, 2e10, 100)
+        s = 2j * np.pi * freqs
+        Y = 1.0 / (R + s * L + 1.0 / (s * C))
+        Z = 1.0 / Y
+        S = np.array([[[ (z - 50) / (z + 50) ]] for z in Z])
+        path = str(tmp_path / "res.s1p")
+        write_touchstone(path, freqs, S)
+        data = read_touchstone(path)
+        z_back = 50.0 * (1 + data.S[:, 0, 0]) / (1 - data.S[:, 0, 0])
+        fit = vector_fit(data.freqs, 1.0 / z_back, n_poles=2, fit_d=False)
+        assert fit.rms_error < 1e-3
+        f0 = 1 / (2 * np.pi * np.sqrt(L * C))
+        np.testing.assert_allclose(
+            np.abs(fit.poles[0].imag) / (2 * np.pi), f0, rtol=0.02
+        )

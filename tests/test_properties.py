@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.em import PanelKernel, capacitance_matrix, make_plate
+from repro.em.clustertree import build_cluster_tree
+from repro.linalg import gmres
+from repro.mpde import Axis, MPDEGrid
+from repro.netlist import Circuit, Sine
+from repro.rom import DescriptorSystem, arnoldi, pvl
+
+pos_r = st.floats(min_value=1.0, max_value=1e6)
+pos_c = st.floats(min_value=1e-15, max_value=1e-6)
+
+
+class TestCircuitInvariants:
+    @given(
+        r1=pos_r, r2=pos_r, r3=pos_r,
+        v=st.floats(min_value=-10, max_value=10),
+    )
+    def test_divider_between_rails(self, r1, r2, r3, v):
+        """Any resistive divider output lies between the rails."""
+        from repro.analysis import dc_analysis
+
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", v)
+        ckt.resistor("R1", "in", "a", r1)
+        ckt.resistor("R2", "a", "b", r2)
+        ckt.resistor("R3", "b", "0", r3)
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        lo, hi = min(0.0, v), max(0.0, v)
+        assert lo - 1e-9 <= res.voltage(sys, "a") <= hi + 1e-9
+        assert lo - 1e-9 <= res.voltage(sys, "b") <= hi + 1e-9
+
+    @given(r=pos_r, c=pos_c)
+    def test_kcl_residual_zero_at_dc_solution(self, r, c):
+        from repro.analysis import dc_analysis
+
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 1.0)
+        ckt.resistor("R1", "in", "out", r)
+        ckt.capacitor("C1", "out", "0", c)
+        ckt.diode("D1", "out", "0")
+        sys = ckt.compile()
+        res = dc_analysis(sys)
+        assert np.linalg.norm(sys.f(res.x) - sys.b_dc()) < 1e-7
+
+    @given(
+        r=pos_r,
+        c=pos_c,
+        freq=st.floats(min_value=1e3, max_value=1e9),
+    )
+    def test_hb_matches_ac_for_linear_circuits(self, r, c, freq):
+        """On a linear circuit HB and AC are the same analysis."""
+        from repro.analysis import ac_analysis
+        from repro.hb import harmonic_balance
+
+        assume(r * c < 1.0)  # keep the pole in a sane range
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", Sine(1.0, freq))
+        ckt.resistor("R1", "in", "out", r)
+        ckt.capacitor("C1", "out", "0", c)
+        sys = ckt.compile()
+        hb = harmonic_balance(sys, harmonics=2)
+        ac = ac_analysis(sys, "V1", [freq])
+        np.testing.assert_allclose(
+            hb.amplitude_at("out", (1,)),
+            abs(ac.voltage(sys, "out"))[0],
+            rtol=1e-8,
+        )
+
+
+class TestGridProperties:
+    @given(
+        n=st.sampled_from([4, 8, 16, 32]),
+        freq=st.floats(min_value=1e3, max_value=1e9),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_spectral_derivative_exact_for_harmonics(self, n, freq, k):
+        assume(k < n // 2)
+        ax = Axis("fourier", freq, n)
+        t = ax.times()
+        y = np.cos(2 * np.pi * k * freq * t)
+        dy = np.real(np.fft.ifft(np.fft.fft(y) * ax.deriv_eigenvalues()))
+        expect = -2 * np.pi * k * freq * np.sin(2 * np.pi * k * freq * t)
+        np.testing.assert_allclose(dy, expect, rtol=1e-7, atol=1e-3 * abs(expect).max())
+
+    @given(
+        n1=st.sampled_from([4, 8]),
+        n2=st.sampled_from([4, 8, 16]),
+    )
+    def test_derivative_annihilates_constants_and_integrates_to_zero(self, n1, n2):
+        grid = MPDEGrid([Axis("fourier", 1.0, n1), Axis("fd", 10.0, n2)])
+        rng = np.random.default_rng(n1 * 100 + n2)
+        X = rng.standard_normal((n1, n2, 2))
+        dX = grid.apply_derivative(X)
+        # mean of a periodic derivative over the grid vanishes
+        np.testing.assert_allclose(dX.mean(axis=(0, 1)), 0.0, atol=1e-10)
+
+
+class TestGMRESProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_solves_random_diagonally_dominant(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n))
+        A += np.diag(np.sign(np.diag(A)) * (np.abs(A).sum(axis=1) + 1.0))
+        x_true = rng.standard_normal(n)
+        res = gmres(lambda v: A @ v, A @ x_true, tol=1e-12, maxiter=10 * n)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6, atol=1e-9)
+
+
+class TestEMProperties:
+    @given(
+        nx=st.integers(min_value=2, max_value=5),
+        w=st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=10)
+    def test_capacitance_matrix_symmetric_psd(self, nx, w):
+        panels = make_plate(w, 1.0, nx, 3) + make_plate(
+            w, 1.0, nx, 3, center=(0, 0, 0.4), conductor=1
+        )
+        C = capacitance_matrix(panels, compute_condition=False).cap_matrix
+        np.testing.assert_allclose(C, C.T, rtol=1e-6)
+        assert np.all(np.linalg.eigvalsh(0.5 * (C + C.T)) > -1e-18)
+        assert C[0, 1] < 0 < C[0, 0]
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15)
+    def test_cluster_tree_partitions_points(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.standard_normal((rng.integers(5, 120), 3))
+        tree = build_cluster_tree(pts, leaf_size=8)
+        collected = []
+
+        def walk(node):
+            if node.is_leaf:
+                collected.extend(node.indices.tolist())
+            else:
+                walk(node.left)
+                walk(node.right)
+
+        walk(tree)
+        assert sorted(collected) == list(range(pts.shape[0]))
+
+
+class TestROMProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        q=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=20)
+    def test_moment_matching_property(self, n, q, seed):
+        """Arnoldi of order q matches >= q moments on random stable systems."""
+        assume(q < n)
+        rng = np.random.default_rng(seed)
+        C = np.diag(rng.uniform(0.5, 2.0, n))
+        G = np.diag(rng.uniform(0.5, 2.0, n)) + 0.3 * rng.standard_normal((n, n))
+        assume(np.linalg.cond(G) < 1e6)
+        B = rng.standard_normal((n, 1))
+        L = rng.standard_normal((n, 1))
+        desc = DescriptorSystem(C=C, G=G, B=B, L=L)
+        rom = arnoldi(desc, q)
+        m_full = desc.moments(q)[:, 0, 0]
+        m_rom = rom.moments(q)[:, 0, 0]
+        scale = np.abs(m_full) + 1e-12
+        assert np.all(np.abs(m_rom - m_full) / scale < 1e-5)
+
+    @given(
+        n=st.integers(min_value=5, max_value=16),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=20)
+    def test_pvl_exact_at_full_order(self, n, seed):
+        """PVL at q = n reproduces the full transfer function."""
+        rng = np.random.default_rng(seed)
+        C = np.diag(rng.uniform(0.5, 2.0, n))
+        G = np.diag(rng.uniform(1.0, 2.0, n)) + 0.2 * rng.standard_normal((n, n))
+        assume(np.linalg.cond(G) < 1e5)
+        B = rng.standard_normal((n, 1))
+        L = rng.standard_normal((n, 1))
+        desc = DescriptorSystem(C=C, G=G, B=B, L=L)
+        rom = pvl(desc, n)
+        s = 1j * np.array([0.1, 1.0, 3.0])
+        np.testing.assert_allclose(
+            rom.transfer(s)[:, 0, 0], desc.transfer(s)[:, 0, 0], rtol=1e-5, atol=1e-9
+        )
+
+
+class TestVectorFitProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=400),
+        n_pairs=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15)
+    def test_random_stable_rational_roundtrip(self, seed, n_pairs):
+        """Vector fitting recovers random stable rational functions."""
+        from repro.rom import vector_fit
+
+        rng = np.random.default_rng(seed)
+        poles = []
+        residues = []
+        for _ in range(n_pairs):
+            a = -rng.uniform(0.02, 0.5) * 1e9
+            b = rng.uniform(0.5, 8.0) * 1e9
+            r = (rng.uniform(0.1, 2.0) + 1j * rng.uniform(-1, 1)) * 1e8
+            poles.extend([a + 1j * b, a - 1j * b])
+            residues.extend([r, np.conj(r)])
+        poles = np.array(poles)
+        residues = np.array(residues)
+        f = np.geomspace(1e7, 3e10, 240)
+        s = 2j * np.pi * f
+        H = np.zeros(f.size, dtype=complex)
+        for p, r in zip(poles, residues):
+            H += r / (s - p)
+        fit = vector_fit(f, H, n_poles=poles.size, fit_d=False)
+        assert fit.rms_error < 1e-4
+        assert np.all(fit.poles.real <= 1e-6 * np.abs(fit.poles))
+        # the realization reproduces the samples too
+        rom = fit.to_reduced_system()
+        np.testing.assert_allclose(
+            rom.transfer(s)[:, 0, 0], H, rtol=2e-3, atol=1e-4 * np.max(np.abs(H))
+        )

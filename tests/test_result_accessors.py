@@ -1,0 +1,112 @@
+"""Coverage for result-object accessors across the engines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_analysis, shooting_analysis, transient_analysis
+from repro.hb import harmonic_balance
+from repro.mpde import Axis, MPDEGrid, envelope_analysis, solve_mpde
+from repro.mpde.envelope import FastPeriodicSystem
+from repro.netlist import Circuit, Sine
+
+
+@pytest.fixture
+def driven_rc():
+    ckt = Circuit("rc")
+    ckt.vsource("V1", "in", "0", Sine(1.0, 1e6))
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.capacitor("C1", "out", "0", 1e-9)
+    return ckt.compile()
+
+
+class TestMPDESolutionAccessors:
+    def test_grid_waveform_by_name_and_index(self, driven_rc):
+        hb = harmonic_balance(driven_rc, harmonics=4)
+        by_name = hb.grid_waveform("out")
+        by_index = hb.grid_waveform(driven_rc.node("out"))
+        np.testing.assert_array_equal(by_name, by_index)
+
+    def test_univariate_reconstruction_matches_grid(self, driven_rc):
+        hb = harmonic_balance(driven_rc, harmonics=4)
+        t = hb.grid.axes[0].times()
+        rec = hb.univariate(t)
+        np.testing.assert_allclose(
+            rec[:, driven_rc.node("out")], hb.grid_waveform("out"), atol=1e-9
+        )
+
+    def test_spectrum_sorted_and_consistent(self, driven_rc):
+        hb = harmonic_balance(driven_rc, harmonics=4)
+        spec = hb.spectrum("out")
+        freqs = [f for f, _ in spec]
+        assert freqs == sorted(freqs)
+        fund = dict(spec)[1e6]
+        np.testing.assert_allclose(fund, hb.amplitude_at("out", (1,)), rtol=1e-9)
+
+    def test_spectrum_dbc_floor(self, driven_rc):
+        hb = harmonic_balance(driven_rc, harmonics=4)
+        rows = hb.spectrum_dbc("out", carrier_index=(1,), floor_db=-60.0)
+        levels = [lvl for _, lvl in rows]
+        assert max(levels) == pytest.approx(0.0, abs=1e-9)  # the carrier
+        assert all(lvl >= -60.0 for lvl in rows and levels)
+
+    def test_solution_metadata(self, driven_rc):
+        hb = harmonic_balance(driven_rc, harmonics=4)
+        assert hb.wall_time > 0
+        assert hb.solver in ("direct", "gmres")
+        assert hb.residual_norm < 1e-8
+
+
+class TestTransientShootingAccessors:
+    def test_transient_sample_and_voltage(self, driven_rc):
+        tr = transient_analysis(driven_rc, t_stop=2e-6, dt=1e-8)
+        assert tr.sample(0).shape == (driven_rc.n,)
+        assert tr.voltage(driven_rc, "out").shape == tr.t.shape
+        assert tr.newton_iterations > 0
+
+    def test_shooting_voltage(self, driven_rc):
+        sh = shooting_analysis(driven_rc, period=1e-6, steps_per_period=50)
+        v = sh.voltage(driven_rc, "out")
+        assert v.shape == sh.t.shape
+        assert sh.period == 1e-6
+
+    def test_dc_result_voltage(self, driven_rc):
+        res = dc_analysis(driven_rc)
+        assert res.voltage(driven_rc, "out") == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEnvelopeAccessors:
+    def test_fast_waveform_shape(self, driven_rc):
+        env = envelope_analysis(
+            driven_rc, fast_freq=1e6, t_stop=2e-6, dt=1e-6, fast_steps=8,
+            initial="periodic",
+        )
+        w = env.fast_waveform("out", 0)
+        assert w.shape == (8,)
+        e0 = env.harmonic_envelope("out", 0)
+        assert e0.shape == env.tau.shape
+
+    def test_fast_periodic_system_roundtrip(self, driven_rc):
+        fps = FastPeriodicSystem(driven_rc, Axis("fourier", 1e6, 8))
+        Y = fps.periodic_solution(0.0)
+        # the semi-discretized residual vanishes at the periodic solution
+        assert np.linalg.norm(fps.FY(Y) - fps.BY(0.0)) < 1e-7
+
+    def test_fast_periodic_requires_periodic_axis(self, driven_rc):
+        with pytest.raises(ValueError):
+            FastPeriodicSystem(driven_rc, Axis("transient", 0.0, 8))
+
+
+class TestGridValidation:
+    def test_grid_requires_axes(self):
+        with pytest.raises(ValueError):
+            MPDEGrid([])
+
+    def test_grid_rejects_transient_axes(self):
+        with pytest.raises(ValueError):
+            MPDEGrid([Axis("transient", 0.0, 8)])
+
+    def test_solve_mpde_accepts_explicit_x0(self, driven_rc):
+        grid = MPDEGrid([Axis("fourier", 1e6, 16)])
+        cold = solve_mpde(driven_rc, grid)
+        warm = solve_mpde(driven_rc, grid, x0=cold.x)
+        assert warm.newton_iterations <= cold.newton_iterations

@@ -1,0 +1,119 @@
+"""Tests for the paper's example-system generators (repro.rf)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_analysis
+from repro.hb import harmonic_balance
+from repro.mpde import solve_mmft
+from repro.rf import (
+    ModulatorSpec,
+    lc_oscillator,
+    mna_ring_oscillator,
+    quadrature_modulator,
+    switching_mixer,
+)
+
+
+class TestSwitchingMixer:
+    def test_compiles_and_biases(self):
+        sys = switching_mixer()
+        res = dc_analysis(sys)
+        assert res.residual_norm < 1e-6
+
+    def test_paper_calibration(self):
+        """Defaults are calibrated to the paper's Figure 4 observables."""
+        sys = switching_mixer()
+        mm = solve_mmft(sys, 100e3, 900e6, slow_harmonics=3, fast_steps=64)
+        a1 = 2 * mm.mix_amplitude("outp", 1, 1)
+        a3 = 2 * mm.mix_amplitude("outp", 3, 1)
+        assert 0.050 < a1 < 0.075  # ~60 mV
+        assert -39 < 20 * np.log10(a3 / a1) < -31  # ~-35 dB
+
+    def test_linear_path_without_cubic(self):
+        sys = switching_mixer(cubic=0.0)
+        mm = solve_mmft(sys, 100e3, 900e6, slow_harmonics=3, fast_steps=64)
+        a1 = mm.mix_amplitude("outp", 1, 1)
+        a3 = mm.mix_amplitude("outp", 3, 1)
+        assert a3 < 1e-4 * a1  # distortion gone with the nonlinearity
+
+    def test_balanced_output_antisymmetric(self):
+        sys = switching_mixer()
+        mm = solve_mmft(sys, 100e3, 900e6, slow_harmonics=3, fast_steps=64)
+        ap = mm.mix_amplitude("outp", 1, 1)
+        an = mm.mix_amplitude("outn", 1, 1)
+        np.testing.assert_allclose(ap, an, rtol=1e-6)
+
+    def test_conversion_gain_scales_with_load(self):
+        lo = switching_mixer(r_load=300.0)
+        hi = switching_mixer(r_load=1200.0)
+        a_lo = solve_mmft(lo, 100e3, 900e6, 3, 64).mix_amplitude("outp", 1, 1)
+        a_hi = solve_mmft(hi, 100e3, 900e6, 3, 64).mix_amplitude("outp", 1, 1)
+        assert a_hi > a_lo
+
+
+class TestModulator:
+    @pytest.fixture(scope="class")
+    def hb_default(self):
+        spec = ModulatorSpec()
+        sys = quadrature_modulator(spec)
+        return spec, harmonic_balance(
+            sys, freqs=[spec.f_bb, spec.f_ref], harmonics=[3, 10]
+        )
+
+    def test_carrier_frequency_plan(self):
+        spec = ModulatorSpec()
+        assert spec.f_lo2 == 7 * spec.f_ref
+        assert spec.f_carrier == pytest.approx(1.62e9)
+
+    def test_calibrated_spur_levels(self, hb_default):
+        spec, hb = hb_default
+        assert -40 < hb.dbc("rfp", (-1, 8), (1, 8)) < -30
+        assert -84 < hb.dbc("rfp", (0, 8), (1, 8)) < -72
+
+    def test_ssb_selects_usb(self, hb_default):
+        spec, hb = hb_default
+        usb = hb.amplitude_at("rfp", (1, 8))
+        lsb = hb.amplitude_at("rfp", (-1, 8))
+        assert usb > 10 * lsb
+
+    def test_offset_controls_lo_feedthrough(self):
+        spec = ModulatorSpec(dual_conversion=False, bb_offset=0.0)
+        sys = quadrature_modulator(spec)
+        hb = harmonic_balance(sys, freqs=[spec.f_bb, spec.f_ref], harmonics=[3, 6])
+        assert hb.dbc("ifp", (0, 1), (1, 1)) < -120
+
+    def test_single_conversion_variant(self):
+        spec = ModulatorSpec(dual_conversion=False)
+        sys = quadrature_modulator(spec)
+        assert "rfp" not in sys.node_names
+        hb = harmonic_balance(sys, freqs=[spec.f_bb, spec.f_ref], harmonics=[3, 6])
+        assert hb.amplitude_at("ifp", (1, 1)) > 0.01
+
+
+class TestOscillatorGenerators:
+    def test_lc_requires_startup_margin(self):
+        with pytest.raises(ValueError, match="startup"):
+            lc_oscillator(R=300.0, g1=1.0 / 300.0)
+
+    def test_ring_requires_odd_stages(self):
+        with pytest.raises(ValueError, match="odd"):
+            mna_ring_oscillator(stages=4)
+
+    def test_lc_oscillates_in_transient(self):
+        from repro.analysis import transient_analysis
+
+        sys = lc_oscillator()
+        x0 = np.zeros(sys.n)
+        x0[sys.node("tank")] = 0.05  # kick
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-9 * 1e-12))
+        tr = transient_analysis(sys, t_stop=60 / f0, dt=1 / f0 / 60, x0=x0)
+        v = tr.voltage(sys, "tank")
+        assert v[-200:].max() > 10 * 0.05  # grew to the limit cycle
+
+    def test_ring_dc_unstable_symmetric_point(self):
+        sys = mna_ring_oscillator()
+        res = dc_analysis(sys)
+        # the symmetric all-equal point is the (unstable) DC solution
+        vals = [res.voltage(sys, f"v{k}") for k in range(3)]
+        np.testing.assert_allclose(vals, vals[0], atol=1e-6)

@@ -1,0 +1,215 @@
+"""ROM tests: moments, PVL vs Arnoldi, AWE instability, PRIMA passivity."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit
+from repro.rom import (
+    DescriptorSystem,
+    arnoldi,
+    awe,
+    check_passivity,
+    port_descriptor,
+    prima,
+    pvl,
+    stable_poles_only,
+)
+
+
+def two_pole_system():
+    """H(s) = 1/(1+s) + 2/(1+s/10)."""
+    C = np.diag([1.0, 0.1])
+    G = np.eye(2)
+    B = np.array([[1.0], [1.0]])
+    L = np.array([[1.0], [2.0]])
+    return DescriptorSystem(C=C, G=G, B=B, L=L)
+
+
+def rc_ladder_desc(n=40, r=10.0, c=1e-12, with_vccs=True):
+    """Terminated RC ladder; optional VCCS breaks reciprocity so the
+    one-sided/two-sided moment-count contrast is visible."""
+    ckt = Circuit("ladder")
+    ckt.vsource("Vp", "n0", "0", 0.0)
+    for k in range(n):
+        ckt.resistor(f"R{k}", f"n{k}", f"n{k+1}", r)
+        ckt.capacitor(f"C{k}", f"n{k+1}", "0", c)
+    ckt.resistor("Rload", f"n{n}", "0", 100.0)
+    if with_vccs:
+        ckt.vccs("Gm1", f"n{n//2}", "0", "n1", "0", 2e-3)
+    return port_descriptor(ckt.compile(), ["Vp"])
+
+
+def rlc_line_desc(n=25):
+    ckt = Circuit("tline")
+    ckt.vsource("Vp", "n0", "0", 0.0)
+    for k in range(n):
+        ckt.resistor(f"R{k}", f"n{k}", f"m{k}", 1.0)
+        ckt.inductor(f"L{k}", f"m{k}", f"n{k+1}", 1e-9)
+        ckt.capacitor(f"C{k}", f"n{k+1}", "0", 1e-12)
+    ckt.resistor("Rload", f"n{n}", "0", 50.0)
+    return port_descriptor(ckt.compile(), ["Vp"])
+
+
+class TestDescriptor:
+    def test_transfer_analytic(self):
+        d = two_pole_system()
+        s = np.array([0.0, 1j, 10j])
+        H = d.transfer(s)[:, 0, 0]
+        expect = 1 / (1 + s) + 2 / (1 + s / 10)
+        np.testing.assert_allclose(H, expect, rtol=1e-12)
+
+    def test_moments_match_taylor(self):
+        d = two_pole_system()
+        m = d.moments(4)[:, 0, 0]
+        # H(s) = sum_k [(-1)^k + 2 (-1/10)^k ... careful] derive directly:
+        expect = [3.0, -(1.0 + 0.2), (1.0 + 0.02), -(1.0 + 0.002)]
+        np.testing.assert_allclose(np.real(m), expect, rtol=1e-10)
+
+    def test_moments_about_shifted_point(self):
+        d = two_pole_system()
+        s0 = 0.5
+        m = d.moments(3, s0=s0)[:, 0, 0]
+        h = 1e-5
+        # compare with numerical Taylor coefficients at s0
+        s_pts = s0 + h * np.array([-1, 0, 1])
+        H = d.transfer(s_pts)[:, 0, 0]
+        np.testing.assert_allclose(m[0], H[1], rtol=1e-8)
+        np.testing.assert_allclose(m[1], (H[2] - H[0]) / (2 * h), rtol=1e-4)
+
+    def test_port_descriptor_dc_admittance(self):
+        d = rc_ladder_desc(n=10, with_vccs=False)
+        y0 = d.transfer([0.0])[0, 0, 0]
+        np.testing.assert_allclose(np.real(y0), 1.0 / (10 * 10.0 + 100.0), rtol=1e-9)
+
+    def test_port_descriptor_needs_vsource(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(KeyError):
+            port_descriptor(ckt.compile(), ["R1"])
+
+
+class TestMomentMatching:
+    """PVL matches 2q moments, Arnoldi q — the paper's factor of two."""
+
+    def test_pvl_two_q_moments(self):
+        d = rc_ladder_desc()
+        q = 4
+        mom_full = d.moments(2 * q)[:, 0, 0]
+        mom_red = pvl(d, q).moments(2 * q)[:, 0, 0]
+        rel = np.abs((mom_red - mom_full) / mom_full)
+        assert np.all(rel[: 2 * q - 1] < 1e-6)
+
+    def test_arnoldi_q_moments_only(self):
+        d = rc_ladder_desc()
+        q = 4
+        mom_full = d.moments(2 * q)[:, 0, 0]
+        mom_red = arnoldi(d, q).moments(2 * q)[:, 0, 0]
+        rel = np.abs((mom_red - mom_full) / mom_full)
+        assert np.all(rel[:q] < 1e-6)  # first q matched...
+        assert np.any(rel[q : 2 * q] > 1e-6)  # ...but not 2q (nonsymmetric net)
+
+    def test_pvl_transfer_convergence(self):
+        d = rc_ladder_desc()
+        freqs = np.geomspace(1e6, 2e9, 30)
+        s = 2j * np.pi * freqs
+        H = d.transfer(s)[:, 0, 0]
+        errs = []
+        for q in (4, 8, 12):
+            Hr = pvl(d, q).transfer(s)[:, 0, 0]
+            errs.append(np.max(np.abs(Hr - H) / np.abs(H)))
+        assert errs[2] < errs[1] < errs[0]
+        assert errs[2] < 1e-4
+
+    def test_expansion_about_nonzero_s0(self):
+        d = rc_ladder_desc()
+        s0 = 2 * np.pi * 1e9
+        rom = pvl(d, 6, s0=s0)
+        s = 2j * np.pi * np.linspace(0.8e9, 1.2e9, 7)
+        np.testing.assert_allclose(
+            rom.transfer(s)[:, 0, 0], d.transfer(s)[:, 0, 0], rtol=5e-4
+        )
+
+    def test_mimo_arnoldi(self):
+        # 2-port RC network
+        ckt = Circuit()
+        ckt.vsource("V1", "p1", "0", 0.0)
+        ckt.vsource("V2", "p2", "0", 0.0)
+        for k, (a, b) in enumerate([("p1", "m"), ("m", "p2")]):
+            ckt.resistor(f"R{k}", a, b, 100.0)
+        ckt.capacitor("Cm", "m", "0", 1e-12)
+        d = port_descriptor(ckt.compile(), ["V1", "V2"])
+        rom = arnoldi(d, 4)
+        s = 2j * np.pi * np.geomspace(1e6, 1e10, 10)
+        np.testing.assert_allclose(rom.transfer(s), d.transfer(s), rtol=1e-6)
+
+
+class TestAWE:
+    def test_exact_on_two_pole(self):
+        d = two_pole_system()
+        pm = awe(d, 2)
+        np.testing.assert_allclose(sorted(np.real(pm.poles())), [-10.0, -1.0], rtol=1e-6)
+
+    def test_transfer_matches_low_order(self):
+        d = rc_ladder_desc()
+        pm = awe(d, 6)
+        freqs = np.geomspace(1e6, 5e8, 15)
+        s = 2j * np.pi * freqs
+        np.testing.assert_allclose(
+            pm.transfer(s), d.transfer(s)[:, 0, 0], rtol=5e-2
+        )
+
+    def test_hankel_condition_explodes(self):
+        """The instability mechanism: Hankel conditioning grows without
+        bound as more moments are matched (paper sec. 5)."""
+        d = rc_ladder_desc()
+        conds = [awe(d, q).hankel_condition for q in (2, 6, 10, 14)]
+        assert conds[1] > 1e2 * conds[0]
+        assert conds[3] > 1e20
+
+    def test_pvl_beats_awe_at_high_order(self):
+        d = rc_ladder_desc(n=60)
+        q = 20
+        freqs = np.geomspace(1e6, 5e9, 40)
+        s = 2j * np.pi * freqs
+        H = d.transfer(s)[:, 0, 0]
+        err_awe = np.max(np.abs(awe(d, q).transfer(s) - H) / np.abs(H))
+        err_pvl = np.max(np.abs(pvl(d, q).transfer(s)[:, 0, 0] - H) / np.abs(H))
+        assert err_pvl < err_awe
+
+
+class TestPassivity:
+    def test_prima_passive_on_rlc(self):
+        d = rlc_line_desc()
+        rom = prima(d, 8)
+        rep = check_passivity(rom, 2 * np.pi * np.geomspace(1e6, 1e11, 60))
+        assert rep.is_passive
+
+    def test_pvl_can_lose_passivity(self):
+        """The paper's warning: Lanczos ROMs of passive nets may be
+        non-passive; PRIMA's congruence never is."""
+        d = rlc_line_desc()
+        omegas = 2 * np.pi * np.geomspace(1e6, 1e11, 60)
+        rep_pvl = check_passivity(pvl(d, 8), omegas)
+        rep_prima = check_passivity(prima(d, 8), omegas)
+        assert rep_prima.is_positive_real
+        # PVL q=8 on this line is non-passive (verified empirically); if a
+        # future change makes it passive the contrast test must be updated
+        assert not rep_pvl.is_passive
+
+    def test_stable_poles_only_removes_rhp(self):
+        # artificial SISO ROM with one unstable pole
+        C = np.eye(2)
+        G = -np.diag([-1.0, 2.0])  # poles at -1 and +2
+        B = np.ones((2, 1))
+        L = np.ones((2, 1))
+        from repro.rom.statespace import ReducedSystem
+
+        rom = ReducedSystem(C=C, G=G, B=B, L=L)
+        fixed = stable_poles_only(rom)
+        assert np.all(np.real(fixed.poles()) <= 1e-9)
+
+    def test_passivity_report_fields(self):
+        d = rlc_line_desc()
+        rep = check_passivity(prima(d, 6), 2 * np.pi * np.geomspace(1e7, 1e10, 20))
+        assert np.isfinite(rep.min_hermitian_eig)
+        assert rep.worst_frequency > 0

@@ -1,0 +1,169 @@
+"""ROM co-simulation tests: noise ROM and the time/frequency ROM devices.
+
+These close the paper's sec. 5 loop: the same reduced model must serve
+the full circuit analyses in both domains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, noise_analysis, transient_analysis
+from repro.hb import harmonic_balance
+from repro.netlist import Circuit, Sine
+from repro.rom import (
+    NoiseROM,
+    ReducedOrderBlock,
+    arnoldi,
+    port_descriptor,
+    prima,
+    rom_to_fd_block,
+)
+from repro.rom.statespace import ReducedSystem
+
+
+def ladder_circuit(n=20, r=20.0, c=0.5e-12):
+    ckt = Circuit("ladder")
+    ckt.vsource("Vp", "n0", "0", 0.0)
+    for k in range(n):
+        ckt.resistor(f"R{k}", f"n{k}", f"n{k+1}", r)
+        ckt.capacitor(f"C{k}", f"n{k+1}", "0", c)
+    ckt.resistor("Rload", f"n{n}", "0", 200.0)
+    return ckt
+
+
+def host_with(load_device_adder, f0=1e9):
+    """Host driver: source + 50 ohm into whatever load the adder stamps."""
+    ckt = Circuit("host")
+    ckt.vsource("Vin", "src", "0", Sine(1.0, f0))
+    ckt.resistor("Rs", "src", "port", 50.0)
+    load_device_adder(ckt)
+    return ckt.compile()
+
+
+@pytest.fixture(scope="module")
+def ladder_desc():
+    return port_descriptor(ladder_circuit().compile(), ["Vp"])
+
+
+@pytest.fixture(scope="module")
+def ladder_rom(ladder_desc):
+    return prima(ladder_desc, 10)
+
+
+class TestROMDeviceTimeDomain:
+    def test_full_descriptor_stamp_exact_ac(self, ladder_desc):
+        full_rom = ReducedSystem(
+            C=ladder_desc.C.toarray(), G=ladder_desc.G.toarray(),
+            B=ladder_desc.B, L=ladder_desc.L,
+        )
+        sys = host_with(lambda c: c.add(ReducedOrderBlock("X", ["port"], full_rom)))
+        ac = ac_analysis(sys, "Vin", [1e9])
+        Y = ladder_desc.transfer([2j * np.pi * 1e9])[0, 0, 0]
+        expect = 1.0 / (1.0 + 50.0 * Y)
+        np.testing.assert_allclose(ac.voltage(sys, "port")[0], expect, rtol=1e-10)
+
+    def test_reduced_stamp_close_to_full(self, ladder_desc, ladder_rom):
+        sys = host_with(lambda c: c.add(ReducedOrderBlock("X", ["port"], ladder_rom)))
+        ac = ac_analysis(sys, "Vin", [2e8])
+        Y = ladder_desc.transfer([2j * np.pi * 2e8])[0, 0, 0]
+        expect = 1.0 / (1.0 + 50.0 * Y)
+        np.testing.assert_allclose(ac.voltage(sys, "port")[0], expect, rtol=1e-3)
+
+    def test_transient_with_rom_matches_inline_network(self, ladder_rom):
+        f0 = 2e8
+        sys_rom = host_with(
+            lambda c: c.add(ReducedOrderBlock("X", ["port"], ladder_rom)), f0
+        )
+        tr_rom = transient_analysis(sys_rom, t_stop=20e-9, dt=0.02e-9)
+
+        def add_inline(ckt):
+            lad = ladder_circuit()
+            for dev in lad.devices:
+                if dev.name == "Vp":
+                    continue
+                ckt.add(dev)
+            # connect ladder input node n0 to the host port
+            ckt.resistor("Rjoin", "port", "n0", 1e-6)
+
+        sys_full = host_with(add_inline, f0)
+        tr_full = transient_analysis(sys_full, t_stop=20e-9, dt=0.02e-9)
+        v_rom = tr_rom.voltage(sys_rom, "port")
+        v_full = tr_full.voltage(sys_full, "port")
+        # steady part of the waveforms agree
+        np.testing.assert_allclose(v_rom[-200:], v_full[-200:], atol=2e-3)
+
+    def test_complex_rom_rejected(self, ladder_desc):
+        from repro.rom import pvl
+
+        rom_c = pvl(ladder_desc, 4, s0=1j * 2 * np.pi * 1e9)
+        with pytest.raises(ValueError, match="complex"):
+            ReducedOrderBlock("X", ["port"], rom_c)
+
+    def test_port_count_mismatch_rejected(self, ladder_rom):
+        with pytest.raises(ValueError, match="square"):
+            ReducedOrderBlock("X", ["a", "b"], ladder_rom)
+
+
+class TestROMInHB:
+    def test_fd_block_matches_rom_device(self, ladder_rom):
+        """The same ROM evaluated as Y(omega) in HB and stamped in the
+        time domain gives the same fundamental response — the paper's
+        both-domains requirement, verified end to end."""
+        f0 = 2e8
+
+        sys_td = host_with(
+            lambda c: c.add(ReducedOrderBlock("X", ["port"], ladder_rom)), f0
+        )
+        hb_td = harmonic_balance(sys_td, harmonics=4)
+
+        sys_fd = host_with(lambda c: c.resistor("Rdummy", "port", "0", 1e9), f0)
+        blk = rom_to_fd_block(sys_fd, ladder_rom, ["port"])
+        hb_fd = harmonic_balance(sys_fd, harmonics=4, fd_blocks=[blk])
+
+        np.testing.assert_allclose(
+            hb_fd.amplitude_at("port", (1,)),
+            hb_td.amplitude_at("port", (1,)),
+            rtol=1e-6,
+        )
+
+    def test_fd_block_with_nonlinear_host(self, ladder_rom):
+        """ROM as HB load behind a diode — mixed linear-model/nonlinear-
+        circuit simulation, the Figure-1-style use case."""
+
+        def add_diode_and_dummy(ckt):
+            ckt.diode("D1", "port", "0")
+            ckt.resistor("Rdummy", "port", "0", 1e9)
+
+        sys = host_with(add_diode_and_dummy, 2e8)
+        blk = rom_to_fd_block(sys, ladder_rom, ["port"])
+        hb = harmonic_balance(sys, harmonics=10, fd_blocks=[blk])
+        assert hb.residual_norm < 1e-7
+        assert hb.amplitude_at("port", (2,)) > 0  # diode generates harmonics
+
+
+class TestNoiseROM:
+    def test_matches_full_noise_analysis(self):
+        ckt = ladder_circuit(n=15)
+        sys = ckt.compile()
+        freqs = np.geomspace(1e6, 1e10, 12)
+        full = noise_analysis(sys, "n15", freqs)
+        nrom = NoiseROM.from_mna(sys, "n15", order=12)
+        np.testing.assert_allclose(nrom.psd(freqs), full.psd, rtol=1e-3)
+
+    def test_contribution_lookup(self):
+        sys = ladder_circuit(n=5).compile()
+        nrom = NoiseROM.from_mna(sys, "n5", order=8)
+        freqs = [1e8]
+        contrib = nrom.contribution(freqs, "R0.thermal")
+        assert contrib[0] > 0
+        total = sum(
+            nrom.contribution(freqs, name)[0] for name in nrom.source_names
+        )
+        np.testing.assert_allclose(total, nrom.psd(freqs)[0], rtol=1e-10)
+
+    def test_rejects_noiseless_circuit(self):
+        ckt = Circuit()
+        ckt.capacitor("C1", "a", "0", 1e-12)
+        ckt.inductor("L1", "a", "0", 1e-9)
+        with pytest.raises(ValueError, match="no noise"):
+            NoiseROM.from_mna(ckt.compile(), "a", order=2)

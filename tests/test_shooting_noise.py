@@ -1,0 +1,100 @@
+"""Tests for univariate shooting PSS and stationary noise analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dc_analysis,
+    noise_analysis,
+    shooting_analysis,
+    transient_analysis,
+)
+from repro.netlist import Circuit, Sine
+from repro.netlist.components import BOLTZMANN
+
+
+class TestShooting:
+    def test_rc_matches_ac(self, rc_lowpass, rc_theory_gain):
+        sh = shooting_analysis(rc_lowpass, period=1e-6, steps_per_period=200)
+        v = sh.voltage(rc_lowpass, "out")
+        amp = 0.5 * (v.max() - v.min())
+        np.testing.assert_allclose(amp, rc_theory_gain, rtol=1e-3)
+
+    def test_periodicity_of_solution(self, diode_rectifier):
+        sh = shooting_analysis(diode_rectifier, period=1e-6, steps_per_period=300)
+        np.testing.assert_allclose(sh.X[:, 0], sh.X[:, -1], atol=1e-6)
+
+    def test_monodromy_stable(self, rc_lowpass):
+        sh = shooting_analysis(rc_lowpass, period=1e-6, steps_per_period=100)
+        eigs = np.abs(np.linalg.eigvals(sh.monodromy))
+        assert np.all(eigs <= 1.0 + 1e-9)
+
+    def test_matches_long_transient(self, diode_rectifier):
+        sh = shooting_analysis(diode_rectifier, period=1e-6, steps_per_period=300)
+        tr = transient_analysis(diode_rectifier, t_stop=15e-6, dt=1e-6 / 300)
+        v_sh = sh.voltage(diode_rectifier, "out")
+        v_tr = tr.voltage(diode_rectifier, "out")[-301:]
+        # 15 us is ~1.5 load time-constants of settling: percent-level match
+        np.testing.assert_allclose(v_sh.mean(), v_tr.mean(), rtol=2e-2)
+
+    def test_faster_than_transient_settling(self, rc_lowpass):
+        """Shooting finds PSS in far fewer simulated periods than settling."""
+        sh = shooting_analysis(rc_lowpass, period=1e-6, steps_per_period=100)
+        periods_simulated = sh.transient_steps / 100
+        assert periods_simulated <= 10  # RC settle would need ~ 5 tau = 5 periods
+
+
+class TestNoise:
+    def test_single_resistor_divider(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 0.0)
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.resistor("R2", "out", "0", 1e3)
+        sys = ckt.compile()
+        res = noise_analysis(sys, "out", [1e3])
+        # two 1k resistors in parallel seen from the output: 4kT * 500
+        np.testing.assert_allclose(
+            res.psd[0], 4 * BOLTZMANN * 300.0 * 500.0, rtol=1e-9
+        )
+
+    def test_contributions_sum_to_total(self):
+        ckt = Circuit()
+        ckt.vsource("V1", "in", "0", 0.0)
+        ckt.resistor("R1", "in", "out", 2e3)
+        ckt.resistor("R2", "out", "0", 3e3)
+        ckt.capacitor("C1", "out", "0", 1e-12)
+        sys = ckt.compile()
+        res = noise_analysis(sys, "out", [1e3, 1e6, 1e9])
+        total = sum(res.contributions.values())
+        np.testing.assert_allclose(total, res.psd, rtol=1e-12)
+
+    def test_rc_filtering_of_noise(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "out", "0", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        sys = ckt.compile()
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        res = noise_analysis(sys, "out", [fc / 100, fc, 100 * fc])
+        # single-pole rolloff of the thermal plateau
+        np.testing.assert_allclose(res.psd[1] / res.psd[0], 0.5, rtol=1e-3)
+        np.testing.assert_allclose(res.psd[2] / res.psd[0], 1e-4, rtol=1e-2)
+
+    def test_diode_shot_noise_bias_dependence(self):
+        def psd_at_bias(v_bias):
+            ckt = Circuit()
+            ckt.vsource("V1", "in", "0", v_bias)
+            ckt.resistor("R1", "in", "d", 1e3)
+            ckt.diode("D1", "d", "0")
+            sys = ckt.compile()
+            return noise_analysis(sys, "d", [1e3]).psd[0]
+
+        assert psd_at_bias(5.0) != psd_at_bias(1.0)
+
+    def test_spot_noise_volts(self):
+        ckt = Circuit()
+        ckt.resistor("R1", "out", "0", 1e3)
+        sys = ckt.compile()
+        res = noise_analysis(sys, "out", [1e3])
+        np.testing.assert_allclose(
+            res.spot_noise_volts(0), np.sqrt(4 * BOLTZMANN * 300 * 1e3), rtol=1e-9
+        )

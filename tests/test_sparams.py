@@ -1,0 +1,86 @@
+"""Tests for network-parameter conversions."""
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    abcd_to_s,
+    cascade_abcd,
+    s21_db,
+    s_to_y,
+    s_to_z,
+    series_impedance_twoport,
+    shunt_admittance_twoport,
+    y_to_s,
+    z_to_s,
+)
+
+
+class TestConversions:
+    def test_z_s_roundtrip(self):
+        rng = np.random.default_rng(0)
+        Z = rng.standard_normal((3, 3)) * 50 + 1j * rng.standard_normal((3, 3)) * 20
+        np.testing.assert_allclose(s_to_z(z_to_s(Z)), Z, rtol=1e-10)
+
+    def test_y_s_roundtrip(self):
+        rng = np.random.default_rng(1)
+        Y = (rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))) * 0.02
+        np.testing.assert_allclose(s_to_y(y_to_s(Y)), Y, rtol=1e-10)
+
+    def test_matched_load_s11_zero(self):
+        Z = np.array([[50.0]])
+        S = z_to_s(Z, z0=50.0)
+        np.testing.assert_allclose(S[0, 0], 0.0, atol=1e-14)
+
+    def test_open_circuit_s11_one(self):
+        S = z_to_s(np.array([[1e12]]), z0=50.0)
+        np.testing.assert_allclose(S[0, 0], 1.0, rtol=1e-9)
+
+    def test_short_circuit_s11_minus_one(self):
+        S = z_to_s(np.array([[1e-9]]), z0=50.0)
+        np.testing.assert_allclose(S[0, 0], -1.0, rtol=1e-9)
+
+
+class TestABCD:
+    def test_through_line_unity(self):
+        M = cascade_abcd(series_impedance_twoport(0.0))
+        S = abcd_to_s(M)
+        np.testing.assert_allclose(S[1, 0], 1.0, atol=1e-12)
+        np.testing.assert_allclose(S[0, 0], 0.0, atol=1e-12)
+
+    def test_series_50_ohm_loss(self):
+        S = abcd_to_s(series_impedance_twoport(50.0))
+        # |S21| = 2 z0 / (2 z0 + Z) = 100/150
+        np.testing.assert_allclose(abs(S[1, 0]), 2 / 3, rtol=1e-12)
+
+    def test_cascade_order(self):
+        a = series_impedance_twoport(10.0)
+        b = shunt_admittance_twoport(0.01)
+        M = cascade_abcd(a, b)
+        np.testing.assert_allclose(M, a @ b, rtol=1e-12)
+
+    def test_lc_resonator_notch_and_peak(self):
+        # series LC in a through path: transmission peaks at resonance
+        L, C = 5e-9, 2e-12
+        f0 = 1 / (2 * np.pi * np.sqrt(L * C))
+
+        def s21_at(f):
+            w = 2 * np.pi * f
+            z = 1j * w * L + 1 / (1j * w * C)
+            return abs(abcd_to_s(series_impedance_twoport(z))[1, 0])
+
+        assert s21_at(f0) > 0.999
+        assert s21_at(f0 / 4) < 0.5
+
+    def test_s21_db_helper(self):
+        S = np.array([[0.0, 0.0], [0.1, 0.0]])
+        np.testing.assert_allclose(s21_db(S), -20.0, rtol=1e-9)
+
+    def test_reciprocity_of_passive_cascade(self):
+        M = cascade_abcd(
+            series_impedance_twoport(10 + 5j),
+            shunt_admittance_twoport(0.002j),
+            series_impedance_twoport(20.0),
+        )
+        S = abcd_to_s(M)
+        np.testing.assert_allclose(S[0, 1], S[1, 0], rtol=1e-10)

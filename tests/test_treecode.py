@@ -1,0 +1,77 @@
+"""Tests for the multipole-class treecode operator."""
+
+import numpy as np
+import pytest
+
+from repro.em import PanelKernel, build_treecode, conductor_bus, make_plate
+
+
+@pytest.fixture(scope="module")
+def bus_kernel():
+    panels = conductor_bus(num=3, width=2e-6, length=80e-6, pitch=6e-6, nx=2, ny=24)
+    return panels, PanelKernel(panels)
+
+
+class TestTreecode:
+    def test_matvec_accuracy_free_space(self, bus_kernel):
+        panels, kern = bus_kernel
+        tc = build_treecode(kern, eta=1.0)
+        P = kern.dense()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(len(panels))
+        err = np.linalg.norm(tc.matvec(x) - P @ x) / np.linalg.norm(P @ x)
+        assert err < 2e-2  # monopole+dipole: percent-level far field
+
+    def test_tighter_eta_more_accurate(self, bus_kernel):
+        panels, kern = bus_kernel
+        P = kern.dense()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(len(panels))
+
+        def err(eta):
+            tc = build_treecode(kern, eta=eta)
+            return np.linalg.norm(tc.matvec(x) - P @ x) / np.linalg.norm(P @ x)
+
+        assert err(0.7) < err(2.5)
+
+    def test_near_field_exact(self):
+        # with eta tiny, everything is near field -> exact
+        panels = make_plate(10e-6, 10e-6, 3, 3)
+        kern = PanelKernel(panels)
+        tc = build_treecode(kern, eta=1e-6, leaf_size=4)
+        P = kern.dense()
+        x = np.arange(9, dtype=float)
+        np.testing.assert_allclose(tc.matvec(x), P @ x, rtol=1e-12)
+
+    def test_solve_converges(self, bus_kernel):
+        panels, kern = bus_kernel
+        tc = build_treecode(kern, eta=1.0)
+        sel = np.array([p.conductor for p in panels])
+        res = tc.solve((sel == 0).astype(float), tol=1e-8)
+        assert res.converged
+        # solution close to the dense one (percent level)
+        q = np.linalg.solve(kern.dense(), (sel == 0).astype(float))
+        rel = np.linalg.norm(res.x - q) / np.linalg.norm(q)
+        assert rel < 5e-2
+
+    def test_stores_less_than_dense(self, bus_kernel):
+        panels, kern = bus_kernel
+        tc = build_treecode(kern, eta=1.5)
+        assert tc.stored_floats < len(panels) ** 2
+
+    def test_kernel_dependence_on_image_kernel(self):
+        """The documented limitation: image kernels break the far field."""
+        panels = conductor_bus(num=3, width=2e-6, length=80e-6, pitch=6e-6, nx=2, ny=24)
+        for p in panels:
+            p.center = p.center + np.array([0.0, 0.0, 2e-6])
+        kern_free = PanelKernel(panels, ground_plane=False)
+        kern_gnd = PanelKernel(panels, ground_plane=True)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(len(panels))
+
+        def err(kern):
+            tc = build_treecode(kern, eta=1.5)
+            P = kern.dense()
+            return np.linalg.norm(tc.matvec(x) - P @ x) / np.linalg.norm(P @ x)
+
+        assert err(kern_gnd) > 5 * err(kern_free)

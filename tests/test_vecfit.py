@@ -1,0 +1,164 @@
+"""Tests for vector fitting and the data -> model -> co-simulation path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis
+from repro.netlist import Circuit, Sine
+from repro.rom import ReducedOrderBlock, vector_fit
+from repro.rom.vecfit import initial_poles
+
+
+def rational(s, poles, residues, d=0.0):
+    out = np.full(np.asarray(s).shape, d, dtype=complex)
+    for p, r in zip(poles, residues):
+        out = out + r / (s - p)
+    return out
+
+
+class TestVectorFit:
+    def test_exact_recovery_mixed_poles(self):
+        poles = np.array([-1e9 + 2e9j, -1e9 - 2e9j, -5e8])
+        res = np.array([1e8 + 5e7j, 1e8 - 5e7j, 2e8])
+        f = np.geomspace(1e7, 1e10, 150)
+        s = 2j * np.pi * f
+        H = rational(s, poles, res, d=1e-3)
+        fit = vector_fit(f, H, n_poles=3)
+        assert fit.rms_error < 1e-6
+        np.testing.assert_allclose(
+            np.sort(fit.poles.real), np.sort(poles.real), rtol=1e-4
+        )
+        np.testing.assert_allclose(fit.d, 1e-3, rtol=1e-3)
+
+    def test_two_resonance_fit(self):
+        poles = np.array(
+            [-2e8 + 5e9j, -2e8 - 5e9j, -4e8 + 1.5e10j, -4e8 - 1.5e10j]
+        )
+        res = np.array([3e8, 3e8, 1e8 - 2e8j, 1e8 + 2e8j])
+        f = np.geomspace(1e8, 1e11, 300)
+        s = 2j * np.pi * f
+        H = rational(s, poles, res)
+        fit = vector_fit(f, H, n_poles=4, fit_d=False)
+        assert fit.rms_error < 1e-5
+
+    def test_stability_enforced(self):
+        # noisy data that tempts unstable poles
+        rng = np.random.default_rng(0)
+        f = np.geomspace(1e6, 1e9, 100)
+        s = 2j * np.pi * f
+        H = rational(s, np.array([-1e7]), np.array([1e7])) * (
+            1 + 0.05 * rng.standard_normal(f.size)
+        )
+        fit = vector_fit(f, H, n_poles=4)
+        assert np.all(fit.poles.real <= 0)
+
+    def test_more_poles_reduce_error_on_real_data(self):
+        from repro.em import SpiralInductor, SubstrateModel
+
+        coil = SpiralInductor(
+            turns=3, outer=200e-6, width=10e-6, spacing=5e-6, thickness=1e-6,
+            nw=1, nt=1, substrate=SubstrateModel(), max_segment_length=100e-6,
+        )
+        freqs = np.geomspace(0.05e9, 10e9, 50)
+        Z, _, _ = coil.sweep(freqs)
+        Y = 1.0 / Z
+        err = [vector_fit(freqs, Y, n_poles=n).rms_error for n in (2, 6, 10)]
+        assert err[1] < err[0]
+        assert err[2] <= err[1] * 1.5
+        assert err[2] < 0.05
+
+    def test_initial_poles_cover_band(self):
+        poles = initial_poles([1e6, 1e9], 6)
+        assert poles.size == 6
+        assert np.all(poles.real < 0)
+        freqs = np.abs(poles.imag[poles.imag > 0]) / (2 * np.pi)
+        assert freqs.min() < 1e7 and freqs.max() > 1e8
+
+    def test_transfer_evaluation(self):
+        poles = np.array([-1e6])
+        res = np.array([2e6])
+        f = np.geomspace(1e4, 1e8, 50)
+        fit = vector_fit(f, rational(2j * np.pi * f, poles, res), n_poles=1)
+        s_test = np.array([0.0 + 1j * 2 * np.pi * 1e5])
+        np.testing.assert_allclose(
+            fit.transfer(s_test), rational(s_test, poles, res), rtol=1e-6
+        )
+
+
+class TestRealization:
+    def test_reduced_system_matches_fit(self):
+        poles = np.array([-1e9 + 3e9j, -1e9 - 3e9j, -2e8])
+        res = np.array([2e8 - 1e8j, 2e8 + 1e8j, 5e7])
+        f = np.geomspace(1e7, 1e10, 120)
+        s = 2j * np.pi * f
+        fit = vector_fit(f, rational(s, poles, res, d=2e-3), n_poles=3)
+        rom = fit.to_reduced_system()
+        np.testing.assert_allclose(
+            rom.transfer(s)[:, 0, 0], fit.transfer(s), rtol=1e-8
+        )
+        # realization is real-valued
+        for mat in (rom.C, rom.G, rom.B, rom.L, rom.D):
+            assert not np.iscomplexobj(mat) or np.max(np.abs(np.imag(mat))) == 0
+
+    def test_fitted_model_as_circuit_element(self):
+        """Data -> vector fit -> ReducedOrderBlock -> AC simulation: the
+        fitted admittance behaves like the network it was sampled from."""
+        # sample the admittance of a series RLC branch to ground
+        R, L, C = 10.0, 5e-9, 2e-12
+        f0 = 1 / (2 * np.pi * np.sqrt(L * C))
+        f = np.geomspace(0.1 * f0, 10 * f0, 200)
+        s = 2j * np.pi * f
+        Y = 1.0 / (R + s * L + 1.0 / (s * C))
+        fit = vector_fit(f, Y, n_poles=2, fit_d=False)
+        assert fit.rms_error < 1e-3
+        rom = fit.to_reduced_system()
+
+        host = Circuit("host")
+        host.vsource("Vin", "src", "0", Sine(1.0, f0))
+        host.resistor("Rs", "src", "port", 50.0)
+        host.add(ReducedOrderBlock("Xfit", ["port"], rom))
+        sys = host.compile()
+        freqs_test = np.array([0.3 * f0, f0, 3 * f0])
+        ac = ac_analysis(sys, "Vin", freqs_test)
+        v = ac.voltage(sys, "port")
+        expect = 1.0 / (1.0 + 50.0 * np.interp(freqs_test, f, np.real(Y)) \
+                        + 1j * 50.0 * np.interp(freqs_test, f, np.imag(Y)))
+        np.testing.assert_allclose(np.abs(v), np.abs(expect), rtol=2e-2)
+        # at resonance the branch loads the divider hardest
+        assert np.abs(v)[1] < np.abs(v)[0] and np.abs(v)[1] < np.abs(v)[2]
+
+
+class TestCommonPoles:
+    def test_shared_pole_multiport_fit(self):
+        """All entries of a multiport share the structure's resonances."""
+        from repro.rom import vector_fit_common_poles
+
+        poles = np.array([-2e8 + 5e9j, -2e8 - 5e9j, -1e8 + 1.2e10j, -1e8 - 1.2e10j])
+        f = np.geomspace(1e8, 5e10, 200)
+        s = 2j * np.pi * f
+
+        def resp(res):
+            return sum(r / (s - p) for p, r in zip(poles, res))
+
+        H11 = resp([3e8, 3e8, 1e8, 1e8])
+        H21 = resp([1e8 - 2e8j, 1e8 + 2e8j, -5e7, -5e7])
+        fits = vector_fit_common_poles(f, [H11, H21], n_poles=4, fit_d=False)
+        assert fits[0].rms_error < 1e-4
+        assert fits[1].rms_error < 1e-4
+        np.testing.assert_allclose(fits[0].poles, fits[1].poles)
+        np.testing.assert_allclose(
+            np.sort(fits[0].poles.imag), np.sort(poles.imag), rtol=1e-3
+        )
+
+    def test_single_response_degenerates_to_siso(self):
+        from repro.rom import vector_fit, vector_fit_common_poles
+
+        poles = np.array([-1e8 + 3e9j, -1e8 - 3e9j])
+        f = np.geomspace(1e8, 2e10, 120)
+        s = 2j * np.pi * f
+        H = sum(2e8 / (s - p) for p in poles)
+        multi = vector_fit_common_poles(f, H, n_poles=2, fit_d=False)[0]
+        siso = vector_fit(f, H, n_poles=2, fit_d=False)
+        np.testing.assert_allclose(
+            np.sort_complex(multi.poles), np.sort_complex(siso.poles), rtol=1e-6
+        )

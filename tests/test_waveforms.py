@@ -1,0 +1,121 @@
+"""Tests for source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import DC, PWL, MultiTone, Pulse, Sine, SquareWave
+
+
+class TestDC:
+    def test_value_everywhere(self):
+        w = DC(2.5)
+        t = np.linspace(0, 1, 7)
+        np.testing.assert_array_equal(w(t), np.full(7, 2.5))
+        assert w.dc == 2.5
+        assert w.frequencies == ()
+
+
+class TestSine:
+    def test_amplitude_and_period(self):
+        w = Sine(amplitude=2.0, freq=10.0)
+        t = np.linspace(0, 0.1, 1000, endpoint=False)
+        v = w(t)
+        assert abs(v.max() - 2.0) < 1e-3
+        assert abs(v.min() + 2.0) < 1e-3
+        np.testing.assert_allclose(w(0.0), 0.0, atol=1e-12)
+
+    def test_offset_and_phase(self):
+        w = Sine(1.0, 5.0, phase=np.pi / 2, offset=3.0)
+        np.testing.assert_allclose(w(0.0), 4.0)  # offset + sin(pi/2)
+        assert w.dc == 3.0
+        assert w.frequencies == (5.0,)
+
+
+class TestMultiTone:
+    def test_sum_of_tones(self):
+        w = MultiTone([(1.0, 3.0, 0.0), (0.5, 7.0, 0.1)], offset=0.2)
+        t = np.array([0.0, 0.01, 0.02])
+        expect = 0.2 + np.sin(2 * np.pi * 3 * t) + 0.5 * np.sin(2 * np.pi * 7 * t + 0.1)
+        np.testing.assert_allclose(w(t), expect, rtol=1e-12)
+
+    def test_frequencies(self):
+        w = MultiTone([(1.0, 3.0, 0.0), (0.5, 7.0, 0.0)])
+        assert w.frequencies == (3.0, 7.0)
+        assert w.dc == 0.0
+
+
+class TestSquareWave:
+    def test_levels(self):
+        w = SquareWave(amplitude=1.0, freq=10.0, sharpness=50.0)
+        assert w(0.025) > 0.99  # quarter period: top
+        assert w(0.075) < -0.99
+        assert w.frequencies == (10.0,)
+
+    def test_smooth_edges(self):
+        w = SquareWave(1.0, 1.0, sharpness=10.0)
+        t = np.linspace(0, 1, 10001)
+        dv = np.diff(w(t)) / np.diff(t)
+        assert np.max(np.abs(dv)) < 100.0  # finite slew rate
+
+
+class TestPulse:
+    def test_plateau_levels(self):
+        w = Pulse(v1=0.0, v2=5.0, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        assert w(0.2) == 5.0
+        assert w(0.9) == 0.0
+
+    def test_rise_interpolation(self):
+        w = Pulse(v1=0.0, v2=4.0, rise=0.2, fall=0.1, width=0.3, period=1.0)
+        np.testing.assert_allclose(w(0.1), 2.0)
+
+    def test_periodicity(self):
+        w = Pulse(v1=-1.0, v2=1.0, rise=0.05, fall=0.05, width=0.4, period=1.0)
+        t = np.linspace(0, 1, 100, endpoint=False)
+        np.testing.assert_allclose(w(t), w(t + 3.0), atol=1e-12)
+
+    def test_delay_holds_v1(self):
+        w = Pulse(v1=0.3, v2=1.0, delay=0.5, rise=0.01, fall=0.01, width=0.2, period=1.0)
+        assert w(0.2) == 0.3
+
+    def test_dc_average(self):
+        w = Pulse(v1=0.0, v2=1.0, rise=1e-9, fall=1e-9, width=0.5, period=1.0)
+        assert abs(w.dc - 0.5) < 1e-6
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PWL([(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)])
+        np.testing.assert_allclose(w(0.5), 1.0)
+        np.testing.assert_allclose(w(1.5), 1.0)
+
+    def test_clamps_outside(self):
+        w = PWL([(0.0, 1.0), (1.0, 3.0)])
+        assert w(-1.0) == 1.0
+        assert w(2.0) == 3.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PWL([(0.0, 1.0)])
+
+
+class TestAMSource:
+    def test_matches_direct_am_expression(self):
+        from repro.netlist import am_source
+
+        w = am_source(1.0, 1e6, 1e4, 0.5)
+        t = np.linspace(0, 1e-4, 5001)
+        direct = (1 + 0.5 * np.sin(2 * np.pi * 1e4 * t)) * np.sin(2 * np.pi * 1e6 * t)
+        np.testing.assert_allclose(w(t), direct, atol=1e-12)
+
+    def test_three_tones(self):
+        from repro.netlist import am_source
+
+        w = am_source(2.0, 1e6, 1e4, 0.3)
+        assert sorted(w.frequencies) == [0.99e6, 1e6, 1.01e6]
+
+    def test_sideband_amplitudes(self):
+        from repro.netlist import am_source
+
+        w = am_source(2.0, 1e6, 1e4, 0.3)
+        amps = sorted(abs(a) for a, _, _ in w.tones)
+        np.testing.assert_allclose(amps, [0.3, 0.3, 2.0])
