@@ -16,7 +16,7 @@ from repro.analysis import transient_analysis
 from repro.hb import harmonic_balance
 from repro.rf import ModulatorSpec, quadrature_modulator
 
-from conftest import report
+from conftest import format_strategy_counts, report
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +42,7 @@ def test_fig1_spectrum_shape(hb_result, benchmark):
             ("carrier (USB)", f"{(spec.f_carrier+spec.f_bb)/1e9:.6f} GHz", 0.0, "reference"),
         ],
         header=("component", "frequency", "level dBc", "paper"),
+        notes=(format_strategy_counts(hb),),
     )
     assert -40.0 < image_dbc < -30.0, "imbalance sideband must sit near -35 dBc"
     assert -84.0 < lo_dbc < -72.0, "LO spur must sit near -78 dBc"

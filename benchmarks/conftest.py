@@ -9,6 +9,37 @@ doubles as the experiment log (EXPERIMENTS.md records one frozen copy).
 import sys
 
 
+def strategy_counts(*results):
+    """Collate per-strategy attempt counts from result SolveReports.
+
+    Accepts any analysis results (or bare reports); entries without a
+    report are skipped.  Returns ``{strategy: attempts}`` totals — the
+    benchmarks print these so a run that silently leaned on a recovery
+    rung (gmin stepping, source ramp, restart escalation, ...) is
+    visible in the experiment log.
+    """
+    totals = {}
+    for res in results:
+        rep = getattr(res, "report", res)
+        counts = getattr(rep, "attempt_counts", None)
+        if not callable(counts):
+            continue
+        for name, k in counts().items():
+            totals[name] = totals.get(name, 0) + k
+    return totals
+
+
+def format_strategy_counts(*results):
+    """One-line ``strategy x count`` summary for a report note."""
+    totals = strategy_counts(*results)
+    if not totals:
+        return "solver attempts: none recorded"
+    body = ", ".join(
+        f"{name}x{k}" if k > 1 else name for name, k in sorted(totals.items())
+    )
+    return f"solver attempts: {body}"
+
+
 def report(title, rows, header=None, notes=()):
     """Print a paper-style table; returns the rows for further asserts."""
     out = sys.stdout

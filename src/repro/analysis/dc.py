@@ -1,14 +1,21 @@
 """DC operating-point analysis.
 
-Solves ``f(x) = b_dc`` by damped Newton, with two continuation fallbacks
-when plain Newton fails on strongly nonlinear circuits:
+Solves ``f(x) = b_dc`` by damped Newton, escalating through the standard
+SPICE homotopies when plain Newton fails on strongly nonlinear circuits.
+The escalation ladder (see :mod:`repro.robust.policy`) is
+
+    ``newton`` → ``gmin-stepping`` → ``source-stepping`` → ``pseudo-transient``
 
 * **gmin stepping** — a shunt conductance on every node diagonal is swept
   from large to negligible;
-* **source stepping** — the excitation is ramped from 0 to 100 %.
+* **source stepping** — the excitation is ramped from 0 to 100 %;
+* **pseudo-transient** — artificial time stepping ``(x_k+1 - x_k)/h``
+  with a growing step, the last-resort continuation that follows the
+  circuit's own relaxation dynamics toward the operating point.
 
-Both are the standard SPICE homotopies; RF circuits full of exponential
-junctions routinely need them.
+Every result carries a :class:`~repro.robust.report.SolveReport`
+recording each attempt; ``on_failure="best_effort"`` returns the best
+iterate with ``converged=False`` instead of raising.
 """
 
 from __future__ import annotations
@@ -21,8 +28,12 @@ import scipy.sparse as sp
 
 from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
 from repro.netlist.mna import MNASystem
+from repro.robust import EscalationPolicy, RungOutcome, SolveReport, run_ladder
 
-__all__ = ["DCResult", "dc_analysis"]
+__all__ = ["DCResult", "dc_analysis", "DC_LADDER"]
+
+#: Rung names of the DC escalation ladder, in order.
+DC_LADDER = ("newton", "gmin-stepping", "source-stepping", "pseudo-transient")
 
 
 @dataclasses.dataclass
@@ -33,6 +44,8 @@ class DCResult:
     iterations: int
     strategy: str
     residual_norm: float
+    converged: bool = True
+    report: Optional[SolveReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> float:
         return float(self.x[system.node(node)])
@@ -60,6 +73,8 @@ def dc_analysis(
     abstol: float = 1e-9,
     maxiter: int = 100,
     dx_limit: float = 2.0,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
 ) -> DCResult:
     """Find the DC operating point of a compiled circuit.
 
@@ -72,51 +87,131 @@ def dc_analysis(
     dx_limit:
         Per-iteration cap on the Newton update infinity-norm; junction
         devices blow up without it.
+    policy:
+        Escalation policy selecting/ordering rungs from
+        :data:`DC_LADDER` and setting the failure mode.
+    on_failure:
+        ``"raise"`` (default) / ``"warn"`` / ``"best_effort"``;
+        overrides ``policy.on_failure``.
     """
     b = system.b_dc()
     guess = np.zeros(system.n) if x0 is None else np.asarray(x0, dtype=float)
     opts = NewtonOptions(abstol=abstol, maxiter=maxiter, dx_limit=dx_limit)
 
-    try:
+    def _outcome(x, iterations, res):
+        return RungOutcome(
+            value=x,
+            iterations=iterations,
+            residual_norm=res.residual_norm,
+            history=list(res.history),
+        )
+
+    def newton_rung():
         res = _newton_dc(system, b, guess, 0.0, opts)
-        return DCResult(res.x, res.iterations, "newton", res.residual_norm)
-    except ConvergenceError:
-        pass
+        return _outcome(res.x, res.iterations, res)
 
-    # gmin stepping
-    x = guess.copy()
-    total_iters = 0
-    try:
-        for gshunt in 10.0 ** np.arange(-2, -13, -1.0):
-            res = _newton_dc(system, b, x, gshunt, opts)
-            x = res.x
-            total_iters += res.iterations
-        res = _newton_dc(system, b, x, 0.0, opts)
-        return DCResult(res.x, total_iters + res.iterations, "gmin-stepping", res.residual_norm)
-    except ConvergenceError:
-        pass
-
-    # source stepping
-    x = guess.copy()
-    total_iters = 0
-    alpha = 0.0
-    step = 0.1
-    failures = 0
-    while alpha < 1.0:
-        target = min(1.0, alpha + step)
+    def gmin_rung():
+        x = guess.copy()
+        total = 0
         try:
-            res = _newton_dc(system, target * b, x, 0.0, opts)
-            x = res.x
-            total_iters += res.iterations
-            alpha = target
-            step = min(step * 2.0, 0.25)
-        except ConvergenceError:
-            step *= 0.5
-            failures += 1
-            if failures > 40 or step < 1e-6:
-                raise ConvergenceError(
-                    f"DC analysis failed for {system.title!r}: newton, gmin and "
-                    f"source stepping all diverged (stalled at alpha={alpha:.3g})"
-                )
-    final = _newton_dc(system, b, x, 0.0, opts)
-    return DCResult(final.x, total_iters + final.iterations, "source-stepping", final.residual_norm)
+            for gshunt in 10.0 ** np.arange(-2, -13, -1.0):
+                res = _newton_dc(system, b, x, gshunt, opts)
+                x = res.x
+                total += res.iterations
+            res = _newton_dc(system, b, x, 0.0, opts)
+        except ConvergenceError as exc:
+            exc.iterations = total + int(getattr(exc, "iterations", 0) or 0)
+            if getattr(exc, "best_x", None) is None:
+                exc.best_x = x
+            raise
+        return _outcome(res.x, total + res.iterations, res)
+
+    def source_rung():
+        x = guess.copy()
+        total = 0
+        alpha = 0.0
+        step = 0.1
+        failures = 0
+        while alpha < 1.0:
+            target = min(1.0, alpha + step)
+            try:
+                res = _newton_dc(system, target * b, x, 0.0, opts)
+                x = res.x
+                total += res.iterations
+                alpha = target
+                step = min(step * 2.0, 0.25)
+            except ConvergenceError:
+                step *= 0.5
+                failures += 1
+                if failures > 40 or step < 1e-6:
+                    exc = ConvergenceError(
+                        f"source stepping stalled at alpha = {alpha:.3g} "
+                        f"for {system.title!r}"
+                    )
+                    exc.best_x = x
+                    exc.iterations = total
+                    raise exc
+        final = _newton_dc(system, b, x, 0.0, opts)
+        return _outcome(final.x, total + final.iterations, final)
+
+    def pseudo_transient_rung():
+        # Artificial time stepping d x / d tau = -(f(x) - b): regularizes
+        # every unknown (including branch currents, which gmin misses)
+        # and follows the relaxation trajectory; the step grows until the
+        # implicit solve *is* the DC Newton solve.
+        n = system.n
+        reg = sp.identity(n, format="csr")
+        x = guess.copy()
+        total = 0
+        h = 1e-9
+        try:
+            for _ in range(36):
+                x_prev = x
+
+                def residual(z):
+                    return system.f(z) - b + (reg @ (z - x_prev)) / h
+
+                def jacobian(z):
+                    return (system.G(z) + reg / h).tocsc()
+
+                res = newton_solve(residual, jacobian, x, opts)
+                x = res.x
+                total += res.iterations
+                h *= 4.0
+                if h > 1.0 and np.linalg.norm(system.f(x) - b) <= abstol * 10:
+                    break
+            final = _newton_dc(system, b, x, 0.0, opts)
+        except ConvergenceError as exc:
+            exc.iterations = total + int(getattr(exc, "iterations", 0) or 0)
+            if getattr(exc, "best_x", None) is None:
+                exc.best_x = x
+            raise
+        return _outcome(final.x, total + final.iterations, final)
+
+    strategies = [
+        ("newton", newton_rung),
+        ("gmin-stepping", gmin_rung),
+        ("source-stepping", source_rung),
+        ("pseudo-transient", pseudo_transient_rung),
+    ]
+
+    def fallback(best, rep):
+        x = best.value if best is not None else guess
+        norm = best.residual_norm if best is not None else float("inf")
+        return RungOutcome(value=np.asarray(x), residual_norm=norm)
+
+    out, rep = run_ladder(
+        "dc", strategies, policy=policy, on_failure=on_failure, fallback=fallback
+    )
+    winning = rep.strategy or "best-effort"
+    norm = out.residual_norm
+    if not np.isfinite(norm):
+        norm = float(np.linalg.norm(system.f(out.value) - b))
+    return DCResult(
+        x=out.value,
+        iterations=rep.total_iterations,
+        strategy=winning,
+        residual_norm=norm,
+        converged=rep.converged,
+        report=rep,
+    )

@@ -29,10 +29,20 @@ import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro.analysis.dc import dc_analysis
-from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
+from repro.linalg import ConvergenceError, NewtonOptions, attach_failure_payload, newton_solve
 from repro.netlist.mna import MNASystem
+from repro.robust import EscalationPolicy, RungOutcome, SolveReport, run_ladder
 
-__all__ = ["ShootingResult", "shooting_analysis", "integrate_with_sensitivity"]
+__all__ = [
+    "ShootingResult",
+    "shooting_analysis",
+    "integrate_with_sensitivity",
+    "SHOOTING_LADDER",
+]
+
+#: Escalation rungs for forced-circuit shooting: plain Newton shooting,
+#: then a transient settle to supply a near-cycle initial guess.
+SHOOTING_LADDER = ("shooting", "transient-settle")
 
 
 @dataclasses.dataclass
@@ -49,6 +59,8 @@ class ShootingResult:
     period: float
     newton_iterations: int
     transient_steps: int
+    converged: bool = True
+    report: Optional[SolveReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
@@ -131,6 +143,9 @@ def shooting_analysis(
     method: str = "trap",
     abstol: float = 1e-8,
     maxiter: int = 40,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
+    settle_periods: int = 8,
 ) -> ShootingResult:
     """Periodic steady state of a forced circuit by Newton shooting.
 
@@ -142,38 +157,96 @@ def shooting_analysis(
     steps_per_period:
         Transient steps per period; accuracy of the PSS waveform (and of
         the Figure 5 runtime comparison) scales with it.
+    policy / on_failure:
+        Escalation control over :data:`SHOOTING_LADDER`.  The
+        ``transient-settle`` rung integrates ``settle_periods`` forcing
+        periods of plain transient to land near the limit cycle, then
+        re-shoots from there — the standard rescue when shooting from
+        the DC point diverges.
     """
-    if x0 is None:
-        x0 = dc_analysis(system).x
-    x0 = np.asarray(x0, dtype=float).copy()
+    guess = dc_analysis(system).x if x0 is None else np.asarray(x0, dtype=float)
+    guess = guess.copy()
     n = system.n
-    total_newton = 0
-    total_steps = 0
-    last = {}
+    counters = {"newton": 0, "steps": 0}
 
-    for it in range(maxiter):
-        t, X, M, iters = integrate_with_sensitivity(
-            system, x0, t0, period, steps_per_period, method
-        )
-        total_newton += iters
-        total_steps += steps_per_period
-        F = X[:, -1] - x0
-        last = {"t": t, "X": X, "M": M}
-        if np.linalg.norm(F) <= abstol * max(1.0, np.linalg.norm(x0)):
-            return ShootingResult(
-                x0=x0,
-                t=t,
-                X=X,
-                monodromy=M,
-                period=period,
-                newton_iterations=total_newton,
-                transient_steps=total_steps,
+    def _shoot(start):
+        z = start.copy()
+        history = []
+        best = None
+        for it in range(maxiter):
+            t, X, M, iters = integrate_with_sensitivity(
+                system, z, t0, period, steps_per_period, method
             )
-        J = M - np.eye(n)
-        dx = np.linalg.solve(J, F)
-        x0 = x0 - dx
+            counters["newton"] += iters
+            counters["steps"] += steps_per_period
+            F = X[:, -1] - z
+            fnorm = float(np.linalg.norm(F))
+            history.append(fnorm)
+            if best is None or fnorm < best[0]:
+                best = (fnorm, z.copy(), t, X, M)
+            if fnorm <= abstol * max(1.0, np.linalg.norm(z)):
+                return RungOutcome(
+                    value=(z, t, X, M),
+                    iterations=it + 1,
+                    residual_norm=fnorm,
+                    history=history,
+                )
+            J = M - np.eye(n)
+            dx = np.linalg.solve(J, F)
+            z = z - dx
+        raise attach_failure_payload(
+            ConvergenceError(
+                f"shooting failed to converge in {maxiter} outer iterations "
+                f"(best |x(T)-x(0)| = {best[0]:.3e})"
+            ),
+            best_x=best[1],
+            best_norm=best[0],
+            iterations=maxiter,
+            history=history,
+        )
 
-    raise ConvergenceError(
-        f"shooting failed to converge in {maxiter} outer iterations "
-        f"(|x(T)-x(0)| = {np.linalg.norm(last['X'][:, -1] - x0):.3e})"
+    def shooting_rung():
+        return _shoot(guess)
+
+    def settle_rung():
+        # late import: transient imports this module's sibling dc only,
+        # but keep the dependency local to the rung regardless
+        from repro.analysis.transient import transient_analysis
+
+        dt = period / steps_per_period
+        tr = transient_analysis(
+            system, t_stop=settle_periods * period, dt=dt, x0=guess, method=method
+        )
+        counters["newton"] += tr.newton_iterations
+        counters["steps"] += tr.t.size - 1
+        return _shoot(tr.X[:, -1])
+
+    strategies = [("shooting", shooting_rung), ("transient-settle", settle_rung)]
+
+    def fallback(best, rep):
+        start = best.value if best is not None else guess
+        t, X, M, iters = integrate_with_sensitivity(
+            system, np.asarray(start), t0, period, steps_per_period, method
+        )
+        counters["newton"] += iters
+        counters["steps"] += steps_per_period
+        return RungOutcome(
+            value=(np.asarray(start), t, X, M),
+            residual_norm=best.residual_norm if best is not None else float("inf"),
+        )
+
+    out, rep = run_ladder(
+        "shooting", strategies, policy=policy, on_failure=on_failure, fallback=fallback
+    )
+    z, t, X, M = out.value
+    return ShootingResult(
+        x0=z,
+        t=t,
+        X=X,
+        monodromy=M,
+        period=period,
+        newton_iterations=counters["newton"],
+        transient_steps=counters["steps"],
+        converged=rep.converged,
+        report=rep,
     )

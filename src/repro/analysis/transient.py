@@ -16,6 +16,7 @@ variant of it.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
@@ -24,8 +25,17 @@ import scipy.sparse.linalg as spla
 from repro.analysis.dc import dc_analysis
 from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
 from repro.netlist.mna import MNASystem
+from repro.robust import AttemptRecord, EscalationPolicy, SolveFailure, SolveReport
 
-__all__ = ["TransientResult", "transient_analysis", "step_once"]
+__all__ = ["TransientResult", "transient_analysis", "step_once", "TRANSIENT_LADDER"]
+
+#: Recovery rungs of the transient step loop: a plain implicit step,
+#: then exponential step backoff down to a floor.
+TRANSIENT_LADDER = ("step", "step-backoff")
+
+# cap on per-rejection attempt records kept in the report (the counters
+# remain exact; only the detailed records are bounded)
+_MAX_RECORDED_REJECTIONS = 40
 
 
 @dataclasses.dataclass
@@ -36,6 +46,8 @@ class TransientResult:
     X: np.ndarray
     newton_iterations: int
     rejected_steps: int = 0
+    converged: bool = True
+    report: Optional[SolveReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
@@ -92,6 +104,9 @@ def transient_analysis(
     lte_tol: float = 1e-4,
     max_steps: int = 2_000_000,
     callback: Optional[Callable[[float, np.ndarray], None]] = None,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
+    h_floor: Optional[float] = None,
 ) -> TransientResult:
     """Integrate the circuit from ``t_start`` to ``t_stop``.
 
@@ -106,7 +121,22 @@ def transient_analysis(
     adaptive:
         Enable step-size control based on a local extrapolation error
         estimate; ``lte_tol`` is the per-step relative target.
+    policy / on_failure:
+        Failure handling for the step-backoff ladder.  On an unrecoverable
+        step (backoff hit ``h_floor``) the default raises; ``"warn"`` /
+        ``"best_effort"`` return the partial trajectory integrated so far
+        with ``converged=False`` and the report attached.
+    h_floor:
+        Smallest step the backoff may try before declaring the step
+        unrecoverable (default ``1e-21``, the historical hard floor).
     """
+    pol = policy or EscalationPolicy()
+    mode = on_failure if on_failure is not None else pol.on_failure
+    backoff_opts = pol.options_for("step-backoff")
+    backoff_factor = float(backoff_opts.get("factor", 0.25))
+    floor = float(h_floor if h_floor is not None else backoff_opts.get("floor", 1e-21))
+    report = SolveReport(analysis="transient", on_failure=mode)
+
     if x0 is None:
         x0 = dc_analysis(system).x
     x = np.asarray(x0, dtype=float).copy()
@@ -128,18 +158,65 @@ def transient_analysis(
     total_newton = 0
     rejected = 0
 
+    def finish(converged: bool) -> TransientResult:
+        report.record(
+            AttemptRecord(
+                strategy="step",
+                converged=converged,
+                iterations=total_newton,
+                residual_norm=0.0 if converged else float("inf"),
+                detail={"steps": len(times) - 1, "rejected": rejected},
+            )
+        )
+        return TransientResult(
+            t=np.array(times),
+            X=np.array(states).T,
+            newton_iterations=total_newton,
+            rejected_steps=rejected,
+            converged=converged,
+            report=report,
+        )
+
+    def give_up(cause: str) -> TransientResult:
+        msg = (
+            f"transient on {system.title!r} {cause} at t = {t:.6g} "
+            f"({len(times) - 1} accepted steps, {rejected} rejected)"
+        )
+        report.notes.append(msg)
+        if mode == "raise":
+            raise SolveFailure(msg, finish(False).report)
+        if mode == "warn":
+            warnings.warn(f"{msg} — returning partial trajectory", RuntimeWarning)
+        return finish(False)
+
     t_eps = 1e-12 * max(abs(t_stop), abs(t_start), dt)
     while t < t_stop - t_eps:
         if len(times) > max_steps:
-            raise ConvergenceError(f"transient exceeded {max_steps} steps")
+            return give_up(f"exceeded {max_steps} steps")
         h = min(h, t_stop - t)
         try:
             x_new, iters = step_once(system, x, t, h, method)
-        except ConvergenceError:
-            h *= 0.25
+        except ConvergenceError as exc:
             rejected += 1
-            if h < 1e-21:
-                raise
+            if rejected <= _MAX_RECORDED_REJECTIONS:
+                report.record(
+                    AttemptRecord(
+                        strategy="step-backoff",
+                        converged=False,
+                        iterations=int(getattr(exc, "iterations", 0) or 0),
+                        residual_norm=float(getattr(exc, "best_norm", np.inf) or np.inf),
+                        failure_cause=f"{type(exc).__name__}: {exc}",
+                        detail={"t": t, "h": h},
+                    )
+                )
+            elif rejected == _MAX_RECORDED_REJECTIONS + 1:
+                report.notes.append(
+                    f"further step rejections not individually recorded "
+                    f"(cap {_MAX_RECORDED_REJECTIONS}); see rejected_steps"
+                )
+            h *= backoff_factor
+            if h < floor:
+                return give_up(f"step backoff hit the floor ({floor:g} s)")
             continue
         total_newton += iters
 
@@ -170,9 +247,4 @@ def transient_analysis(
             callback(t, x)
         h = h_next
 
-    return TransientResult(
-        t=np.array(times),
-        X=np.array(states).T,
-        newton_iterations=total_newton,
-        rejected_steps=rejected,
-    )
+    return finish(True)

@@ -98,6 +98,8 @@ def harmonic_balance(
     x0: Optional[np.ndarray] = None,
     options: Optional[MPDEOptions] = None,
     fd_blocks: Optional[Sequence[FrequencyDomainBlock]] = None,
+    policy=None,
+    on_failure: Optional[str] = None,
 ) -> HBResult:
     """Multi-tone harmonic balance of a compiled circuit.
 
@@ -113,6 +115,10 @@ def harmonic_balance(
         aliasing back into the retained harmonics.
     fd_blocks:
         Frequency-domain linear multiports to include (HB-only feature).
+    policy / on_failure:
+        Escalation control forwarded to the shared MPDE engine (rungs
+        ``direct`` → ``source-ramp`` → ``harmonic-continuation``); the
+        solve report is available as ``result.report``.
     """
     if freqs is None:
         freqs = system.source_frequencies()
@@ -122,5 +128,13 @@ def harmonic_balance(
     if isinstance(harmonics, int):
         harmonics = [harmonics] * len(freqs)
     grid = hb_grid(freqs, harmonics, oversample)
-    sol = solve_mpde(system, grid, x0=x0, options=options, fd_blocks=fd_blocks)
+    sol = solve_mpde(
+        system,
+        grid,
+        x0=x0,
+        options=options,
+        fd_blocks=fd_blocks,
+        policy=policy,
+        on_failure=on_failure,
+    )
     return HBResult(sol)

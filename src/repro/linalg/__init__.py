@@ -1,7 +1,13 @@
 """Shared numerical substrate: Krylov solvers and Newton iterations."""
 
 from repro.linalg.gmres import GMRESResult, gmres
-from repro.linalg.newton import ConvergenceError, NewtonOptions, NewtonResult, newton_solve
+from repro.linalg.newton import (
+    ConvergenceError,
+    NewtonOptions,
+    NewtonResult,
+    attach_failure_payload,
+    newton_solve,
+)
 
 __all__ = [
     "GMRESResult",
@@ -9,5 +15,6 @@ __all__ = [
     "ConvergenceError",
     "NewtonOptions",
     "NewtonResult",
+    "attach_failure_payload",
     "newton_solve",
 ]

@@ -41,6 +41,9 @@ class GMRESResult:
     converged: bool
     iterations: int
     residuals: list
+    # SolveReport attached by the repro.robust recovery layer (e.g.
+    # robust_gmres restart escalation); None for bare solves.
+    report: object = None
 
     @property
     def final_residual(self) -> float:
@@ -121,10 +124,15 @@ def gmres(
             correction = Q[:, : k + 1].conj().T @ w
             w -= Q[:, : k + 1] @ correction
             H[: k + 1, k] += correction
-            H[k + 1, k] = np.linalg.norm(w)
+            # Capture the subdiagonal norm *before* the Givens rotation
+            # below zeroes H[k+1, k]: this is the quantity the happy-
+            # breakdown test must see (a tiny value means the Krylov
+            # space is exhausted and the projected solve is exact).
+            subdiag = float(np.linalg.norm(w))
+            H[k + 1, k] = subdiag
 
-            if H[k + 1, k] > 1e-300:
-                Q[:, k + 1] = w / H[k + 1, k]
+            if subdiag > 1e-300:
+                Q[:, k + 1] = w / subdiag
 
             # Apply accumulated Givens rotations to the new column.
             for j in range(k):
@@ -152,7 +160,12 @@ def gmres(
             k_used = k + 1
             rel = abs(g[k + 1]) / bnorm
             residuals.append(rel)
-            if rel <= tol or H[k + 1, k] <= 1e-300 and rel <= tol * 10:
+            # Happy breakdown: the captured subdiagonal (not H[k+1, k],
+            # which the rotation above has already zeroed) detects an
+            # exhausted Krylov space; the least-squares solution is then
+            # exact over that space, so continuing the cycle would only
+            # orthogonalize against a zero vector.
+            if rel <= tol or subdiag <= 1e-300:
                 break
 
         # Back-substitute the triangular least-squares system.

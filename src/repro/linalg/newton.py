@@ -15,11 +15,38 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-__all__ = ["NewtonResult", "NewtonOptions", "newton_solve", "ConvergenceError"]
+__all__ = [
+    "NewtonResult",
+    "NewtonOptions",
+    "newton_solve",
+    "ConvergenceError",
+    "attach_failure_payload",
+]
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when an iterative solver fails to reach its tolerance."""
+    """Raised when an iterative solver fails to reach its tolerance.
+
+    Instances may carry a best-effort payload consumed by the recovery
+    ladders in :mod:`repro.robust`:
+
+    * ``best_x`` — least-bad iterate seen before giving up;
+    * ``best_norm`` — its residual norm;
+    * ``iterations`` — iterations spent;
+    * ``history`` — residual norms per iteration.
+
+    All default to ``None``/absent; use :func:`attach_failure_payload`
+    to populate them.
+    """
+
+
+def attach_failure_payload(exc, best_x=None, best_norm=None, iterations=None, history=None):
+    """Stamp a best-effort payload onto a solver exception (returned)."""
+    exc.best_x = best_x
+    exc.best_norm = best_norm
+    exc.iterations = iterations
+    exc.history = history
+    return exc
 
 
 @dataclasses.dataclass
@@ -57,6 +84,9 @@ class NewtonResult:
     iterations: int
     residual_norm: float
     history: list
+    # SolveReport attached by the repro.robust recovery layer when this
+    # solve ran inside an escalation ladder; None for bare solves.
+    report: object = None
 
 
 def _solve_linear(J, r):
@@ -93,16 +123,29 @@ def newton_solve(
     F = residual(x)
     fnorm = np.linalg.norm(F)
     history = [fnorm]
+    best_x, best_norm = x.copy(), fnorm
+
+    def _fail(message, it):
+        raise attach_failure_payload(
+            ConvergenceError(message),
+            best_x=best_x,
+            best_norm=float(best_norm),
+            iterations=it,
+            history=history,
+        )
 
     for it in range(1, opts.maxiter + 1):
         if fnorm <= opts.abstol:
             return NewtonResult(x, True, it - 1, fnorm, history)
 
         J = jacobian(x)
-        dx = _solve_linear(J, F)
+        try:
+            dx = _solve_linear(J, F)
+        except np.linalg.LinAlgError as exc:
+            _fail(f"singular Jacobian at iteration {it}: {exc}", it - 1)
         dx = np.asarray(dx, dtype=float)
         if not np.all(np.isfinite(dx)):
-            raise ConvergenceError("Newton update is not finite (singular Jacobian?)")
+            _fail("Newton update is not finite (singular Jacobian?)", it - 1)
 
         if opts.dx_limit is not None:
             peak = np.max(np.abs(dx))
@@ -121,23 +164,35 @@ def newton_solve(
             step *= 0.5
         if not accepted:
             # Accept the smallest step anyway; Newton sometimes needs to
-            # climb out of a shallow residual plateau.
+            # climb out of a shallow residual plateau.  But never carry a
+            # non-finite residual into the next iteration — that only
+            # loops on NaNs until maxiter with no diagnostic.
             x_new = x - step * dx
             F_new = residual(x_new)
             fnorm_new = np.linalg.norm(F_new)
+            if not np.isfinite(fnorm_new):
+                _fail(
+                    f"residual is not finite after {opts.max_backtrack} "
+                    f"backtracks at iteration {it} (last finite ||F|| = "
+                    f"{best_norm:.3e})",
+                    it,
+                )
 
         dx_norm = np.linalg.norm(x_new - x)
         x_scale = max(np.linalg.norm(x_new), 1.0)
         x, F, fnorm = x_new, F_new, fnorm_new
         history.append(fnorm)
+        if np.isfinite(fnorm) and fnorm < best_norm:
+            best_x, best_norm = x.copy(), fnorm
         if callback is not None:
             callback(it, x, fnorm)
 
-        if fnorm <= opts.abstol or dx_norm <= opts.reltol * x_scale and fnorm <= 1e3 * opts.abstol:
+        if fnorm <= opts.abstol or (dx_norm <= opts.reltol * x_scale and fnorm <= 1e3 * opts.abstol):
             return NewtonResult(x, True, it, fnorm, history)
 
     if fnorm <= opts.abstol * 10:
         return NewtonResult(x, True, opts.maxiter, fnorm, history)
-    raise ConvergenceError(
-        f"Newton failed to converge in {opts.maxiter} iterations (||F|| = {fnorm:.3e})"
+    _fail(
+        f"Newton failed to converge in {opts.maxiter} iterations (||F|| = {fnorm:.3e})",
+        opts.maxiter,
     )

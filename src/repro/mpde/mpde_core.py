@@ -34,12 +34,29 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.analysis.dc import dc_analysis
-from repro.linalg import ConvergenceError
-from repro.linalg.gmres import gmres
-from repro.mpde.grid import MPDEGrid
+from repro.linalg import ConvergenceError, attach_failure_payload
+from repro.mpde.grid import Axis, MPDEGrid
 from repro.netlist.mna import MNASystem
+from repro.robust import (
+    EscalationPolicy,
+    RungOutcome,
+    SolveReport,
+    robust_gmres,
+    run_ladder,
+)
 
-__all__ = ["MPDEOptions", "MPDESolution", "FrequencyDomainBlock", "solve_mpde"]
+__all__ = [
+    "MPDEOptions",
+    "MPDESolution",
+    "FrequencyDomainBlock",
+    "solve_mpde",
+    "MPDE_LADDER",
+]
+
+#: Escalation rungs of the MPDE/HB solver, in order: one full-strength
+#: solve, then homotopy on the AC excitation, then solve on a coarser
+#: harmonic grid and spectrally prolong the result as the initial guess.
+MPDE_LADDER = ("direct", "source-ramp", "harmonic-continuation")
 
 
 @dataclasses.dataclass
@@ -77,6 +94,15 @@ class MPDEOptions:
     direct_cutoff: int = 6000
     ramp_steps: int = 0  # >0 forces source ramping with that many steps
     verbose: bool = False
+    # escalation control (repro.robust): which MPDE_LADDER rungs run and
+    # what happens when they are all exhausted
+    policy: Optional[EscalationPolicy] = None
+    on_failure: str = "raise"  # "raise" | "warn" | "best_effort"
+    # when stalled GMRES leaves a problem this small (unknowns), fall
+    # back to the assembled sparse direct Jacobian inside the Newton step
+    direct_fallback_max: int = 40000
+    # harmonic-continuation stops coarsening at this many samples/axis
+    coarsen_floor: int = 8
 
 
 @dataclasses.dataclass
@@ -95,6 +121,8 @@ class MPDESolution:
     solver: str
     residual_norm: float
     wall_time: float
+    converged: bool = True
+    report: Optional[SolveReport] = None
 
     def grid_waveform(self, node) -> np.ndarray:
         """Samples of one unknown over the grid, shape (N1, ..., Nd)."""
@@ -304,12 +332,47 @@ class _MPDEProblem:
         return apply
 
 
+def _coarsen_grid(grid: MPDEGrid, floor: int) -> Optional[MPDEGrid]:
+    """Grid with every axis halved (not below ``floor``); None if stuck."""
+    changed = False
+    axes = []
+    for ax in grid.axes:
+        if ax.size // 2 >= max(floor, 4):
+            axes.append(Axis(ax.kind, ax.freq, ax.size // 2))
+            changed = True
+        else:
+            axes.append(Axis(ax.kind, ax.freq, ax.size))
+    return MPDEGrid(axes) if changed else None
+
+
+def _prolong(x_coarse: np.ndarray, grid_c: MPDEGrid, grid_f: MPDEGrid, n: int) -> np.ndarray:
+    """Spectrally interpolate a coarse-grid solution onto a finer grid.
+
+    Works for every periodic axis kind (uniform periodic samples):
+    zero-pad the centered DFT spectrum axis by axis.
+    """
+    axes = tuple(range(grid_c.ndim))
+    Xc = grid_c.reshape(np.asarray(x_coarse, dtype=float), n)
+    spec = np.fft.fftshift(np.fft.fftn(Xc, axes=axes), axes=axes)
+    target = np.zeros(grid_f.shape + (n,), dtype=complex)
+    slices = []
+    for Nc, Nf in zip(grid_c.shape, grid_f.shape):
+        lo = (Nf - Nc) // 2
+        slices.append(slice(lo, lo + Nc))
+    target[tuple(slices)] = spec
+    fine = np.fft.ifftn(np.fft.ifftshift(target, axes=axes), axes=axes)
+    fine = np.real(fine) * (grid_f.total / grid_c.total)
+    return fine.reshape(-1)
+
+
 def solve_mpde(
     system: MNASystem,
     grid: MPDEGrid,
     x0: Optional[np.ndarray] = None,
     options: Optional[MPDEOptions] = None,
     fd_blocks: Optional[Sequence[FrequencyDomainBlock]] = None,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
 ) -> MPDESolution:
     """Solve the periodic MPDE on ``grid`` for the compiled circuit.
 
@@ -321,16 +384,25 @@ def solve_mpde(
     fd_blocks:
         Optional frequency-domain linear blocks (requires all-Fourier
         axes, i.e. harmonic balance).
+    policy / on_failure:
+        Escalation control over :data:`MPDE_LADDER`; override the
+        equivalent :class:`MPDEOptions` fields when given.  Under
+        ``"best_effort"``/``"warn"`` an exhausted ladder returns the
+        best iterate with ``converged=False`` instead of raising.
     """
     opts = options or MPDEOptions()
+    pol = policy if policy is not None else opts.policy
+    mode = on_failure if on_failure is not None else (
+        pol.on_failure if pol is not None else opts.on_failure
+    )
     prob = _MPDEProblem(system, grid, fd_blocks, opts)
     t_begin = time.perf_counter()
 
     if x0 is None:
         x_dc = dc_analysis(system).x
-        x = np.tile(x_dc, grid.total)
+        x_init = np.tile(x_dc, grid.total)
     else:
-        x = np.asarray(x0, dtype=float).copy()
+        x_init = np.asarray(x0, dtype=float).copy()
 
     solver = opts.solver
     if solver == "auto":
@@ -348,15 +420,14 @@ def solve_mpde(
     B_full = grid.excitation(system)
     B_dc = np.tile(system.b_dc(), (grid.total, 1)).reshape(grid.total, system.n)
 
-    newton_total = 0
-    gmres_total = 0
+    counters = {"newton": 0, "gmres": 0, "gmres_fallbacks": 0}
 
     def solve_at(B, x_start, abstol):
-        nonlocal newton_total, gmres_total
         x_it = x_start.copy()
         r = prob.residual(x_it, B)
         rnorm = np.linalg.norm(r)
         r0 = max(rnorm, 1e-30)
+        best_x, best_norm = x_it.copy(), (rnorm if np.isfinite(rnorm) else np.inf)
         for it in range(opts.maxiter):
             if rnorm <= abstol:
                 return x_it, rnorm
@@ -368,30 +439,45 @@ def solve_mpde(
                 mv = prob.matvec(G_big, C_big)
                 pc = prob.averaged_preconditioner(g_vals, c_vals)
                 lin_tol = max(opts.gmres_tol, min(1e-3, 0.01 * rnorm / r0))
-                res = gmres(
+                # restart escalation first (repro.robust ladder); the
+                # dense rung is disabled — materializing the HB operator
+                # is never affordable, the sparse direct Jacobian below
+                # is the analysis-specific equivalent
+                res = robust_gmres(
                     mv,
                     r,
                     tol=lin_tol,
                     restart=opts.gmres_restart,
                     maxiter=opts.gmres_maxiter,
                     precond=pc,
+                    on_failure="best_effort",
+                    dense_max_n=0,
+                    restart_growth=(1, 2),
                 )
-                gmres_total += res.iterations
+                counters["gmres"] += (
+                    res.report.total_iterations if res.report else res.iterations
+                )
                 if not res.converged:
                     # the averaged-circuit preconditioner degrades on
                     # extreme conductance modulation (hard-driven diode
                     # stacks); fall back to a direct factorization when
                     # the problem is small enough to afford it
-                    if not prob.fd_blocks and system.n * grid.total <= 40000:
+                    if not prob.fd_blocks and system.n * grid.total <= opts.direct_fallback_max:
                         J = prob.direct_jacobian(G_big, C_big)
                         dx = spla.spsolve(J, r)
+                        counters["gmres_fallbacks"] += 1
                         res = None
                     elif res.final_residual > 0.5:
-                        raise ConvergenceError(
-                            f"MPDE GMRES stalled (relres {res.final_residual:.2e})"
+                        raise attach_failure_payload(
+                            ConvergenceError(
+                                f"MPDE GMRES stalled (relres {res.final_residual:.2e})"
+                            ),
+                            best_x=best_x,
+                            best_norm=float(best_norm),
+                            iterations=it,
                         )
                 dx = res.x if res is not None else dx
-            newton_total += 1
+            counters["newton"] += 1
             step = 1.0
             x_try = x_it - dx
             r_try = prob.residual(x_try, B)
@@ -403,34 +489,111 @@ def solve_mpde(
                 x_try = x_it - step * dx
                 r_try = prob.residual(x_try, B)
                 rnorm_try = np.linalg.norm(r_try)
+            if not np.isfinite(rnorm_try):
+                # fail fast instead of looping on NaNs until maxiter
+                raise attach_failure_payload(
+                    ConvergenceError(
+                        f"MPDE residual is not finite at Newton iteration {it}"
+                    ),
+                    best_x=best_x,
+                    best_norm=float(best_norm),
+                    iterations=it + 1,
+                )
             x_it, r, rnorm = x_try, r_try, rnorm_try
+            if rnorm < best_norm:
+                best_x, best_norm = x_it.copy(), rnorm
             if opts.verbose:
                 print(f"    newton {it}: |r| = {rnorm:.3e} (step {step:g})")
         if rnorm <= abstol * 100:
             return x_it, rnorm
-        raise ConvergenceError(f"MPDE Newton stalled at |r| = {rnorm:.3e}")
+        raise attach_failure_payload(
+            ConvergenceError(f"MPDE Newton stalled at |r| = {rnorm:.3e}"),
+            best_x=best_x,
+            best_norm=float(best_norm),
+            iterations=opts.maxiter,
+        )
 
-    try:
-        if opts.ramp_steps <= 0:
-            x, rnorm = solve_at(B_full, x, opts.abstol)
-        else:
-            raise ConvergenceError("ramping requested")
-    except ConvergenceError:
-        # homotopy on the AC part of the excitation
+    def direct_rung():
+        it_before = counters["newton"]
+        x, rnorm = solve_at(B_full, x_init, opts.abstol)
+        return RungOutcome(
+            value=(x, rnorm),
+            iterations=counters["newton"] - it_before,
+            residual_norm=float(rnorm),
+        )
+
+    def ramp_rung():
+        it_before = counters["newton"]
         steps = max(opts.ramp_steps, 4)
+        x = x_init.copy()
         rnorm = np.inf
-        for alpha in np.linspace(1.0 / steps, 1.0, steps):
-            B = B_dc + alpha * (B_full - B_dc)
-            tol = opts.abstol if alpha == 1.0 else max(opts.abstol, 1e-7)
-            x, rnorm = solve_at(B, x, tol)
+        try:
+            for alpha in np.linspace(1.0 / steps, 1.0, steps):
+                B = B_dc + alpha * (B_full - B_dc)
+                tol = opts.abstol if alpha == 1.0 else max(opts.abstol, 1e-7)
+                x, rnorm = solve_at(B, x, tol)
+        except ConvergenceError as exc:
+            exc.iterations = counters["newton"] - it_before
+            raise
+        return RungOutcome(
+            value=(x, rnorm),
+            iterations=counters["newton"] - it_before,
+            residual_norm=float(rnorm),
+            detail={"ramp_steps": steps},
+        )
 
+    def continuation_rung():
+        grid_c = _coarsen_grid(grid, opts.coarsen_floor)
+        if grid_c is None:
+            raise ConvergenceError(
+                f"harmonic continuation: grid {grid.shape} cannot be "
+                f"coarsened below {opts.coarsen_floor} samples/axis"
+            )
+        sub_opts = dataclasses.replace(opts, policy=None, on_failure="raise")
+        sub = solve_mpde(system, grid_c, options=sub_opts, fd_blocks=fd_blocks)
+        counters["newton"] += sub.newton_iterations
+        counters["gmres"] += sub.gmres_iterations
+        it_before = counters["newton"]
+        x_start = _prolong(sub.x, grid_c, grid, system.n)
+        x, rnorm = solve_at(B_full, x_start, opts.abstol)
+        return RungOutcome(
+            value=(x, rnorm),
+            iterations=counters["newton"] - it_before,
+            residual_norm=float(rnorm),
+            detail={"coarse_shape": grid_c.shape, "coarse_strategy": sub.report.strategy
+                    if sub.report else None},
+        )
+
+    strategies = [
+        ("direct", direct_rung),
+        ("source-ramp", ramp_rung),
+        ("harmonic-continuation", continuation_rung),
+    ]
+    if pol is None and opts.ramp_steps > 0:
+        # explicit ramp request: skip the full-strength first attempt
+        pol = EscalationPolicy(rungs=("source-ramp", "harmonic-continuation"))
+
+    def fallback(best, rep):
+        if best is not None and best.value is not None:
+            return RungOutcome(
+                value=(np.asarray(best.value), best.residual_norm),
+                residual_norm=best.residual_norm,
+            )
+        return RungOutcome(value=(x_init.copy(), np.inf), residual_norm=np.inf)
+
+    out, rep = run_ladder(
+        "mpde", strategies, policy=pol, on_failure=mode, fallback=fallback
+    )
+    x, rnorm = out.value
     return MPDESolution(
         system=system,
         grid=grid,
         x=x,
-        newton_iterations=newton_total,
-        gmres_iterations=gmres_total,
+        newton_iterations=counters["newton"],
+        gmres_iterations=counters["gmres"],
         solver=solver,
-        residual_norm=rnorm,
+        residual_norm=float(rnorm),
         wall_time=time.perf_counter() - t_begin,
+        converged=rep.converged,
+        report=rep,
     )

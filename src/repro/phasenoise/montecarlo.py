@@ -33,14 +33,18 @@ def simulate_sde_ensemble(
     n_paths: int,
     record_state: int = 0,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Euler-Maruyama ensemble; records one state across all paths.
 
     Returns ``(t, traces)`` with ``traces`` of shape (steps+1, n_paths).
     The noise matrix is evaluated once at ``x0`` (constant-B systems;
-    the reference oscillators all qualify).
+    the reference oscillators all qualify).  Every random draw comes
+    from ``rng`` when given (so fault-injection and jitter tests are
+    reproducible against an externally owned generator); otherwise a
+    fresh generator is seeded with ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed) if rng is None else rng
     h = t_stop / steps
     X = np.tile(np.asarray(x0, dtype=float)[:, None], (1, n_paths))
     B = system.noise_matrix(np.asarray(x0, dtype=float))

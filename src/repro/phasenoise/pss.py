@@ -19,10 +19,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.linalg import ConvergenceError
+from repro.linalg import ConvergenceError, attach_failure_payload
 from repro.phasenoise.ode import ODESystem, integrate, rk4_step_with_sensitivity
+from repro.robust import EscalationPolicy, RungOutcome, SolveReport, run_ladder
 
-__all__ = ["OscillatorPSS", "estimate_period", "find_oscillator_pss"]
+__all__ = ["OscillatorPSS", "estimate_period", "find_oscillator_pss", "PSS_LADDER"]
+
+#: Escalation rungs of the oscillator PSS search: shooting from the
+#: caller's guesses, then a longer settle transient to re-derive the
+#: initial point and period before shooting again.
+PSS_LADDER = ("direct", "settle-retry")
 
 
 @dataclasses.dataclass
@@ -42,6 +48,8 @@ class OscillatorPSS:
     monodromy: np.ndarray
     step_transitions: np.ndarray  # (steps, n, n) per-step Phi(t_{k+1}, t_k)
     iterations: int
+    converged: bool = True
+    report: Optional[SolveReport] = None
 
     @property
     def f0(self) -> float:
@@ -72,17 +80,19 @@ def estimate_period(
     steps_per_unit: Optional[int] = None,
     state: int = 0,
     total_steps: int = 40000,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[np.ndarray, float]:
     """Settle onto the limit cycle and estimate (x_start, period).
 
     Runs a transient for ``t_settle``, then measures the spacing of
     rising zero crossings (relative to the mean) of ``state`` over
-    ``t_window``.
+    ``t_window``.  The random starting point (used when ``x0`` is
+    omitted) draws from ``rng`` when given, else a fixed seed.
     """
     n = system.n
     if x0 is None:
-        rng = np.random.default_rng(7)
-        x0 = 0.1 + 0.1 * rng.standard_normal(n)
+        gen = rng if rng is not None else np.random.default_rng(7)
+        x0 = 0.1 + 0.1 * gen.standard_normal(n)
     if t_settle <= 0 or t_window <= 0:
         raise ValueError("t_settle and t_window must be positive")
     _, Xs = integrate(system, x0, t_settle, max(1000, total_steps // 4))
@@ -131,6 +141,8 @@ def find_oscillator_pss(
     t_settle: Optional[float] = None,
     abstol: float = 1e-10,
     maxiter: int = 50,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
 ) -> OscillatorPSS:
     """Newton shooting for the limit cycle of an autonomous system.
 
@@ -145,6 +157,10 @@ def find_oscillator_pss(
         Floquet/PPV stage).
     anchor_state:
         The state pinned by the phase condition ``x0[a] = const``.
+    policy / on_failure:
+        Escalation control over :data:`PSS_LADDER`.  The ``settle-retry``
+        rung discards the caller's guesses, runs a longer settle
+        transient to re-derive ``(x0, T)``, and shoots again.
     """
     if x0 is None or period_guess is None:
         guess_T = period_guess or 1.0
@@ -156,45 +172,100 @@ def find_oscillator_pss(
         x0 = x0_est if x0 is None else np.asarray(x0, dtype=float)
         period_guess = T_est if period_guess is None else period_guess
 
-    x = np.asarray(x0, dtype=float).copy()
-    T = float(period_guess)
     n = system.n
-    anchor_level = float(x[anchor_state])
 
-    for it in range(maxiter):
-        t, X, M, Phis = _integrate_cycle(system, x, T, steps)
-        xT = X[:, -1]
-        F = np.empty(n + 1)
-        F[:n] = xT - x
-        F[n] = x[anchor_state] - anchor_level
-        scale = max(1.0, float(np.linalg.norm(x)))
-        if np.linalg.norm(F[:n]) <= abstol * scale and abs(F[n]) <= abstol * scale:
-            return OscillatorPSS(
-                system=system,
-                x0=x,
-                period=T,
-                t=t,
-                X=X,
-                monodromy=M,
-                step_transitions=Phis,
+    def _shoot(x_start, T_start):
+        x = np.asarray(x_start, dtype=float).copy()
+        T = float(T_start)
+        anchor_level = float(x[anchor_state])
+        history = []
+        best = None
+
+        def _raise(message, it):
+            raise attach_failure_payload(
+                ConvergenceError(message),
+                best_x=best[1] if best is not None else (x.copy(), T),
+                best_norm=best[0] if best is not None else float("inf"),
                 iterations=it,
+                history=history,
             )
-        J = np.zeros((n + 1, n + 1))
-        J[:n, :n] = M - np.eye(n)
-        J[:n, n] = system.f(xT)
-        J[n, anchor_state] = 1.0
-        try:
-            dz = np.linalg.solve(J, F)
-        except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(f"singular shooting Jacobian: {exc}") from exc
-        # cap the period update to keep the homotopy sane
-        if abs(dz[n]) > 0.3 * T:
-            dz *= 0.3 * T / abs(dz[n])
-        x = x - dz[:n]
-        T = T - dz[n]
-        if T <= 0:
-            raise ConvergenceError("period iterate went non-positive")
 
-    raise ConvergenceError(
-        f"oscillator shooting failed to converge in {maxiter} iterations"
+        for it in range(maxiter):
+            t, X, M, Phis = _integrate_cycle(system, x, T, steps)
+            xT = X[:, -1]
+            F = np.empty(n + 1)
+            F[:n] = xT - x
+            F[n] = x[anchor_state] - anchor_level
+            fnorm = float(np.linalg.norm(F[:n]))
+            history.append(fnorm)
+            if best is None or fnorm < best[0]:
+                best = (fnorm, (x.copy(), T))
+            scale = max(1.0, float(np.linalg.norm(x)))
+            if fnorm <= abstol * scale and abs(F[n]) <= abstol * scale:
+                return RungOutcome(
+                    value=(x, T, t, X, M, Phis),
+                    iterations=it,
+                    residual_norm=fnorm,
+                    history=history,
+                )
+            J = np.zeros((n + 1, n + 1))
+            J[:n, :n] = M - np.eye(n)
+            J[:n, n] = system.f(xT)
+            J[n, anchor_state] = 1.0
+            try:
+                dz = np.linalg.solve(J, F)
+            except np.linalg.LinAlgError as exc:
+                _raise(f"singular shooting Jacobian: {exc}", it)
+            # cap the period update to keep the homotopy sane
+            if abs(dz[n]) > 0.3 * T:
+                dz *= 0.3 * T / abs(dz[n])
+            x = x - dz[:n]
+            T = T - dz[n]
+            if T <= 0:
+                _raise("period iterate went non-positive", it)
+
+        _raise(
+            f"oscillator shooting failed to converge in {maxiter} iterations",
+            maxiter,
+        )
+
+    def direct_rung():
+        return _shoot(x0, period_guess)
+
+    def settle_rung():
+        settle = (t_settle if t_settle is not None else 20.0 * period_guess) * 3.0
+        window = 10.0 * period_guess
+        x_est, T_est = estimate_period(
+            system, None, t_settle=settle, t_window=window, state=anchor_state
+        )
+        return _shoot(x_est, T_est)
+
+    strategies = [("direct", direct_rung), ("settle-retry", settle_rung)]
+
+    def fallback(best, rep):
+        if best is not None and best.value is not None:
+            xb, Tb = best.value
+        else:
+            xb, Tb = np.asarray(x0, dtype=float), float(period_guess)
+        t, X, M, Phis = _integrate_cycle(system, np.asarray(xb, dtype=float), float(Tb), steps)
+        return RungOutcome(
+            value=(np.asarray(xb, dtype=float), float(Tb), t, X, M, Phis),
+            residual_norm=best.residual_norm if best is not None else float("inf"),
+        )
+
+    out, rep = run_ladder(
+        "pss", strategies, policy=policy, on_failure=on_failure, fallback=fallback
+    )
+    x, T, t, X, M, Phis = out.value
+    return OscillatorPSS(
+        system=system,
+        x0=x,
+        period=T,
+        t=t,
+        X=X,
+        monodromy=M,
+        step_transitions=Phis,
+        iterations=rep.total_iterations,
+        converged=rep.converged,
+        report=rep,
     )

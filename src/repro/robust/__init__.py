@@ -1,0 +1,44 @@
+"""Solver-recovery layer: escalation ladders, failure reports, fault injection.
+
+Shared by every nonlinear and iterative solve in the tool family (DC,
+transient, shooting, HB/MPDE, oscillator PSS, GMRES).  See
+:mod:`repro.robust.policy` for the ladder engine and the named default
+ladders, :mod:`repro.robust.report` for the structured attempt records
+attached to analysis results, and :mod:`repro.robust.faultinject` for
+the test harness that proves every rung fires and recovers.
+"""
+
+from repro.robust.faultinject import (
+    FaultClock,
+    FaultyMNASystem,
+    inject_error,
+    inject_nan,
+    inject_perturb,
+    inject_singular,
+)
+from repro.robust.krylov import robust_gmres
+from repro.robust.policy import (
+    ON_FAILURE_MODES,
+    EscalationPolicy,
+    RungOutcome,
+    SolveFailure,
+    run_ladder,
+)
+from repro.robust.report import AttemptRecord, SolveReport
+
+__all__ = [
+    "ON_FAILURE_MODES",
+    "AttemptRecord",
+    "EscalationPolicy",
+    "FaultClock",
+    "FaultyMNASystem",
+    "RungOutcome",
+    "SolveFailure",
+    "SolveReport",
+    "inject_error",
+    "inject_nan",
+    "inject_perturb",
+    "inject_singular",
+    "robust_gmres",
+    "run_ladder",
+]

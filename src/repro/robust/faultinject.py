@@ -1,0 +1,178 @@
+"""Fault injection for solver callables — proves the recovery ladders work.
+
+The escalation ladders in :mod:`repro.robust.policy` only earn their
+keep if every rung demonstrably fires and recovers.  Real circuits that
+break *specific* rungs on demand are hard to construct, so instead this
+module wraps the callables the solvers consume — residuals, Jacobians,
+matvecs, whole MNA systems — and injects faults on a scheduled window of
+calls:
+
+* ``inject_nan`` — poison the output with NaNs (models overflowing
+  device evaluations);
+* ``inject_singular`` — replace a Jacobian with an all-zero (hence
+  singular) matrix of the same shape/format;
+* ``inject_perturb`` — add a random perturbation (models noisy or
+  inconsistent operator applications, which stall Krylov solvers);
+* ``inject_error`` — raise a spurious :class:`ConvergenceError`
+  (models an inner solver giving up).
+
+Faults are scheduled by a :class:`FaultClock` counting calls, so a test
+can make exactly the first ``k`` evaluations fail and then observe the
+ladder recover.  All wrappers leave argument/return conventions intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.newton import ConvergenceError
+
+__all__ = [
+    "FaultClock",
+    "FaultyMNASystem",
+    "inject_error",
+    "inject_nan",
+    "inject_perturb",
+    "inject_singular",
+]
+
+
+@dataclasses.dataclass
+class FaultClock:
+    """Decides *which* calls of a wrapped callable are faulty.
+
+    Fires on calls ``start .. start + count - 1`` (1-based).  Shared
+    between several wrappers it provides a global call ordering, so one
+    schedule can span residual and Jacobian evaluations.
+
+    Attributes
+    ----------
+    start:
+        First (1-based) call number that faults.
+    count:
+        How many consecutive calls fault; ``None`` means "forever".
+    calls / fired:
+        Observability counters for test assertions.
+    """
+
+    start: int = 1
+    count: Optional[int] = 1
+    calls: int = 0
+    fired: int = 0
+
+    def tick(self) -> bool:
+        self.calls += 1
+        active = self.calls >= self.start and (
+            self.count is None or self.calls < self.start + self.count
+        )
+        if active:
+            self.fired += 1
+        return active
+
+
+def inject_nan(fn: Callable, clock: FaultClock) -> Callable:
+    """Wrap ``fn`` so scheduled calls return a NaN-poisoned copy."""
+
+    def wrapped(*args, **kwargs):
+        out = fn(*args, **kwargs)
+        if clock.tick():
+            out = np.array(out, dtype=float, copy=True)
+            out[...] = np.nan
+        return out
+
+    return wrapped
+
+
+def inject_singular(fn: Callable, clock: FaultClock) -> Callable:
+    """Wrap a Jacobian evaluator so scheduled calls return a singular
+    (all-zero) matrix of the same shape and storage format."""
+
+    def wrapped(*args, **kwargs):
+        out = fn(*args, **kwargs)
+        if clock.tick():
+            if sp.issparse(out):
+                return sp.csr_matrix(out.shape, dtype=out.dtype)
+            return np.zeros_like(np.asarray(out))
+        return out
+
+    return wrapped
+
+
+def inject_perturb(
+    fn: Callable,
+    clock: FaultClock,
+    scale: float = 1e-2,
+    rng: Optional[np.random.Generator] = None,
+) -> Callable:
+    """Wrap ``fn`` so scheduled calls get a relative random perturbation.
+
+    Applied to a Krylov matvec this makes the operator inconsistent
+    between iterations, which reliably forces GMRES stagnation without
+    touching the solver internals.
+    """
+    gen = rng if rng is not None else np.random.default_rng(0)
+
+    def wrapped(*args, **kwargs):
+        out = fn(*args, **kwargs)
+        if clock.tick():
+            out = np.asarray(out)
+            bump = gen.standard_normal(out.shape)
+            if np.iscomplexobj(out):
+                bump = bump + 1j * gen.standard_normal(out.shape)
+            return out + scale * (np.linalg.norm(out) or 1.0) * bump
+        return out
+
+    return wrapped
+
+
+def inject_error(
+    fn: Callable,
+    clock: FaultClock,
+    exc_factory: Callable[[], Exception] = lambda: ConvergenceError("injected failure"),
+) -> Callable:
+    """Wrap ``fn`` so scheduled calls raise a spurious solver failure."""
+
+    def wrapped(*args, **kwargs):
+        if clock.tick():
+            raise exc_factory()
+        return fn(*args, **kwargs)
+
+    return wrapped
+
+
+class FaultyMNASystem:
+    """Proxy over a compiled :class:`~repro.netlist.mna.MNASystem` with
+    selected evaluators replaced by fault-injecting wrappers.
+
+    Everything not overridden delegates to the wrapped system, so the
+    proxy drops into any analysis entry point unchanged::
+
+        clock = FaultClock(start=1, count=2)
+        bad = FaultyMNASystem(sys, G=inject_singular(sys.G, clock))
+        dc_analysis(bad)   # plain Newton fails, the ladder recovers
+
+    Overridable names are the evaluator methods analyses call:
+    ``f``, ``G``, ``q``, ``C``, ``b``, ``b_dc``, ``batch_fq``,
+    ``batch_jacobians``.
+    """
+
+    _OVERRIDABLE = ("f", "G", "q", "C", "b", "b_dc", "batch_fq", "batch_jacobians")
+
+    def __init__(self, system, **overrides):
+        unknown = set(overrides) - set(self._OVERRIDABLE)
+        if unknown:
+            raise ValueError(
+                f"cannot override {sorted(unknown)}; allowed: {self._OVERRIDABLE}"
+            )
+        self._system = system
+        self._overrides = overrides
+
+    def __getattr__(self, name):
+        overrides = object.__getattribute__(self, "_overrides")
+        if name in overrides:
+            return overrides[name]
+        return getattr(object.__getattribute__(self, "_system"), name)

@@ -1,0 +1,147 @@
+"""Recovery ladder for Krylov solves: restart escalation + dense fallback.
+
+Restarted GMRES stalls when the restart window is too small for the
+operator's spectrum (the classic failure on the shift-register-like
+operators HB preconditioning sometimes leaves behind).  The remedy
+ladder is cheap and mechanical:
+
+    restart(r)  →  restart(2r)  →  restart(4r)  →  dense-fallback
+
+The dense fallback materializes the operator column-by-column (``n``
+matvecs) and solves directly with LAPACK; it is gated by
+``dense_max_n`` because that cost is only acceptable for small systems
+(which is exactly where stagnation is usually fatal rather than just
+slow).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.linalg.gmres import GMRESResult, gmres
+from repro.linalg.newton import ConvergenceError
+from repro.robust.policy import EscalationPolicy, RungOutcome, run_ladder
+
+__all__ = ["robust_gmres"]
+
+
+def _materialize(matvec: Callable, n: int, dtype) -> np.ndarray:
+    A = np.empty((n, n), dtype=dtype)
+    e = np.zeros(n, dtype=dtype)
+    for j in range(n):
+        e[j] = 1.0
+        A[:, j] = matvec(e)
+        e[j] = 0.0
+    return A
+
+
+def robust_gmres(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    restart: int = 60,
+    maxiter: int = 2000,
+    precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
+    dense_max_n: int = 1500,
+    restart_growth: tuple = (1, 2, 4),
+) -> GMRESResult:
+    """GMRES with an escalation ladder; returns a report-carrying result.
+
+    Same contract as :func:`repro.linalg.gmres.gmres`, plus:
+
+    * on non-convergence the restart size escalates through
+      ``restart * g for g in restart_growth`` (capped at ``len(b)``);
+    * if every restart size stalls and ``len(b) <= dense_max_n``, the
+      operator is materialized and solved densely;
+    * ``policy``/``on_failure`` control rung selection and whether
+      exhaustion raises (:class:`~repro.robust.policy.SolveFailure`) or
+      returns the best iterate with ``converged=False``
+      (``"best_effort"``/``"warn"``).
+
+    The returned :class:`GMRESResult` carries the
+    :class:`~repro.robust.report.SolveReport` in ``.report``.
+    """
+    b = np.asarray(b)
+    n = b.shape[0]
+
+    def krylov_rung(r):
+        def thunk():
+            res = gmres(
+                matvec, b, x0=x0, tol=tol, restart=r, maxiter=maxiter, precond=precond
+            )
+            if not res.converged:
+                exc = ConvergenceError(
+                    f"GMRES(restart={r}) stalled at relres {res.final_residual:.3e}"
+                )
+                exc.best_x = res.x
+                exc.best_norm = res.final_residual
+                exc.iterations = res.iterations
+                exc.history = res.residuals
+                raise exc
+            return RungOutcome(
+                value=res,
+                iterations=res.iterations,
+                residual_norm=res.final_residual,
+                history=res.residuals,
+                detail={"restart": r},
+            )
+
+        return thunk
+
+    def dense_thunk():
+        if n > dense_max_n:
+            raise ConvergenceError(
+                f"dense fallback refused: n = {n} > dense_max_n = {dense_max_n}"
+            )
+        dtype = np.result_type(b.dtype, np.float64)
+        A = _materialize(matvec, n, dtype)
+        try:
+            x = np.linalg.solve(A, b.astype(dtype))
+        except np.linalg.LinAlgError:
+            x, *_ = np.linalg.lstsq(A, b.astype(dtype), rcond=None)
+        rel = float(np.linalg.norm(b - matvec(x)) / (np.linalg.norm(b) or 1.0))
+        if not np.isfinite(rel) or rel > max(tol * 100, 1e-6):
+            exc = ConvergenceError(f"dense fallback residual {rel:.3e} still too large")
+            exc.best_x = x
+            exc.best_norm = rel
+            raise exc
+        return RungOutcome(
+            value=GMRESResult(x, True, n, [rel]),
+            iterations=n,
+            residual_norm=rel,
+            detail={"dense": True},
+        )
+
+    sizes = []
+    for g in restart_growth:
+        r = min(int(restart * g), n)
+        if r not in sizes:
+            sizes.append(r)
+    strategies = [(f"restart({r})", krylov_rung(r)) for r in sizes]
+    strategies.append(("dense-fallback", dense_thunk))
+
+    def fallback(best, rep):
+        if best is not None and best.value is not None:
+            res = GMRESResult(
+                np.asarray(best.value),
+                False,
+                best.iterations,
+                list(best.history) or [best.residual_norm],
+            )
+        else:
+            res = GMRESResult(
+                np.zeros(n, dtype=np.result_type(b.dtype, np.float64)), False, 0, []
+            )
+        return RungOutcome(value=res, residual_norm=best.residual_norm if best else np.inf)
+
+    out, rep = run_ladder(
+        "gmres", strategies, policy=policy, on_failure=on_failure, fallback=fallback
+    )
+    result: GMRESResult = out.value
+    result.report = rep
+    return result

@@ -1,0 +1,260 @@
+"""Escalation-ladder engine shared by every nonlinear/iterative solve.
+
+All analyses in the tool family reduce to a Newton loop around a linear
+(often Krylov) solve, and all of them can fail on strongly nonlinear RF
+circuits.  Instead of each analysis hand-rolling its own try/except
+chain, they declare an ordered list of named *strategies* ("rungs") and
+hand them to :func:`run_ladder`, which:
+
+* runs the rungs in order, recording an :class:`~repro.robust.report.AttemptRecord`
+  per attempt (success or failure) into a :class:`~repro.robust.report.SolveReport`;
+* stops at the first success;
+* on exhaustion, honours the policy's ``on_failure`` mode:
+
+  - ``"raise"`` (default) — raise :class:`SolveFailure` carrying the report;
+  - ``"warn"`` — emit a warning and return the caller's degraded
+    best-effort value;
+  - ``"best_effort"`` — silently return the degraded value with
+    ``converged=False`` in the report.
+
+The default ladders (policy names referenced in DESIGN.md):
+
+========== ==========================================================
+analysis   rungs, in escalation order
+========== ==========================================================
+dc         ``newton`` → ``gmin-stepping`` → ``source-stepping``
+           → ``pseudo-transient``
+transient  ``step`` → ``step-backoff`` (exponential, floored)
+shooting   ``shooting`` → ``transient-settle``
+mpde / hb  ``direct`` → ``source-ramp`` → ``harmonic-continuation``
+pss        ``direct`` → ``settle-retry``
+gmres      ``restart(r)`` → ``restart(2r)`` → ``restart(4r)``
+           → ``dense-fallback``
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.newton import ConvergenceError
+from repro.robust.report import AttemptRecord, SolveReport
+
+__all__ = [
+    "ON_FAILURE_MODES",
+    "EscalationPolicy",
+    "RungOutcome",
+    "SolveFailure",
+    "run_ladder",
+]
+
+ON_FAILURE_MODES = ("raise", "warn", "best_effort")
+
+# Exception family a failing rung is allowed to raise; anything else is
+# a programming error and propagates untouched.
+_RECOVERABLE = (ConvergenceError, FloatingPointError, ZeroDivisionError, np.linalg.LinAlgError)
+
+
+class SolveFailure(ConvergenceError):
+    """All rungs of an escalation ladder failed.
+
+    Subclasses :class:`~repro.linalg.newton.ConvergenceError` so existing
+    ``except ConvergenceError`` call sites keep working; additionally
+    carries the full :class:`SolveReport` and the best iterate seen.
+    """
+
+    def __init__(self, message: str, report: SolveReport, best=None):
+        super().__init__(message)
+        self.report = report
+        self.best = best  # RungOutcome of the least-bad failed attempt, or None
+
+
+@dataclasses.dataclass
+class RungOutcome:
+    """What one strategy hands back to the ladder engine.
+
+    ``value`` is the analysis payload (solution vector, result object,
+    ...); the remaining fields feed the :class:`AttemptRecord`.
+    """
+
+    value: object
+    iterations: int = 0
+    residual_norm: float = float("inf")
+    history: List[float] = dataclasses.field(default_factory=list)
+    detail: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class EscalationPolicy:
+    """Which rungs run, in what order, under what budgets.
+
+    Attributes
+    ----------
+    rungs:
+        Ordered strategy names to run; ``None`` means the analysis's
+        full default ladder.  Unknown names raise ``ValueError`` so a
+        typo cannot silently disable recovery.
+    on_failure:
+        ``"raise"`` / ``"warn"`` / ``"best_effort"`` — see module docs.
+    max_attempts:
+        Cap on recorded attempts across the ladder.
+    time_budget:
+        Soft wall-clock budget (seconds): once exceeded, no *further*
+        rungs start (the running rung is never interrupted).
+    rung_options:
+        Per-rung keyword overrides, passed to strategies that accept
+        options (e.g. ``{"source-stepping": {"step": 0.05}}``).
+    """
+
+    rungs: Optional[Tuple[str, ...]] = None
+    on_failure: str = "raise"
+    max_attempts: Optional[int] = None
+    time_budget: Optional[float] = None
+    rung_options: Dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.on_failure not in ON_FAILURE_MODES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_MODES}, got {self.on_failure!r}"
+            )
+        if self.rungs is not None:
+            self.rungs = tuple(self.rungs)
+
+    def select(self, strategies: Sequence[Tuple[str, Callable]]) -> List[Tuple[str, Callable]]:
+        """Filter/order the analysis's strategies per this policy."""
+        if self.rungs is None:
+            return list(strategies)
+        table = dict(strategies)
+        unknown = [name for name in self.rungs if name not in table]
+        if unknown:
+            raise ValueError(
+                f"unknown escalation rung(s) {unknown}; available: {sorted(table)}"
+            )
+        return [(name, table[name]) for name in self.rungs]
+
+    def options_for(self, rung: str) -> dict:
+        return dict(self.rung_options.get(rung, {}))
+
+
+def _coerce_policy(policy, on_failure: Optional[str]) -> EscalationPolicy:
+    if policy is None:
+        policy = EscalationPolicy()
+    if on_failure is not None:
+        policy = dataclasses.replace(policy, on_failure=on_failure)
+    return policy
+
+
+def run_ladder(
+    analysis: str,
+    strategies: Sequence[Tuple[str, Callable[[], RungOutcome]]],
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
+    fallback: Optional[Callable[[Optional[RungOutcome], SolveReport], RungOutcome]] = None,
+    report: Optional[SolveReport] = None,
+) -> Tuple[RungOutcome, SolveReport]:
+    """Run ``strategies`` in order until one succeeds.
+
+    Parameters
+    ----------
+    analysis:
+        Label stamped on the report (``"dc"``, ``"mpde"``, ...).
+    strategies:
+        ``(name, thunk)`` pairs in escalation order.  Each thunk returns
+        a :class:`RungOutcome` on success and raises a
+        :class:`ConvergenceError`-family exception on failure.  A raised
+        exception may carry ``best_x`` / ``best_norm`` / ``iterations``
+        / ``history`` attributes (the Newton solver attaches them) —
+        they are folded into the attempt record and the best-effort
+        candidate.
+    policy / on_failure:
+        Rung selection and failure mode; ``on_failure`` overrides the
+        policy's mode when both are given.
+    fallback:
+        Builds the degraded ``best_effort``/``warn`` value from the
+        least-bad failed attempt.  Without it those modes re-raise.
+    report:
+        Existing report to append to (used by multi-phase drivers).
+
+    Returns
+    -------
+    (outcome, report):
+        The winning (or degraded) :class:`RungOutcome` and the report.
+    """
+    pol = _coerce_policy(policy, on_failure)
+    rep = report if report is not None else SolveReport(analysis=analysis)
+    rep.on_failure = pol.on_failure
+    chosen = pol.select(strategies)
+
+    best: Optional[RungOutcome] = None
+    t_ladder = time.perf_counter()
+    for idx, (name, thunk) in enumerate(chosen):
+        if pol.max_attempts is not None and len(rep.attempts) >= pol.max_attempts:
+            rep.notes.append(f"attempt cap ({pol.max_attempts}) reached before {name!r}")
+            break
+        if (
+            pol.time_budget is not None
+            and idx > 0
+            and time.perf_counter() - t_ladder > pol.time_budget
+        ):
+            rep.notes.append(f"time budget ({pol.time_budget:g} s) exhausted before {name!r}")
+            break
+        t0 = time.perf_counter()
+        try:
+            out = thunk()
+        except _RECOVERABLE as exc:
+            norm = float(getattr(exc, "best_norm", np.inf) or np.inf)
+            rep.record(
+                AttemptRecord(
+                    strategy=name,
+                    converged=False,
+                    iterations=int(getattr(exc, "iterations", 0) or 0),
+                    residual_norm=norm,
+                    wall_time=time.perf_counter() - t0,
+                    failure_cause=f"{type(exc).__name__}: {exc}",
+                    residual_history=list(getattr(exc, "history", None) or []),
+                )
+            )
+            bx = getattr(exc, "best_x", None)
+            if bx is not None and (best is None or norm < best.residual_norm):
+                best = RungOutcome(
+                    value=bx,
+                    iterations=int(getattr(exc, "iterations", 0) or 0),
+                    residual_norm=norm,
+                    history=list(getattr(exc, "history", None) or []),
+                    detail={"strategy": name},
+                )
+            continue
+        if not isinstance(out, RungOutcome):
+            out = RungOutcome(value=out)
+        rep.record(
+            AttemptRecord(
+                strategy=name,
+                converged=True,
+                iterations=out.iterations,
+                residual_norm=out.residual_norm,
+                wall_time=time.perf_counter() - t0,
+                residual_history=list(out.history),
+                detail=dict(out.detail),
+            )
+        )
+        return out, rep
+
+    counts = rep.attempt_counts()
+    msg = (
+        f"{analysis}: all escalation rungs failed "
+        f"({', '.join(f'{k}x{v}' if v > 1 else k for k, v in counts.items()) or 'none ran'}; "
+        f"best |r| = {rep.best_residual:.3e})"
+    )
+    if pol.on_failure == "raise" or fallback is None:
+        raise SolveFailure(msg, rep, best)
+    if pol.on_failure == "warn":
+        warnings.warn(f"{msg} — returning best-effort result", RuntimeWarning, stacklevel=2)
+    out = fallback(best, rep)
+    if not isinstance(out, RungOutcome):
+        out = RungOutcome(value=out)
+    return out, rep

@@ -1,0 +1,152 @@
+"""Structured failure reports for the solver-recovery layer.
+
+Every nonlinear or iterative solve in the tool family — DC Newton, the
+transient step loop, shooting, harmonic balance / MPDE, oscillator PSS,
+GMRES — may need several *attempts* before it converges (or gives up).
+This module defines the record of that process:
+
+* :class:`AttemptRecord` — one strategy attempt: name, iteration count,
+  residual trajectory, wall time, and the failure cause when it lost;
+* :class:`SolveReport` — the ordered list of attempts for one logical
+  solve, attached to every analysis result so callers (and the
+  benchmarks) can see *how* an answer was obtained, not just the answer.
+
+These classes are deliberately dependency-free (no imports from the
+rest of :mod:`repro`) so the low-level solvers can reference them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["AttemptRecord", "SolveReport"]
+
+
+@dataclasses.dataclass
+class AttemptRecord:
+    """Outcome of one strategy attempt inside an escalation ladder.
+
+    Attributes
+    ----------
+    strategy:
+        Name of the ladder rung that ran (e.g. ``"gmin-stepping"``).
+    converged:
+        Whether this attempt produced an accepted solution.
+    iterations:
+        Nonlinear/inner iterations spent by the attempt (0 when the
+        strategy failed before iterating).
+    residual_norm:
+        Final (or best) residual norm the attempt reached.
+    wall_time:
+        Seconds spent inside the attempt.
+    failure_cause:
+        ``"ExcType: message"`` when the attempt failed, else ``None``.
+    residual_history:
+        Residual norms per iteration, when the strategy exposes them.
+    detail:
+        Free-form strategy-specific extras (homotopy step counts,
+        restart sizes, grid shapes, ...).
+    """
+
+    strategy: str
+    converged: bool
+    iterations: int = 0
+    residual_norm: float = math.inf
+    wall_time: float = 0.0
+    failure_cause: Optional[str] = None
+    residual_history: List[float] = dataclasses.field(default_factory=list)
+    detail: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class SolveReport:
+    """Full record of one logical solve: every attempt, in ladder order.
+
+    Attributes
+    ----------
+    analysis:
+        Which solve this report describes (``"dc"``, ``"transient"``,
+        ``"mpde"``, ``"gmres"``, ...).
+    attempts:
+        :class:`AttemptRecord` per strategy tried, in order.
+    on_failure:
+        The failure mode the solve ran under (``"raise"`` / ``"warn"``
+        / ``"best_effort"``).
+    notes:
+        Ladder-level annotations (budget exhaustion, skipped rungs).
+    """
+
+    analysis: str
+    attempts: List[AttemptRecord] = dataclasses.field(default_factory=list)
+    on_failure: str = "raise"
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    # -- outcome ----------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        """True when some attempt succeeded (ladders stop at success)."""
+        return any(a.converged for a in self.attempts)
+
+    @property
+    def strategy(self) -> Optional[str]:
+        """Name of the winning strategy, or ``None`` if all failed."""
+        for a in self.attempts:
+            if a.converged:
+                return a.strategy
+        return None
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(a.wall_time for a in self.attempts)
+
+    @property
+    def best_residual(self) -> float:
+        norms = [a.residual_norm for a in self.attempts if math.isfinite(a.residual_norm)]
+        return min(norms) if norms else math.inf
+
+    # -- aggregation ------------------------------------------------------
+    def attempt_counts(self) -> Dict[str, int]:
+        """Per-strategy attempt counts (the benchmarks report these)."""
+        counts: Dict[str, int] = {}
+        for a in self.attempts:
+            counts[a.strategy] = counts.get(a.strategy, 0) + 1
+        return counts
+
+    def record(self, attempt: AttemptRecord) -> AttemptRecord:
+        self.attempts.append(attempt)
+        return attempt
+
+    def merge(self, other: "SolveReport", prefix: Optional[str] = None) -> None:
+        """Absorb a nested solve's attempts (e.g. per-step sub-reports)."""
+        for a in other.attempts:
+            name = f"{prefix}:{a.strategy}" if prefix else a.strategy
+            self.attempts.append(dataclasses.replace(a, strategy=name))
+        self.notes.extend(other.notes)
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the solve."""
+        lines = [
+            f"SolveReport[{self.analysis}] "
+            f"{'converged' if self.converged else 'FAILED'}"
+            + (f" via {self.strategy!r}" if self.strategy else "")
+            + f" — {len(self.attempts)} attempt(s), "
+            f"{self.total_iterations} iterations, "
+            f"{self.total_wall_time:.3g} s"
+        ]
+        for i, a in enumerate(self.attempts):
+            status = "ok" if a.converged else f"failed ({a.failure_cause})"
+            lines.append(
+                f"  [{i}] {a.strategy}: {status}, "
+                f"{a.iterations} iters, |r| = {a.residual_norm:.3e}, "
+                f"{a.wall_time:.3g} s"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -109,3 +109,43 @@ class TestGMRESRestartsAndPrecond:
         res = gmres(dense_matvec(A), b, tol=1e-12, restart=40)
         hist = np.array(res.residuals)
         assert np.all(np.diff(hist) <= 1e-12)
+
+
+class TestHappyBreakdown:
+    """Krylov-space exhaustion must terminate cleanly with the exact
+    projected solution (regression: the subdiagonal entry used to be
+    zeroed by the Givens rotation before the breakdown test read it)."""
+
+    def test_low_degree_operator_breaks_down_early(self):
+        # b has components along only 3 eigenvectors, so the Krylov
+        # space is exhausted at dimension 3 even though n = 20
+        n = 20
+        d = np.ones(n)
+        d[:3] = [2.0, 3.0, 5.0]
+        b = np.zeros(n)
+        b[:3] = [1.0, 1.0, 1.0]
+        res = gmres(lambda v: d * v, b, tol=1e-12, restart=10, maxiter=50)
+        assert res.converged
+        assert res.iterations <= 4
+        np.testing.assert_allclose(res.x, b / d, atol=1e-10)
+        assert np.isfinite(res.residuals).all()
+
+    def test_exact_solution_in_one_step(self):
+        # A = I: the very first Arnoldi step exhausts the space
+        b = np.array([1.0, -2.0, 3.0, 4.0])
+        res = gmres(lambda v: v, b, tol=1e-14, restart=4)
+        assert res.converged
+        assert res.iterations == 1
+        np.testing.assert_allclose(res.x, b, atol=1e-12)
+
+    def test_breakdown_inside_larger_restart_window(self):
+        # invariant subspace of dimension 5 inside a restart window of 16
+        rng = np.random.default_rng(9)
+        Q, _ = np.linalg.qr(rng.standard_normal((16, 16)))
+        d = np.concatenate([[1.0, 2.0, 4.0, 8.0, 16.0], np.full(11, 3.0)])
+        A = Q @ np.diag(d) @ Q.T
+        b = Q[:, :5] @ np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        res = gmres(lambda v: A @ v, b, tol=1e-12, restart=16, maxiter=64)
+        assert res.converged
+        assert res.iterations <= 6
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-9)

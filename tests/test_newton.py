@@ -85,3 +85,44 @@ class TestNewtonScalarVector:
         res = newton_solve(lambda x: A @ x - b, lambda x: A, np.zeros(2))
         assert len(res.history) >= 1
         assert res.history[-1] <= 1e-9
+
+
+class TestFailureDiagnostics:
+    """Newton must fail fast — with a best-effort payload — instead of
+    looping on non-finite residuals until maxiter."""
+
+    def test_nan_residual_fails_fast_with_payload(self):
+        calls = {"n": 0}
+
+        def residual(x):
+            calls["n"] += 1
+            return np.full(2, np.nan)
+
+        with pytest.raises(ConvergenceError, match="not finite") as err:
+            newton_solve(residual, lambda x: np.eye(2), np.zeros(2),
+                         NewtonOptions(maxiter=100))
+        # far fewer evaluations than maxiter * backtracks would allow
+        assert calls["n"] < 30
+        assert err.value.best_x is not None
+        assert err.value.iterations is not None
+
+    def test_residual_turning_nan_mid_solve(self):
+        # healthy for the first iterate, NaN afterwards: the solver must
+        # report the last finite residual in its payload
+        def residual(x):
+            if np.linalg.norm(x) < 0.5:
+                return x - 2.0
+            return np.full_like(x, np.nan)
+
+        with pytest.raises(ConvergenceError) as err:
+            newton_solve(residual, lambda x: np.eye(2), np.zeros(2))
+        assert np.isfinite(err.value.best_norm)
+
+    def test_singular_jacobian_payload(self):
+        with pytest.raises(ConvergenceError, match="singular") as err:
+            newton_solve(
+                lambda x: x - 1.0,
+                lambda x: np.zeros((2, 2)),
+                np.zeros(2),
+            )
+        np.testing.assert_array_equal(err.value.best_x, np.zeros(2))
