@@ -16,7 +16,7 @@ from repro.analysis import transient_analysis
 from repro.hb import harmonic_balance
 from repro.rf import ModulatorSpec, quadrature_modulator
 
-from conftest import format_strategy_counts, report
+from conftest import format_strategy_counts, report, write_bench_json
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +43,11 @@ def test_fig1_spectrum_shape(hb_result, benchmark):
         ],
         header=("component", "frequency", "level dBc", "paper"),
         notes=(format_strategy_counts(hb),),
+    )
+    write_bench_json(
+        "fig1_modulator_hb",
+        results=(hb,),
+        extra={"image_dbc": image_dbc, "lo_dbc": lo_dbc},
     )
     assert -40.0 < image_dbc < -30.0, "imbalance sideband must sit near -35 dBc"
     assert -84.0 < lo_dbc < -72.0, "LO spur must sit near -78 dBc"

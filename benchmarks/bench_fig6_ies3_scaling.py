@@ -14,7 +14,7 @@ import pytest
 
 from repro.em import PanelKernel, compress_operator, conductor_bus
 
-from conftest import report
+from conftest import report, write_bench_json
 
 
 def build_case(ny):
@@ -45,8 +45,10 @@ def scaling_data():
                 build=t_build,
                 matvec=t_mv,
                 ratio=op.stats.compression_ratio,
+                svd_fallbacks=op.stats.svd_fallback_blocks,
             )
         )
+    write_bench_json("fig6_ies3_scaling", extra={"rows": rows})
     return rows
 
 

@@ -15,7 +15,7 @@ import pytest
 from repro.em import SpiralInductor, SubstrateModel, wheeler_inductance
 from repro.em.peec import reference_inductor_model
 
-from conftest import report
+from conftest import report, write_bench_json
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +62,11 @@ def test_fig7_dc_inductance_anchor(coil, benchmark):
         "Figure 7 anchor — low-frequency inductance",
         [("PEEC (nH)", l_dc * 1e9), ("modified Wheeler (nH)", l_wh * 1e9),
          ("relative difference", abs(l_dc - l_wh) / l_wh)],
+    )
+    write_bench_json(
+        "fig7_inductor",
+        results=(coil,),
+        extra={"l_dc_nH": l_dc * 1e9, "l_wheeler_nH": l_wh * 1e9},
     )
     assert abs(l_dc - l_wh) / l_wh < 0.15
 

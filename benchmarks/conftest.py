@@ -6,6 +6,8 @@ to the paper's reported shape so `pytest benchmarks/ --benchmark-only -s`
 doubles as the experiment log (EXPERIMENTS.md records one frozen copy).
 """
 
+import json
+import pathlib
 import sys
 
 
@@ -38,6 +40,49 @@ def format_strategy_counts(*results):
         f"{name}x{k}" if k > 1 else name for name, k in sorted(totals.items())
     )
     return f"solver attempts: {body}"
+
+
+def lint_wall_time(*results):
+    """Total pre-flight lint wall time over result ValidationReports.
+
+    Accepts analysis/solver results (``.validation``) or bare
+    :class:`~repro.robust.diagnostics.ValidationReport` objects; entries
+    without one are skipped.  Returns ``{"seconds", "reports",
+    "diagnostics"}`` so the bench JSON shows what validation cost next
+    to what the solver escalation cost.
+    """
+    seconds, count, ndiag = 0.0, 0, 0
+    for res in results:
+        rep = getattr(res, "validation", None)
+        if rep is None and hasattr(res, "wall_time") and hasattr(res, "diagnostics"):
+            rep = res
+        if rep is None:
+            continue
+        seconds += float(rep.wall_time)
+        ndiag += len(rep.diagnostics)
+        count += 1
+    return {"seconds": seconds, "reports": count, "diagnostics": ndiag}
+
+
+def write_bench_json(name, *, results=(), extra=None):
+    """Persist a machine-readable bench record as ``BENCH_<name>.json``.
+
+    Records the per-strategy solver attempt counts and the pre-flight
+    lint wall time harvested from ``results`` (any objects carrying
+    ``.report`` / ``.validation``), plus whatever ``extra`` metrics the
+    bench wants frozen.  The JSON lands next to the bench files so the
+    experiment log diffs cleanly between runs.
+    """
+    payload = {
+        "bench": name,
+        "strategy_counts": strategy_counts(*results),
+        "lint": lint_wall_time(*results),
+    }
+    if extra:
+        payload.update(extra)
+    path = pathlib.Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    return payload
 
 
 def report(title, rows, header=None, notes=()):

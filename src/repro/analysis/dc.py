@@ -29,6 +29,8 @@ import scipy.sparse as sp
 from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
 from repro.netlist.mna import MNASystem
 from repro.robust import EscalationPolicy, RungOutcome, SolveReport, run_ladder
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import preflight
 
 __all__ = ["DCResult", "dc_analysis", "DC_LADDER"]
 
@@ -46,6 +48,7 @@ class DCResult:
     residual_norm: float
     converged: bool = True
     report: Optional[SolveReport] = None
+    validation: Optional[ValidationReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> float:
         return float(self.x[system.node(node)])
@@ -75,6 +78,7 @@ def dc_analysis(
     dx_limit: float = 2.0,
     policy: Optional[EscalationPolicy] = None,
     on_failure: Optional[str] = None,
+    on_invalid: str = "raise",
 ) -> DCResult:
     """Find the DC operating point of a compiled circuit.
 
@@ -93,7 +97,13 @@ def dc_analysis(
     on_failure:
         ``"raise"`` (default) / ``"warn"`` / ``"best_effort"``;
         overrides ``policy.on_failure``.
+    on_invalid:
+        Pre-flight lint policy (``"raise"``/``"warn"``/``"ignore"``);
+        error-severity diagnostics (floating node, V-source loop, ...)
+        raise :class:`~repro.robust.diagnostics.ValidationError` before
+        the solve under the default.
     """
+    validation = enforce(preflight(system, "dc"), on_invalid)
     b = system.b_dc()
     guess = np.zeros(system.n) if x0 is None else np.asarray(x0, dtype=float)
     opts = NewtonOptions(abstol=abstol, maxiter=maxiter, dx_limit=dx_limit)
@@ -214,4 +224,5 @@ def dc_analysis(
         residual_norm=norm,
         converged=rep.converged,
         report=rep,
+        validation=validation,
     )

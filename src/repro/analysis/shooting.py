@@ -32,6 +32,8 @@ from repro.analysis.dc import dc_analysis
 from repro.linalg import ConvergenceError, NewtonOptions, attach_failure_payload, newton_solve
 from repro.netlist.mna import MNASystem
 from repro.robust import EscalationPolicy, RungOutcome, SolveReport, run_ladder
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import preflight
 
 __all__ = [
     "ShootingResult",
@@ -61,6 +63,7 @@ class ShootingResult:
     transient_steps: int
     converged: bool = True
     report: Optional[SolveReport] = None
+    validation: Optional[ValidationReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
@@ -146,6 +149,7 @@ def shooting_analysis(
     policy: Optional[EscalationPolicy] = None,
     on_failure: Optional[str] = None,
     settle_periods: int = 8,
+    on_invalid: str = "raise",
 ) -> ShootingResult:
     """Periodic steady state of a forced circuit by Newton shooting.
 
@@ -163,8 +167,16 @@ def shooting_analysis(
         periods of plain transient to land near the limit cycle, then
         re-shoots from there — the standard rescue when shooting from
         the DC point diverges.
+    on_invalid:
+        Pre-flight lint policy: circuit topology plus period checks
+        (``AN_PERIOD_NONPOSITIVE``, ``AN_PERIOD_MISMATCH``).
     """
-    guess = dc_analysis(system).x if x0 is None else np.asarray(x0, dtype=float)
+    validation = enforce(preflight(system, "shooting", period=period), on_invalid)
+    guess = (
+        dc_analysis(system, on_invalid="ignore").x
+        if x0 is None
+        else np.asarray(x0, dtype=float)
+    )
     guess = guess.copy()
     n = system.n
     counters = {"newton": 0, "steps": 0}
@@ -215,7 +227,12 @@ def shooting_analysis(
 
         dt = period / steps_per_period
         tr = transient_analysis(
-            system, t_stop=settle_periods * period, dt=dt, x0=guess, method=method
+            system,
+            t_stop=settle_periods * period,
+            dt=dt,
+            x0=guess,
+            method=method,
+            on_invalid="ignore",
         )
         counters["newton"] += tr.newton_iterations
         counters["steps"] += tr.t.size - 1
@@ -249,4 +266,5 @@ def shooting_analysis(
         transient_steps=counters["steps"],
         converged=rep.converged,
         report=rep,
+        validation=validation,
     )

@@ -26,6 +26,8 @@ from repro.analysis.dc import dc_analysis
 from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
 from repro.netlist.mna import MNASystem
 from repro.robust import AttemptRecord, EscalationPolicy, SolveFailure, SolveReport
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import preflight
 
 __all__ = ["TransientResult", "transient_analysis", "step_once", "TRANSIENT_LADDER"]
 
@@ -48,6 +50,7 @@ class TransientResult:
     rejected_steps: int = 0
     converged: bool = True
     report: Optional[SolveReport] = None
+    validation: Optional[ValidationReport] = None
 
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
@@ -107,6 +110,7 @@ def transient_analysis(
     policy: Optional[EscalationPolicy] = None,
     on_failure: Optional[str] = None,
     h_floor: Optional[float] = None,
+    on_invalid: str = "raise",
 ) -> TransientResult:
     """Integrate the circuit from ``t_start`` to ``t_stop``.
 
@@ -129,7 +133,14 @@ def transient_analysis(
     h_floor:
         Smallest step the backoff may try before declaring the step
         unrecoverable (default ``1e-21``, the historical hard floor).
+    on_invalid:
+        Pre-flight lint policy: circuit topology plus timestep checks
+        (``AN_TIMESTEP_NONPOSITIVE``, ``AN_TIMESTEP_COARSE``).
     """
+    validation = enforce(
+        preflight(system, "transient", dt=dt, t_stop=t_stop, t_start=t_start),
+        on_invalid,
+    )
     pol = policy or EscalationPolicy()
     mode = on_failure if on_failure is not None else pol.on_failure
     backoff_opts = pol.options_for("step-backoff")
@@ -138,7 +149,8 @@ def transient_analysis(
     report = SolveReport(analysis="transient", on_failure=mode)
 
     if x0 is None:
-        x0 = dc_analysis(system).x
+        # already linted above; don't lint (or raise) twice
+        x0 = dc_analysis(system, on_invalid="ignore").x
     x = np.asarray(x0, dtype=float).copy()
 
     # LTE is only meaningful for unknowns with dynamics: algebraic
@@ -175,6 +187,7 @@ def transient_analysis(
             rejected_steps=rejected,
             converged=converged,
             report=report,
+            validation=validation,
         )
 
     def give_up(cause: str) -> TransientResult:

@@ -5,7 +5,12 @@ whole simulation box on a uniform grid, 7-point Laplacian stencil,
 Dirichlet conductors and box boundary.  The matrix is sparse but large
 (the empty space between conductors is meshed too) and increasingly
 ill-conditioned as the grid refines — the properties Table 1 contrasts
-against the integral formulation.
+against the integral formulation.  That poor conditioning is exactly
+where the recovery ladder earns its keep: each per-conductor solve runs
+CG first and escalates through :func:`~repro.robust.krylov.robust_gmres`
+(restart growth → Jacobi preconditioner → dense fallback) when CG
+stalls, with every attempt recorded in a
+:class:`~repro.robust.report.SolveReport`.
 
 Capacitance is extracted from the flux (normal-derivative sum) through a
 surface enclosing each conductor.
@@ -15,13 +20,16 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.em.kernels import EPS0
+from repro.robust import AttemptRecord, EscalationPolicy, SolveReport, robust_gmres
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import lint_fd_grid
 
 __all__ = ["FDResult", "FDLaplaceSolver", "Box"]
 
@@ -47,10 +55,18 @@ class FDResult:
     cg_iterations: int
     build_time: float
     solve_time: float
+    report: Optional[SolveReport] = None
+    validation: Optional[ValidationReport] = None
 
 
 class FDLaplaceSolver:
-    """Uniform-grid 3-D Laplace solver with embedded conductor boxes."""
+    """Uniform-grid 3-D Laplace solver with embedded conductor boxes.
+
+    ``on_invalid`` applies the pre-flight geometry lint
+    (:func:`~repro.robust.validate.lint_fd_grid`: inverted/out-of-domain
+    boxes, unresolved conductors, coarse grids) at construction; the
+    report stays available as ``solver.validation``.
+    """
 
     def __init__(
         self,
@@ -58,7 +74,9 @@ class FDLaplaceSolver:
         shape: Tuple[int, int, int],
         boxes: Sequence[Box],
         eps: float = EPS0,
+        on_invalid: str = "raise",
     ):
+        self.validation = enforce(lint_fd_grid(domain, shape, boxes), on_invalid)
         self.domain = domain
         self.shape = tuple(shape)
         self.boxes = list(boxes)
@@ -151,26 +169,89 @@ class FDLaplaceSolver:
                     total += self.eps * (phi[ci, cj, ck] - phi[ni, nj, nk]) / h * face_area[axis]
         return total
 
-    def solve(self, rtol: float = 1e-10, estimate_condition: bool = True) -> FDResult:
-        """Capacitance matrix via one CG solve per conductor."""
+    def _matvec(self, A: sp.csr_matrix, v: np.ndarray) -> np.ndarray:
+        """Laplacian application — the injectable seam for fault tests."""
+        return A @ v
+
+    def _solve_one(
+        self,
+        A: sp.csr_matrix,
+        b: np.ndarray,
+        rtol: float,
+        report: SolveReport,
+        policy: Optional[EscalationPolicy],
+        on_failure: Optional[str],
+    ) -> Tuple[np.ndarray, int]:
+        """One potential solve: CG fast path, robust_gmres escalation."""
+        n = b.size
+        matvec = lambda v: self._matvec(A, v)  # noqa: E731
+        # explicit dtype: otherwise LinearOperator probes matvec with a
+        # zero vector, which would consume a scheduled injected fault
+        op = spla.LinearOperator((n, n), matvec=matvec, dtype=A.dtype)
+        iters = [0]
+
+        def cb(xk):
+            iters[0] += 1
+
+        t0 = time.perf_counter()
+        phi, info = spla.cg(op, b, rtol=rtol, maxiter=20000, callback=cb)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        rel = float(np.linalg.norm(b - matvec(phi)) / bnorm)
+        # scipy can report success with a poisoned iterate under injected
+        # faults, so judge by the true residual, not info alone
+        ok = info == 0 and np.isfinite(rel) and rel <= max(rtol * 100, 1e-8)
+        report.record(
+            AttemptRecord(
+                strategy="cg",
+                converged=ok,
+                iterations=iters[0],
+                residual_norm=rel if np.isfinite(rel) else float("inf"),
+                wall_time=time.perf_counter() - t0,
+                failure_cause="" if ok else f"CG info={info}, relres={rel:.3e}",
+            )
+        )
+        if ok:
+            return phi, iters[0]
+        res = robust_gmres(
+            matvec,
+            b,
+            tol=max(rtol, 1e-12),
+            restart=min(100, n),
+            maxiter=20000,
+            jacobi_diag=A.diagonal(),
+            policy=policy,
+            on_failure=on_failure,
+        )
+        report.merge(res.report)
+        return res.x, iters[0] + res.iterations
+
+    def solve(
+        self,
+        rtol: float = 1e-10,
+        estimate_condition: bool = True,
+        policy: Optional[EscalationPolicy] = None,
+        on_failure: Optional[str] = None,
+    ) -> FDResult:
+        """Capacitance matrix via one recoverable solve per conductor.
+
+        ``policy``/``on_failure`` control the GMRES escalation taken when
+        the CG fast path stalls; the per-attempt history is attached to
+        the result as ``result.report``.
+        """
         t0 = time.perf_counter()
         A, rhs = self._assemble()
         build_time = time.perf_counter() - t0
 
         conds = np.array(sorted(rhs.keys()))
         C = np.zeros((conds.size, conds.size))
+        report = SolveReport(analysis="fd-laplace")
         total_iters = 0
         t0 = time.perf_counter()
         for jj, cj in enumerate(conds):
-            iters = [0]
-
-            def cb(xk):
-                iters[0] += 1
-
-            phi_free, info = spla.cg(A, rhs[int(cj)], rtol=rtol, maxiter=20000, callback=cb)
-            if info != 0:
-                raise RuntimeError(f"FD CG failed to converge (info={info})")
-            total_iters += iters[0]
+            phi_free, iters = self._solve_one(
+                A, rhs[int(cj)], rtol, report, policy, on_failure
+            )
+            total_iters += iters
             phi_full = np.zeros(self.marker.size)
             phi_full[self.free_idx] = phi_free
             phi_full[self.marker.ravel() == cj] = 1.0
@@ -199,4 +280,6 @@ class FDLaplaceSolver:
             cg_iterations=total_iters,
             build_time=build_time,
             solve_time=solve_time,
+            report=report,
+            validation=self.validation,
         )

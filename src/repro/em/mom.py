@@ -21,8 +21,11 @@ import numpy as np
 
 from repro.em.geometry import Panel
 from repro.em.kernels import EPS0, PanelKernel
+from repro.robust import SolveReport
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import lint_panels
 
-__all__ = ["MoMResult", "capacitance_matrix", "conductor_ids"]
+__all__ = ["MoMResult", "capacitance_matrix", "capacitance_matrix_fast", "conductor_ids"]
 
 
 def conductor_ids(panels: Sequence[Panel]) -> np.ndarray:
@@ -40,6 +43,8 @@ class MoMResult:
     condition_number: float
     build_time: float
     solve_time: float
+    report: Optional[SolveReport] = None
+    validation: Optional[ValidationReport] = None
 
     def coupling(self, i: int, j: int) -> float:
         """Mutual (coupling) capacitance between conductors i and j (>=0)."""
@@ -58,9 +63,17 @@ def capacitance_matrix(
     ground_plane: bool = False,
     kernel: Optional[PanelKernel] = None,
     compute_condition: bool = True,
+    on_invalid: str = "raise",
 ) -> MoMResult:
-    """Short-circuit capacitance matrix by dense collocation MoM."""
+    """Short-circuit capacitance matrix by dense collocation MoM.
+
+    ``on_invalid`` applies the pre-flight geometry lint
+    (:func:`~repro.robust.validate.lint_panels`: zero-area panels,
+    extreme aspect ratios, coincident centers) before the dense matrix
+    is formed; the report travels on ``result.validation``.
+    """
     panels = list(panels)
+    validation = enforce(lint_panels(panels), on_invalid)
     kern = kernel or PanelKernel(panels, eps=eps, ground_plane=ground_plane)
     t0 = time.perf_counter()
     P = kern.dense()
@@ -89,6 +102,7 @@ def capacitance_matrix(
         condition_number=cond,
         build_time=build_time,
         solve_time=solve_time,
+        validation=validation,
     )
 
 
@@ -100,6 +114,9 @@ def capacitance_matrix_fast(
     leaf_size: int = 32,
     eta: float = 1.5,
     gmres_tol: float = 1e-10,
+    on_invalid: str = "raise",
+    policy=None,
+    on_failure: Optional[str] = None,
 ) -> MoMResult:
     """Capacitance extraction through the IES3-compressed operator.
 
@@ -109,11 +126,16 @@ def capacitance_matrix_fast(
     the FastCap-replacement workflow of paper sec. 4 at O(n log n)-ish
     memory.  ``matrix_nnz`` reports the compressed storage and
     ``condition_number`` is not computed (NaN).
+
+    ``policy``/``on_failure`` steer the per-excitation GMRES escalation
+    ladder (:meth:`~repro.em.ies3.CompressedOperator.solve`); the merged
+    attempt history rides on ``result.report``.
     """
     from repro.em.ies3 import compress_operator
     from repro.em.kernels import PanelKernel
 
     panels = list(panels)
+    validation = enforce(lint_panels(panels), on_invalid)
     kern = PanelKernel(panels, eps=eps, ground_plane=ground_plane)
     t0 = time.perf_counter()
     op = compress_operator(
@@ -124,14 +146,12 @@ def capacitance_matrix_fast(
     conds = conductor_ids(panels)
     sel = np.array([p.conductor for p in panels])
     C = np.zeros((conds.size, conds.size))
+    report = SolveReport(analysis="mom-fast")
     t0 = time.perf_counter()
     for jj, cj in enumerate(conds):
         v = (sel == cj).astype(float)
-        res = op.solve(v, tol=gmres_tol)
-        if not res.converged:
-            raise RuntimeError(
-                f"compressed capacitance solve stalled for conductor {cj}"
-            )
+        res = op.solve(v, tol=gmres_tol, policy=policy, on_failure=on_failure)
+        report.merge(res.report)
         for ii, ci in enumerate(conds):
             C[ii, jj] = float(np.sum(res.x[sel == ci]))
     solve_time = time.perf_counter() - t0
@@ -143,4 +163,6 @@ def capacitance_matrix_fast(
         condition_number=float("nan"),
         build_time=build_time,
         solve_time=solve_time,
+        report=report,
+        validation=validation,
     )

@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.em.geometry import Segment, spiral_segments
 from repro.em.inductance import dc_resistance, partial_inductance_matrix
+from repro.robust.diagnostics import enforce
+from repro.robust.validate import lint_segments
 
 __all__ = ["SubstrateModel", "SpiralInductor", "wheeler_inductance", "reference_inductor_model"]
 
@@ -62,6 +64,11 @@ class SpiralInductor:
         Metal resistivity (default aluminum-ish 2.8e-8).
     substrate:
         Shunt stack model; ``None`` for a lossless free-standing coil.
+    on_invalid:
+        Pre-flight geometry lint policy
+        (:func:`~repro.robust.validate.lint_segments` over the generated
+        spiral trace: zero-length segments, degenerate cross-sections);
+        the report stays available as ``self.validation``.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class SpiralInductor:
         resistivity: float = 2.8e-8,
         substrate: Optional[SubstrateModel] = None,
         max_segment_length: float = np.inf,
+        on_invalid: str = "raise",
     ):
         self.turns = turns
         self.outer = outer
@@ -89,6 +97,7 @@ class SpiralInductor:
         self.segments = spiral_segments(
             turns, outer, width, spacing, thickness, max_segment_length=max_segment_length
         )
+        self.validation = enforce(lint_segments(self.segments), on_invalid)
         self._build_filaments()
         self._Lp = partial_inductance_matrix(self.filaments)
         self._R = np.array([dc_resistance(f, resistivity) for f in self.filaments])

@@ -100,6 +100,7 @@ def harmonic_balance(
     fd_blocks: Optional[Sequence[FrequencyDomainBlock]] = None,
     policy=None,
     on_failure: Optional[str] = None,
+    on_invalid: str = "raise",
 ) -> HBResult:
     """Multi-tone harmonic balance of a compiled circuit.
 
@@ -136,5 +137,6 @@ def harmonic_balance(
         fd_blocks=fd_blocks,
         policy=policy,
         on_failure=on_failure,
+        on_invalid=on_invalid,
     )
     return HBResult(sol)

@@ -44,6 +44,8 @@ from repro.robust import (
     robust_gmres,
     run_ladder,
 )
+from repro.robust.diagnostics import ValidationReport, enforce
+from repro.robust.validate import preflight
 
 __all__ = [
     "MPDEOptions",
@@ -123,6 +125,7 @@ class MPDESolution:
     wall_time: float
     converged: bool = True
     report: Optional[SolveReport] = None
+    validation: Optional["ValidationReport"] = None
 
     def grid_waveform(self, node) -> np.ndarray:
         """Samples of one unknown over the grid, shape (N1, ..., Nd)."""
@@ -373,6 +376,7 @@ def solve_mpde(
     fd_blocks: Optional[Sequence[FrequencyDomainBlock]] = None,
     policy: Optional[EscalationPolicy] = None,
     on_failure: Optional[str] = None,
+    on_invalid: str = "raise",
 ) -> MPDESolution:
     """Solve the periodic MPDE on ``grid`` for the compiled circuit.
 
@@ -389,7 +393,15 @@ def solve_mpde(
         equivalent :class:`MPDEOptions` fields when given.  Under
         ``"best_effort"``/``"warn"`` an exhausted ladder returns the
         best iterate with ``converged=False`` instead of raising.
+    on_invalid:
+        Pre-flight lint policy: circuit topology plus tone-list checks
+        (``AN_TONE_MISMATCH``, ``AN_TONE_NONPOSITIVE``, ...) against the
+        periodic axes of ``grid``.
     """
+    tones = [
+        ax.freq for ax in grid.axes if ax.kind != "transient" and ax.freq > 0
+    ]
+    validation = enforce(preflight(system, "mpde", freqs=tones), on_invalid)
     opts = options or MPDEOptions()
     pol = policy if policy is not None else opts.policy
     mode = on_failure if on_failure is not None else (
@@ -399,7 +411,7 @@ def solve_mpde(
     t_begin = time.perf_counter()
 
     if x0 is None:
-        x_dc = dc_analysis(system).x
+        x_dc = dc_analysis(system, on_invalid="ignore").x
         x_init = np.tile(x_dc, grid.total)
     else:
         x_init = np.asarray(x0, dtype=float).copy()
@@ -596,4 +608,5 @@ def solve_mpde(
         wall_time=time.perf_counter() - t_begin,
         converged=rep.converged,
         report=rep,
+        validation=validation,
     )

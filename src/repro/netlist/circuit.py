@@ -102,8 +102,24 @@ class Circuit:
                     seen.append(node)
         return seen
 
-    def compile(self) -> MNASystem:
-        """Assign global indices, bind devices, and build the MNA system."""
+    def lint(self) -> "ValidationReport":
+        """Run the topology/parameter lint without compiling."""
+        from repro.robust.validate import lint_circuit
+
+        return lint_circuit(self)
+
+    def compile(self, on_invalid: Optional[str] = None) -> MNASystem:
+        """Assign global indices, bind devices, and build the MNA system.
+
+        ``on_invalid`` controls what happens when the pre-flight lint
+        (see :mod:`repro.robust.validate`) finds error-severity
+        diagnostics: ``"raise"`` raises
+        :class:`~repro.robust.diagnostics.ValidationError`, ``"warn"``
+        emits warnings, ``"ignore"`` only records.  The default
+        (``None``) records without enforcing — the report is attached to
+        the returned system as ``system.validation`` and the analysis
+        entry points apply their own policy.
+        """
         names = self.node_names()
         index = {name: i for i, name in enumerate(names)}
         num_nodes = len(names)
@@ -118,9 +134,15 @@ class Circuit:
             next_branch += dev.n_branches
             dev.bind(node_idx, branch_idx)
 
-        return MNASystem(
+        system = MNASystem(
             title=self.title,
             devices=list(self.devices),
             node_names=names,
             branch_owner=branch_owner,
         )
+        from repro.robust.diagnostics import enforce
+
+        system.validation = self.lint()
+        if on_invalid is not None:
+            enforce(system.validation, on_invalid)
+        return system

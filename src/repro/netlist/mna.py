@@ -50,6 +50,8 @@ class MNASystem:
         self.branch_owner = list(branch_owner)
         self.n = len(node_names) + len(branch_owner)
         self._node_index = {name: i for i, name in enumerate(node_names)}
+        #: pre-flight ValidationReport attached by Circuit.compile (or None)
+        self.validation = None
 
         self._build_linear()
         self._build_nonlinear()
@@ -66,7 +68,11 @@ class MNASystem:
         for i, owner in enumerate(self.branch_owner):
             if owner == device_name:
                 return len(self.node_names) + i
-        raise KeyError(f"device {device_name!r} has no branch current")
+        available = sorted(set(self.branch_owner))
+        raise KeyError(
+            f"device {device_name!r} has no branch current; devices with "
+            f"branch currents: {available or 'none'}"
+        )
 
     # ------------------------------------------------------------------
     def _build_linear(self) -> None:

@@ -25,12 +25,18 @@ Unit suffixes: f p n u m k meg g t.  ``*`` and ``;`` start comments,
 substrate convenience — the benchmark circuits are built with the Python
 API — but it makes the library usable the way designers drove the
 original tools.
+
+Every :class:`NetlistError` carries the 1-based source ``line_no`` (of
+the card's first physical line, before continuation joining) and the
+``filename`` when one was passed to :func:`parse_netlist`, so a bad card
+in a thousand-line deck reports ``deck.cir:412`` instead of just the raw
+card text.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.waveforms import DC, Pulse, Sine
@@ -39,7 +45,47 @@ __all__ = ["parse_netlist", "parse_value", "NetlistError"]
 
 
 class NetlistError(ValueError):
-    """Raised on malformed netlist input."""
+    """Raised on malformed netlist input.
+
+    Attributes
+    ----------
+    line_no:
+        1-based line number of the offending card in the original text
+        (the first physical line when the card used ``+`` continuations),
+        or ``None`` when the error is not tied to a line.
+    filename:
+        The deck's filename as given to :func:`parse_netlist`, or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_no: Optional[int] = None,
+        filename: Optional[str] = None,
+    ):
+        self.line_no = line_no
+        self.filename = filename
+        if line_no is not None and filename:
+            loc = f"{filename}:{line_no}: "
+        elif line_no is not None:
+            loc = f"line {line_no}: "
+        elif filename:
+            loc = f"{filename}: "
+        else:
+            loc = ""
+        super().__init__(loc + message)
+
+
+def _located(exc: Exception, line_no: Optional[int], filename: Optional[str]) -> NetlistError:
+    """Wrap/annotate an exception with source location.
+
+    A :class:`NetlistError` that already knows its line keeps it; bare
+    errors (including device-constructor ``ValueError``) get the card's.
+    """
+    if isinstance(exc, NetlistError) and exc.line_no is not None:
+        return exc
+    msg = exc.args[0] if exc.args else str(exc)
+    return NetlistError(str(msg), line_no=line_no, filename=filename)
 
 
 _SUFFIX = {
@@ -74,16 +120,21 @@ def parse_value(token: str) -> float:
     return base
 
 
-def _join_continuations(text: str) -> List[str]:
-    lines: List[str] = []
-    for raw in text.splitlines():
+#: a logical card: (text, 1-based line number of its first physical line)
+_Card = Tuple[str, int]
+
+
+def _join_continuations(text: str) -> List[_Card]:
+    lines: List[_Card] = []
+    for no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split(";")[0].rstrip()
         if not line.strip() or line.lstrip().startswith("*"):
             continue
         if line.lstrip().startswith("+") and lines:
-            lines[-1] += " " + line.lstrip()[1:]
+            prev, prev_no = lines[-1]
+            lines[-1] = (prev + " " + line.lstrip()[1:], prev_no)
         else:
-            lines.append(line.strip())
+            lines.append((line.strip(), no))
     return lines
 
 
@@ -105,6 +156,8 @@ def _parse_source(tokens: List[str]):
         kind = m.group(1).lower()
         args = [parse_value(t) for t in m.group(2).replace(",", " ").split()]
         if kind == "sin":
+            if len(args) < 3:
+                raise NetlistError(f"SIN needs at least 3 arguments, got {len(args)}")
             off, amp, freq = args[0], args[1], args[2]
             phase = args[3] * 3.141592653589793 / 180.0 if len(args) > 3 else 0.0
             return Sine(amplitude=amp, freq=freq, phase=phase, offset=off)
@@ -119,72 +172,99 @@ def _parse_source(tokens: List[str]):
     return DC(parse_value(toks[0]))
 
 
-def _collect_subcircuits(lines: List[str]):
-    """Split out .subckt definitions; returns (top_lines, subckts).
+def _collect_subcircuits(cards: List[_Card], filename: Optional[str] = None):
+    """Split out .subckt definitions; returns (top_cards, subckts).
 
-    ``subckts`` maps a lower-cased name to ``(ports, body_lines)``.
+    ``subckts`` maps a lower-cased name to ``(ports, body_cards)``.
     Definitions may nest instances of earlier definitions but not other
     definitions.
     """
     subckts: Dict[str, tuple] = {}
-    top: List[str] = []
+    top: List[_Card] = []
     current: Optional[str] = None
-    body: List[str] = []
-    for line in lines:
+    current_no = 0
+    body: List[_Card] = []
+    for line, no in cards:
         tokens = line.split()
         low = tokens[0].lower()
         if low == ".subckt":
             if current is not None:
-                raise NetlistError("nested .subckt definitions are not supported")
+                raise NetlistError(
+                    "nested .subckt definitions are not supported",
+                    line_no=no, filename=filename,
+                )
             if len(tokens) < 3:
-                raise NetlistError(".subckt needs a name and at least one port")
+                raise NetlistError(
+                    ".subckt needs a name and at least one port",
+                    line_no=no, filename=filename,
+                )
             current = tokens[1].lower()
+            current_no = no
             subckts[current] = (tokens[2:], [])
             body = subckts[current][1]
         elif low == ".ends":
             if current is None:
-                raise NetlistError(".ends without .subckt")
+                raise NetlistError(
+                    ".ends without .subckt", line_no=no, filename=filename
+                )
             current = None
         elif current is not None:
-            body.append(line)
+            body.append((line, no))
         else:
-            top.append(line)
+            top.append((line, no))
     if current is not None:
-        raise NetlistError(f"unterminated .subckt {current!r}")
+        raise NetlistError(
+            f"unterminated .subckt {current!r}",
+            line_no=current_no, filename=filename,
+        )
     return top, subckts
 
 
-def _expand_instances(lines: List[str], subckts, prefix: str = "", depth: int = 0) -> List[str]:
-    """Recursively expand X cards by textual substitution."""
+def _expand_instances(
+    cards: List[_Card],
+    subckts,
+    prefix: str = "",
+    depth: int = 0,
+    filename: Optional[str] = None,
+) -> List[_Card]:
+    """Recursively expand X cards by textual substitution.
+
+    Expanded body cards keep the line number of the body line they came
+    from, so an error inside a subcircuit points at its definition.
+    """
     if depth > 20:
         raise NetlistError("subcircuit recursion deeper than 20 levels")
-    out: List[str] = []
-    for line in lines:
+    out: List[_Card] = []
+    for line, no in cards:
         tokens = line.split()
         if tokens[0][0].upper() != "X":
             if prefix:
                 # rename the device and its non-ground, non-port nodes
                 tokens = list(tokens)
                 tokens[0] = prefix + tokens[0]
-                out.append(" ".join(tokens))
+                out.append((" ".join(tokens), no))
             else:
-                out.append(line)
+                out.append((line, no))
             continue
         inst = tokens[0]
         name = tokens[-1].lower()
         if name not in subckts:
-            raise NetlistError(f"unknown subcircuit {tokens[-1]!r} in card {line!r}")
+            raise NetlistError(
+                f"unknown subcircuit {tokens[-1]!r} in card {line!r}",
+                line_no=no, filename=filename,
+            )
         ports, body = subckts[name]
         actuals = tokens[1:-1]
         if len(actuals) != len(ports):
             raise NetlistError(
                 f"{inst}: subcircuit {name!r} has {len(ports)} ports, "
-                f"got {len(actuals)} connections"
+                f"got {len(actuals)} connections",
+                line_no=no, filename=filename,
             )
         mapping = dict(zip(ports, actuals))
         inst_prefix = f"{prefix}{inst}."
-        renamed: List[str] = []
-        for body_line in body:
+        renamed: List[_Card] = []
+        for body_line, body_no in body:
             btok = body_line.split()
             card_kind = btok[0][0].upper()
             node_count = _NODE_COUNT.get(card_kind)
@@ -204,8 +284,10 @@ def _expand_instances(lines: List[str], subckts, prefix: str = "", depth: int = 
                     new_tok.append(inst_prefix + tok)  # inductor references
                 else:
                     new_tok.append(tok)
-            renamed.append(" ".join(new_tok))
-        out.extend(_expand_instances(renamed, subckts, inst_prefix, depth + 1))
+            renamed.append((" ".join(new_tok), body_no))
+        out.extend(
+            _expand_instances(renamed, subckts, inst_prefix, depth + 1, filename)
+        )
     return out
 
 
@@ -217,29 +299,35 @@ _NODE_COUNT = {
 GROUND_NAMES_LOCAL = {"0", "gnd", "GND", "ground"}
 
 
-def parse_netlist(text: str, title: Optional[str] = None) -> Circuit:
-    """Parse netlist text into a :class:`Circuit` (not yet compiled)."""
-    lines = _join_continuations(text)
-    if lines:
-        first = lines[0]
+def parse_netlist(
+    text: str, title: Optional[str] = None, filename: Optional[str] = None
+) -> Circuit:
+    """Parse netlist text into a :class:`Circuit` (not yet compiled).
+
+    ``filename`` is used only for error reporting: every
+    :class:`NetlistError` raised from a card carries ``filename:line_no``.
+    """
+    cards = _join_continuations(text)
+    if cards:
+        first = cards[0][0]
         looks_like_card = (
             first[0].upper() in "RCLKVIDQMEGX." and len(first.split()) >= 3
         )
         if not looks_like_card:
             # first line is a title card
             title = title or first
-            lines = lines[1:]
+            cards = cards[1:]
     # cut at .end before structural passes
-    cut: List[str] = []
-    for line in lines:
+    cut: List[_Card] = []
+    for line, no in cards:
         if line.split()[0].lower() == ".end":
             break
-        cut.append(line)
-    top, subckts = _collect_subcircuits(cut)
-    lines = _expand_instances(top, subckts)
+        cut.append((line, no))
+    top, subckts = _collect_subcircuits(cut, filename)
+    cards = _expand_instances(top, subckts, filename=filename)
     ckt = Circuit(title or "netlist")
 
-    for line in lines:
+    for line, no in cards:
         tokens = line.split()
         card = tokens[0]
         # hierarchical names like "x1.R3" type by their last path segment
@@ -313,5 +401,17 @@ def parse_netlist(text: str, title: Optional[str] = None) -> Circuit:
             else:
                 raise NetlistError(f"unknown element type {card!r}")
         except IndexError as exc:
-            raise NetlistError(f"too few fields on card: {line!r}") from exc
+            raise NetlistError(
+                f"too few fields on card: {line!r}", line_no=no, filename=filename
+            ) from exc
+        except KeyError as exc:
+            # Circuit.mutual raises KeyError on an unknown inductor name
+            raise NetlistError(
+                f"card {card!r} references unknown device {exc.args[0]!r}",
+                line_no=no, filename=filename,
+            ) from exc
+        except (NetlistError, ValueError) as exc:
+            # device constructors raise plain ValueError on bad element
+            # values — annotate them all with the source line
+            raise _located(exc, no, filename) from exc
     return ckt

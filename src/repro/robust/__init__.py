@@ -8,6 +8,14 @@ attached to analysis results, and :mod:`repro.robust.faultinject` for
 the test harness that proves every rung fires and recovers.
 """
 
+from repro.robust.diagnostics import (
+    ON_INVALID_MODES,
+    SEVERITIES,
+    Diagnostic,
+    ValidationError,
+    ValidationReport,
+    enforce,
+)
 from repro.robust.faultinject import (
     FaultClock,
     FaultyMNASystem,
@@ -16,7 +24,7 @@ from repro.robust.faultinject import (
     inject_perturb,
     inject_singular,
 )
-from repro.robust.krylov import robust_gmres
+from repro.robust.krylov import DirectSolveResult, robust_direct_solve, robust_gmres
 from repro.robust.policy import (
     ON_FAILURE_MODES,
     EscalationPolicy,
@@ -28,17 +36,25 @@ from repro.robust.report import AttemptRecord, SolveReport
 
 __all__ = [
     "ON_FAILURE_MODES",
+    "ON_INVALID_MODES",
+    "SEVERITIES",
     "AttemptRecord",
+    "Diagnostic",
+    "DirectSolveResult",
     "EscalationPolicy",
     "FaultClock",
     "FaultyMNASystem",
     "RungOutcome",
     "SolveFailure",
     "SolveReport",
+    "ValidationError",
+    "ValidationReport",
+    "enforce",
     "inject_error",
     "inject_nan",
     "inject_perturb",
     "inject_singular",
+    "robust_direct_solve",
     "robust_gmres",
     "run_ladder",
 ]

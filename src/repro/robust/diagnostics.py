@@ -1,0 +1,216 @@
+"""Structured pre-flight diagnostics for every solver entry point.
+
+PR 1 made every *solve* recoverable; this module makes every *input*
+diagnosable.  A floating node, a voltage-source loop, or a degenerate
+panel used to surface as a singular-matrix failure deep inside Newton or
+GMRES — now the lint passes in :mod:`repro.robust.validate` run before
+the solve and collect :class:`Diagnostic` records (stable code,
+severity, location, suggested fix) into a :class:`ValidationReport`
+attached to the analysis result next to the existing
+:class:`~repro.robust.report.SolveReport`.
+
+The enforcement policy mirrors PR 1's ``on_failure``:
+
+* ``"raise"`` (default) — error-severity diagnostics raise
+  :class:`ValidationError` carrying the full report;
+* ``"warn"`` — errors are reported as Python warnings and the solve
+  proceeds (it may still fail, but the report travels with the result);
+* ``"ignore"`` — the report is collected and attached, nothing else.
+
+Like :mod:`repro.robust.report`, this module is dependency-free within
+the package so every layer (netlist, analysis, EM, ROM) can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ON_INVALID_MODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "ValidationError",
+    "ValidationReport",
+    "enforce",
+]
+
+ON_INVALID_MODES = ("raise", "warn", "ignore")
+
+#: Recognised severities, most severe first.  ``error`` means the solve
+#: is expected to fail (structurally singular system, degenerate
+#: geometry); ``warning`` means it is expected to struggle (poor
+#: conditioning, coarse timestep); ``info`` carries advice only.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclasses.dataclass
+class Diagnostic:
+    """One validated finding about a solver input.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (``"TOPO_FLOATING_SUBGRAPH"``,
+        ``"EM_ZERO_AREA_PANEL"``, ...).  Codes are documented in
+        DESIGN.md and never change meaning between releases, so tests
+        and tooling can match on them.
+    severity:
+        ``"error"`` / ``"warning"`` / ``"info"``.
+    location:
+        Where the problem is — a device or node name, a panel index, a
+        ``file:line`` reference — empty when global.
+    message:
+        Human-readable description of the finding.
+    suggestion:
+        Concrete remedial action (``"add a large resistor to ground"``,
+        ``"refine the panel mesh"``), empty when none applies.
+    detail:
+        Free-form extras for tooling (measured condition number,
+        offending value, recommended gmin, ...).
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+    suggestion: str = ""
+    detail: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def format(self) -> str:
+        loc = f" @ {self.location}" if self.location else ""
+        fix = f"  (fix: {self.suggestion})" if self.suggestion else ""
+        return f"[{self.severity}] {self.code}{loc}: {self.message}{fix}"
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Everything the lint passes found about one solver input.
+
+    Attributes
+    ----------
+    subject:
+        What was validated (``"circuit"``, ``"panels"``, ``"hb-setup"``).
+    diagnostics:
+        Findings in discovery order.
+    wall_time:
+        Seconds spent linting — benchmarks record this so the pre-flight
+        cost stays visible next to the solver attempt counts.
+    """
+
+    subject: str = "input"
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    wall_time: float = 0.0
+
+    # -- collection -------------------------------------------------------
+    def add(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        location: str = "",
+        suggestion: str = "",
+        **detail,
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            severity=severity,
+            message=message,
+            location=location,
+            suggestion=suggestion,
+            detail=detail,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def merge(self, other: Optional["ValidationReport"]) -> "ValidationReport":
+        """Absorb another report's findings (and lint time)."""
+        if other is not None:
+            self.diagnostics.extend(other.diagnostics)
+            self.wall_time += other.wall_time
+        return self
+
+    # -- outcome ----------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was recorded."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the lint."""
+        head = (
+            f"ValidationReport[{self.subject}] "
+            f"{'ok' if self.ok else 'INVALID'} — "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics)} total, {self.wall_time:.3g} s"
+        )
+        return "\n".join([head] + [f"  {d.format()}" for d in self.diagnostics])
+
+
+class ValidationError(ValueError):
+    """Pre-flight validation found error-severity diagnostics.
+
+    Carries the full :class:`ValidationReport` in ``.report`` so callers
+    can inspect the structured findings instead of parsing the message.
+    """
+
+    def __init__(self, report: ValidationReport):
+        self.report = report
+        errs = report.errors
+        lead = errs[0].format() if errs else "validation failed"
+        extra = f" (+{len(errs) - 1} more)" if len(errs) > 1 else ""
+        super().__init__(f"{report.subject}: {lead}{extra}")
+
+
+def enforce(report: ValidationReport, on_invalid: str = "raise") -> ValidationReport:
+    """Apply the ``on_invalid`` policy to a collected report.
+
+    ``"raise"`` raises :class:`ValidationError` when the report has
+    errors; ``"warn"`` emits one :class:`RuntimeWarning` per error;
+    ``"ignore"`` does nothing.  Warning-severity diagnostics never raise
+    — they are advisory by definition.  Returns the report for chaining.
+    """
+    if on_invalid not in ON_INVALID_MODES:
+        raise ValueError(
+            f"on_invalid must be one of {ON_INVALID_MODES}, got {on_invalid!r}"
+        )
+    if report.ok or on_invalid == "ignore":
+        return report
+    if on_invalid == "raise":
+        raise ValidationError(report)
+    for diag in report.errors:
+        warnings.warn(
+            f"{report.subject}: {diag.format()}", RuntimeWarning, stacklevel=3
+        )
+    return report

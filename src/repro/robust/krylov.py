@@ -5,17 +5,26 @@ operator's spectrum (the classic failure on the shift-register-like
 operators HB preconditioning sometimes leaves behind).  The remedy
 ladder is cheap and mechanical:
 
-    restart(r)  →  restart(2r)  →  restart(4r)  →  dense-fallback
+    restart(r)  →  restart(2r)  →  restart(4r)  →  jacobi-precond  →  dense-fallback
 
-The dense fallback materializes the operator column-by-column (``n``
-matvecs) and solves directly with LAPACK; it is gated by
-``dense_max_n`` because that cost is only acceptable for small systems
-(which is exactly where stagnation is usually fatal rather than just
-slow).
+The Jacobi rung re-runs the largest restart with a diagonal
+(equilibration) preconditioner — available only when the caller can
+supply the operator diagonal via ``jacobi_diag`` (the EM solvers can:
+the FD Laplacian and the IES³ compressed operator both expose it
+cheaply).  The dense fallback materializes the operator
+column-by-column (``n`` matvecs) and solves directly with LAPACK; it is
+gated by ``dense_max_n`` because that cost is only acceptable for small
+systems (which is exactly where stagnation is usually fatal rather than
+just slow).
+
+:func:`robust_direct_solve` is the direct-solver counterpart used by
+the ROM layer: LU first, then GMRES with Jacobi preconditioning, then a
+least-squares (minimum-norm) rung for singular-but-consistent systems.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Optional
 
 import numpy as np
@@ -23,8 +32,9 @@ import numpy as np
 from repro.linalg.gmres import GMRESResult, gmres
 from repro.linalg.newton import ConvergenceError
 from repro.robust.policy import EscalationPolicy, RungOutcome, run_ladder
+from repro.robust.report import SolveReport
 
-__all__ = ["robust_gmres"]
+__all__ = ["robust_gmres", "robust_direct_solve", "DirectSolveResult"]
 
 
 def _materialize(matvec: Callable, n: int, dtype) -> np.ndarray:
@@ -49,6 +59,7 @@ def robust_gmres(
     on_failure: Optional[str] = None,
     dense_max_n: int = 1500,
     restart_growth: tuple = (1, 2, 4),
+    jacobi_diag: Optional[np.ndarray] = None,
 ) -> GMRESResult:
     """GMRES with an escalation ladder; returns a report-carrying result.
 
@@ -56,6 +67,9 @@ def robust_gmres(
 
     * on non-convergence the restart size escalates through
       ``restart * g for g in restart_growth`` (capped at ``len(b)``);
+    * when ``jacobi_diag`` (the operator diagonal) is supplied and no
+      preconditioner was passed, a ``jacobi-precond`` rung re-runs the
+      largest restart with diagonal scaling before going dense;
     * if every restart size stalls and ``len(b) <= dense_max_n``, the
       operator is materialized and solved densely;
     * ``policy``/``on_failure`` control rung selection and whether
@@ -69,14 +83,21 @@ def robust_gmres(
     b = np.asarray(b)
     n = b.shape[0]
 
-    def krylov_rung(r):
+    def krylov_rung(r, rung_precond=None, label=""):
         def thunk():
             res = gmres(
-                matvec, b, x0=x0, tol=tol, restart=r, maxiter=maxiter, precond=precond
+                matvec,
+                b,
+                x0=x0,
+                tol=tol,
+                restart=r,
+                maxiter=maxiter,
+                precond=rung_precond,
             )
             if not res.converged:
                 exc = ConvergenceError(
-                    f"GMRES(restart={r}) stalled at relres {res.final_residual:.3e}"
+                    f"GMRES({label or f'restart={r}'}) stalled at relres "
+                    f"{res.final_residual:.3e}"
                 )
                 exc.best_x = res.x
                 exc.best_norm = res.final_residual
@@ -88,7 +109,7 @@ def robust_gmres(
                 iterations=res.iterations,
                 residual_norm=res.final_residual,
                 history=res.residuals,
-                detail={"restart": r},
+                detail={"restart": r, "precond": label or None},
             )
 
         return thunk
@@ -122,7 +143,16 @@ def robust_gmres(
         r = min(int(restart * g), n)
         if r not in sizes:
             sizes.append(r)
-    strategies = [(f"restart({r})", krylov_rung(r)) for r in sizes]
+    strategies = [(f"restart({r})", krylov_rung(r, precond)) for r in sizes]
+    if jacobi_diag is not None and precond is None:
+        d = np.asarray(jacobi_diag)
+        safe = np.where(np.abs(d) > 0, d, 1.0)
+        strategies.append(
+            (
+                "jacobi-precond",
+                krylov_rung(sizes[-1], lambda v: v / safe, label="jacobi"),
+            )
+        )
     strategies.append(("dense-fallback", dense_thunk))
 
     def fallback(best, rep):
@@ -145,3 +175,144 @@ def robust_gmres(
     result: GMRESResult = out.value
     result.report = rep
     return result
+
+
+@dataclasses.dataclass
+class DirectSolveResult:
+    """Outcome of :func:`robust_direct_solve`.
+
+    ``x`` has the shape of ``b``; ``report`` records which rung produced
+    it (``lu`` / ``gmres-jacobi`` / ``lstsq``).
+    """
+
+    x: np.ndarray
+    converged: bool
+    residual_norm: float
+    report: SolveReport
+
+
+def robust_direct_solve(
+    A,
+    b: np.ndarray,
+    tol: float = 1e-9,
+    policy: Optional[EscalationPolicy] = None,
+    on_failure: Optional[str] = None,
+    report: Optional[SolveReport] = None,
+) -> DirectSolveResult:
+    """Direct linear solve with an escalation ladder for the ROM layer.
+
+    ``A`` may be dense or ``scipy.sparse``; ``b`` may be a vector or a
+    matrix of right-hand sides.  The ladder is
+
+        lu  →  gmres-jacobi  →  lstsq
+
+    * ``lu`` — the ordinary factorization path (``splu`` for sparse,
+      LAPACK otherwise) with an a-posteriori residual check, so a
+      "successful" factorization of a near-singular matrix that returns
+      garbage still escalates;
+    * ``gmres-jacobi`` — :func:`robust_gmres` per right-hand side with a
+      diagonal preconditioner (handles ill-conditioning that defeats a
+      pivoted LU in float64);
+    * ``lstsq`` — dense minimum-norm solution, which recovers
+      singular-but-consistent systems (e.g. a descriptor system probed
+      exactly at a pole of the resolvent).
+
+    Exhaustion obeys ``on_failure`` like every other ladder: ``raise``
+    raises :class:`~repro.robust.policy.SolveFailure`; ``warn`` /
+    ``best_effort`` return the best iterate with ``converged=False``.
+    """
+    import scipy.sparse as sp
+
+    b = np.asarray(b)
+    sparse = sp.issparse(A)
+    n = A.shape[0]
+    B = b.reshape(n, -1) if b.ndim == 1 else b
+    bnorm = float(np.linalg.norm(B)) or 1.0
+    dtype = np.result_type(
+        A.dtype if hasattr(A, "dtype") else np.float64, B.dtype, np.float64
+    )
+
+    def _residual(X) -> float:
+        return float(np.linalg.norm(B - A @ X) / bnorm)
+
+    def _check(X, what: str) -> RungOutcome:
+        rel = _residual(X)
+        if not np.isfinite(rel) or rel > max(tol * 100, 1e-6):
+            exc = ConvergenceError(f"{what} residual {rel:.3e} too large")
+            exc.best_x = X
+            exc.best_norm = rel
+            raise exc
+        return RungOutcome(value=X, residual_norm=rel, detail={"rung": what})
+
+    def lu_thunk():
+        try:
+            if sparse:
+                import scipy.sparse.linalg as spla
+
+                X = spla.splu(sp.csc_matrix(A, dtype=dtype)).solve(
+                    np.asarray(B, dtype=dtype)
+                )
+            else:
+                X = np.linalg.solve(np.asarray(A, dtype=dtype), B.astype(dtype))
+        except (RuntimeError, ValueError) as exc:  # splu: "exactly singular"
+            raise ConvergenceError(f"LU factorization failed: {exc}") from exc
+        return _check(X, "lu")
+
+    def gmres_thunk():
+        Ad = A.tocsr() if sparse else np.asarray(A, dtype=dtype)
+        diag = Ad.diagonal() if sparse else np.diagonal(Ad)
+        X = np.empty((n, B.shape[1]), dtype=dtype)
+        iters = 0
+        for j in range(B.shape[1]):
+            res = robust_gmres(
+                lambda v: Ad @ v,
+                np.asarray(B[:, j], dtype=dtype),
+                tol=max(tol, 1e-12),
+                restart=min(60, n),
+                jacobi_diag=diag,
+                on_failure="best_effort",
+            )
+            X[:, j] = res.x
+            iters += res.iterations
+        out = _check(X, "gmres-jacobi")
+        out.iterations = iters
+        return out
+
+    def lstsq_thunk():
+        Ad = np.asarray(A.todense() if sparse else A, dtype=dtype)
+        X, *_ = np.linalg.lstsq(Ad, B.astype(dtype), rcond=None)
+        return _check(X, "lstsq")
+
+    strategies = [
+        ("lu", lu_thunk),
+        ("gmres-jacobi", gmres_thunk),
+        ("lstsq", lstsq_thunk),
+    ]
+
+    def fallback(best, rep):
+        X = (
+            np.asarray(best.value)
+            if best is not None and best.value is not None
+            else np.zeros((n, B.shape[1]), dtype=dtype)
+        )
+        return RungOutcome(
+            value=X, residual_norm=best.residual_norm if best else np.inf
+        )
+
+    out, rep = run_ladder(
+        "direct-solve",
+        strategies,
+        policy=policy,
+        on_failure=on_failure,
+        fallback=fallback,
+        report=report,
+    )
+    X = np.asarray(out.value)
+    return DirectSolveResult(
+        x=X.reshape(b.shape),
+        converged=rep.converged,
+        residual_norm=out.residual_norm
+        if out.residual_norm is not None
+        else _residual(X.reshape(n, -1)),
+        report=rep,
+    )

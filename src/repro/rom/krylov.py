@@ -38,13 +38,22 @@ def _is_complex_point(s0) -> bool:
 def _solver(G, C, s0: complex):
     A0 = G + s0 * C
     dtype = complex if _is_complex_point(s0) else float
-    if sp.issparse(A0):
-        lu = spla.splu(sp.csc_matrix(A0, dtype=dtype))
-        return lu.solve
-    import scipy.linalg as sla
+    try:
+        if sp.issparse(A0):
+            lu = spla.splu(sp.csc_matrix(A0, dtype=dtype))
+            return lu.solve
+        import scipy.linalg as sla
 
-    lu = sla.lu_factor(np.asarray(A0, dtype=dtype))
-    return lambda rhs: sla.lu_solve(lu, rhs)
+        lu = sla.lu_factor(np.asarray(A0, dtype=dtype))
+        return lambda rhs: sla.lu_solve(lu, rhs)
+    except (RuntimeError, ValueError):
+        # singular shifted matrix (expansion point on a pole): fall back
+        # to the recovery ladder so the Krylov recursion still advances
+        from repro.robust.krylov import robust_direct_solve
+
+        return lambda rhs: robust_direct_solve(
+            A0, rhs, on_failure="best_effort"
+        ).x
 
 
 def krylov_basis(apply_A, start: np.ndarray, q: int, reorth: bool = True) -> np.ndarray:

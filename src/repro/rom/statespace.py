@@ -22,6 +22,8 @@ import scipy.sparse.linalg as spla
 
 from repro.netlist.components import ISource, VSource
 from repro.netlist.mna import MNASystem
+from repro.robust import SolveReport
+from repro.robust.krylov import robust_direct_solve
 
 __all__ = ["DescriptorSystem", "ReducedSystem", "port_descriptor"]
 
@@ -47,21 +49,35 @@ class DescriptorSystem:
     def num_outputs(self) -> int:
         return self.L.shape[1]
 
-    def transfer(self, s_values: Sequence[complex]) -> np.ndarray:
-        """H(s) over an array of complex frequencies -> (len(s), m, p)."""
+    def transfer(
+        self,
+        s_values: Sequence[complex],
+        policy=None,
+        on_failure: Optional[str] = None,
+        report: Optional[SolveReport] = None,
+    ) -> np.ndarray:
+        """H(s) over an array of complex frequencies -> (len(s), m, p).
+
+        Each resolvent solve runs through
+        :func:`~repro.robust.krylov.robust_direct_solve` (LU →
+        GMRES-Jacobi → least-squares), so probing at or near a pole of
+        ``H`` degrades to the minimum-norm solution instead of silently
+        returning garbage.  Pass a :class:`SolveReport` to collect the
+        per-frequency attempt history.
+        """
         s_values = np.asarray(list(s_values), dtype=complex)
         out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
-        sparse = sp.issparse(self.G) or sp.issparse(self.C)
         for k, s in enumerate(s_values):
             A = self.G + s * self.C
-            if sparse:
-                X = spla.spsolve(sp.csc_matrix(A), self.B.astype(complex))
-                X = np.atleast_2d(X)
-                if X.shape[0] != self.order:
-                    X = X.T
-            else:
-                X = np.linalg.solve(A, self.B.astype(complex))
-            out[k] = self.L.T @ X
+            res = robust_direct_solve(
+                sp.csc_matrix(A) if sp.issparse(A) else A,
+                self.B.astype(complex),
+                policy=policy,
+                on_failure=on_failure,
+            )
+            if report is not None:
+                report.merge(res.report, prefix=f"s={s:.3g}")
+            out[k] = self.L.T @ res.x
         return out
 
     def moments(self, q: int, s0: complex = 0.0, scale: float = 1.0) -> np.ndarray:
@@ -76,14 +92,21 @@ class DescriptorSystem:
         nor underflow — AWE depends on this.
         """
         A0 = self.G + s0 * self.C
-        if sp.issparse(A0):
-            lu = spla.splu(sp.csc_matrix(A0))
-            solve = lu.solve
-        else:
-            import scipy.linalg as sla
+        try:
+            if sp.issparse(A0):
+                lu = spla.splu(sp.csc_matrix(A0))
+                solve = lu.solve
+            else:
+                import scipy.linalg as sla
 
-            lu = sla.lu_factor(np.asarray(A0, dtype=complex if np.iscomplexobj(s0) or s0 != 0 else float))
-            solve = lambda rhs: sla.lu_solve(lu, rhs)  # noqa: E731
+                lu = sla.lu_factor(np.asarray(A0, dtype=complex if np.iscomplexobj(s0) or s0 != 0 else float))
+                solve = lambda rhs: sla.lu_solve(lu, rhs)  # noqa: E731
+        except (RuntimeError, ValueError):
+            # singular expansion point: degrade to the recovery ladder
+            # (GMRES-Jacobi → least-squares) per application
+            solve = lambda rhs: robust_direct_solve(  # noqa: E731
+                A0, rhs, on_failure="best_effort"
+            ).x
         Cd = self.C.toarray() if sp.issparse(self.C) else np.asarray(self.C)
         vec = solve(np.asarray(self.B, dtype=float) if s0 == 0 else self.B.astype(complex))
         vec = np.atleast_2d(vec)

@@ -1,0 +1,103 @@
+"""Command-line pre-flight linter for netlists.
+
+    python -m repro.validate examples/netlists/*.cir
+
+Parses each SPICE-style netlist, compiles it, and runs the full
+pre-flight suite from :mod:`repro.robust.validate` — circuit topology
+(floating nodes, voltage-source loops, current-source cutsets, bad
+element values) plus the numerical-health probes on the assembled MNA
+system (conditioning estimate, scaling spread, gmin suggestion).  Every
+finding is printed as a structured diagnostic with its stable code;
+parse failures are reported with ``filename:line``.
+
+Exit status: 0 when no file produced an error-severity diagnostic,
+1 otherwise, 2 for usage errors.  Warnings never fail the run unless
+``--strict`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.netlist.parser import NetlistError, parse_netlist
+from repro.robust.diagnostics import ValidationReport
+from repro.robust.validate import preflight
+
+__all__ = ["lint_file", "main"]
+
+
+def lint_file(path: str, numeric: bool = True) -> ValidationReport:
+    """Parse + compile + pre-flight one netlist file.
+
+    Parse and compile failures are folded into the returned report as
+    ``PARSE_ERROR`` / ``COMPILE_ERROR`` diagnostics rather than raised,
+    so a batch run reports every file.
+    """
+    report = ValidationReport(subject=path)
+    try:
+        with open(path, "r") as fh:
+            text = fh.read()
+    except OSError as exc:
+        report.add("PARSE_ERROR", "error", str(exc), location=path)
+        return report
+    try:
+        circuit = parse_netlist(text, filename=path)
+    except NetlistError as exc:
+        report.add(
+            "PARSE_ERROR",
+            "error",
+            str(exc),
+            location=f"{path}:{exc.line_no}" if exc.line_no else path,
+        )
+        return report
+    try:
+        system = circuit.compile(on_invalid=None)
+    except Exception as exc:  # topology so broken that assembly fails
+        report.add("COMPILE_ERROR", "error", str(exc), location=path)
+        return report
+    pre = preflight(system, numeric=numeric)
+    pre.subject = path
+    report.merge(pre)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="Pre-flight lint for SPICE-style netlists.",
+    )
+    parser.add_argument("files", nargs="*", help="netlist files (*.cir)")
+    parser.add_argument(
+        "--no-numeric",
+        action="store_true",
+        help="skip the MNA numerical-health probes (topology lint only)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    args = parser.parse_args(argv)
+    if not args.files:
+        parser.print_usage(sys.stderr)
+        print("error: no netlist files given", file=sys.stderr)
+        return 2
+
+    failed = 0
+    for path in args.files:
+        rep = lint_file(path, numeric=not args.no_numeric)
+        bad = bool(rep.errors) or (args.strict and bool(rep.warnings))
+        status = "FAIL" if bad else "ok"
+        print(f"{path}: {status} ({len(rep.errors)} error(s), "
+              f"{len(rep.warnings)} warning(s))")
+        for diag in rep.diagnostics:
+            print(f"  {diag.format()}")
+        failed += bad
+    print(f"{len(args.files)} file(s) linted, {failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
