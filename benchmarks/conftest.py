@@ -64,6 +64,43 @@ def lint_wall_time(*results):
     return {"seconds": seconds, "reports": count, "diagnostics": ndiag}
 
 
+def perf_counters(*results):
+    """Collate ``report.perf`` counters from analysis results.
+
+    Numeric counters are summed (``workers`` takes the max, nested
+    ``stage_seconds`` dicts are summed per stage) and the factor-cache
+    hit rate is recomputed from the totals, mirroring
+    :meth:`repro.robust.report.SolveReport.merge`.  Entries without a
+    report or with an empty ``perf`` dict are skipped.
+    """
+    totals = {}
+    for res in results:
+        rep = getattr(res, "report", res)
+        perf = getattr(rep, "perf", None)
+        if not perf:
+            continue
+        for key, val in perf.items():
+            if key == "workers":
+                totals[key] = max(totals.get(key, 1), val)
+            elif key == "stage_seconds" and isinstance(val, dict):
+                mine = totals.setdefault(key, {})
+                for stage, sec in val.items():
+                    mine[stage] = mine.get(stage, 0.0) + sec
+            elif (
+                key in totals
+                and not key.endswith("_rate")
+                and isinstance(val, (int, float))
+                and not isinstance(val, bool)
+            ):
+                totals[key] = totals[key] + val
+            else:
+                totals.setdefault(key, val)
+    hits, misses = totals.get("factor_hits"), totals.get("factor_misses")
+    if hits is not None and misses is not None:
+        totals["factor_hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+    return totals
+
+
 def write_bench_json(name, *, results=(), extra=None):
     """Persist a machine-readable bench record as ``BENCH_<name>.json``.
 
@@ -77,6 +114,7 @@ def write_bench_json(name, *, results=(), extra=None):
         "bench": name,
         "strategy_counts": strategy_counts(*results),
         "lint": lint_wall_time(*results),
+        "perf": perf_counters(*results),
     }
     if extra:
         payload.update(extra)

@@ -20,6 +20,7 @@ import scipy.sparse.linalg as spla
 from repro.analysis.dc import dc_analysis
 from repro.netlist.components import ISource, VSource
 from repro.netlist.mna import MNASystem
+from repro.perf import sweep_map
 
 __all__ = ["ACResult", "ac_analysis", "ac_excitation_vector"]
 
@@ -66,6 +67,7 @@ def ac_analysis(
     freqs: Sequence[float],
     x_dc: Optional[np.ndarray] = None,
     magnitude: float = 1.0,
+    workers: Optional[int] = None,
 ) -> ACResult:
     """Frequency sweep of the linearized circuit.
 
@@ -77,16 +79,26 @@ def ac_analysis(
         Analysis frequencies in Hz.
     x_dc:
         Operating point; computed via :func:`dc_analysis` if omitted.
+    workers:
+        Sweep-executor thread count (each frequency point is an
+        independent sparse solve).  Serial and parallel runs produce
+        bit-identical results; defaults to the ``REPRO_SWEEP_WORKERS``
+        environment variable, else serial.
     """
     if x_dc is None:
         x_dc = dc_analysis(system).x
     G = system.G(x_dc).tocsc()
     C = system.C(x_dc).tocsc()
-    db = ac_excitation_vector(system, source_name, magnitude)
+    db = ac_excitation_vector(system, source_name, magnitude).astype(complex)
 
     freqs = np.asarray(list(freqs), dtype=float)
-    X = np.zeros((system.n, freqs.size), dtype=complex)
-    for k, f0 in enumerate(freqs):
+
+    def solve_point(f0):
         A = (G + 1j * 2.0 * np.pi * f0 * C).tocsc()
-        X[:, k] = spla.spsolve(A, db.astype(complex))
+        return spla.spsolve(A, db)
+
+    cols = sweep_map(solve_point, freqs, workers=workers)
+    X = np.zeros((system.n, freqs.size), dtype=complex)
+    for k, col in enumerate(cols):
+        X[:, k] = col
     return ACResult(freqs=freqs, X=X, x_dc=x_dc)

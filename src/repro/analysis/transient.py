@@ -16,6 +16,7 @@ variant of it.
 from __future__ import annotations
 
 import dataclasses
+import time
 import warnings
 from typing import Callable, Optional
 
@@ -25,6 +26,7 @@ import scipy.sparse.linalg as spla
 from repro.analysis.dc import dc_analysis
 from repro.linalg import ConvergenceError, NewtonOptions, newton_solve
 from repro.netlist.mna import MNASystem
+from repro.perf import FactorCache, PerfCounters
 from repro.robust import AttemptRecord, EscalationPolicy, SolveFailure, SolveReport
 from repro.robust.diagnostics import ValidationReport, enforce
 from repro.robust.validate import preflight
@@ -55,6 +57,10 @@ class TransientResult:
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
 
+    def current(self, system: MNASystem, device: str) -> np.ndarray:
+        """Branch-current waveform of a device (vsource/inductor/...)."""
+        return self.X[system.branch(device)]
+
     def sample(self, k: int) -> np.ndarray:
         return self.X[:, k]
 
@@ -66,11 +72,19 @@ def step_once(
     h: float,
     method: str = "trap",
     newton_opts: Optional[NewtonOptions] = None,
+    cache: Optional[FactorCache] = None,
+    cache_key=None,
 ):
     """Advance one implicit step; returns (x_next, newton_iterations).
 
     BE:    (q(x+) - q(x))/h + f(x+) - b(t+) = 0
     trap:  (q(x+) - q(x))/h + (f(x+) - b(t+))/2 + (f(x) - b(t))/2 = 0
+
+    When a :class:`FactorCache` is supplied the step Jacobian
+    ``C(x)/h + alpha G(x)`` is solved in modified-Newton mode: the LU
+    factorization is reused across iterations *and* across consecutive
+    steps sharing ``cache_key`` (i.e. while ``h`` is unchanged), with
+    fail-closed refresh on any residual-increasing stale step.
     """
     t_next = t_prev + h
     q_prev = system.q(x_prev)
@@ -92,7 +106,14 @@ def step_once(
     def jacobian(x):
         return (system.C(x) / h + alpha * system.G(x)).tocsc()
 
-    res = newton_solve(residual, jacobian, x_prev, opts)
+    res = newton_solve(
+        residual, jacobian, x_prev, opts, factor_cache=cache, cache_key=cache_key
+    )
+    if cache is not None:
+        c = cache.counters
+        c.jacobian_evals += res.jacobian_evals
+        c.jacobian_evals_saved += res.factor_reuses
+        c.stale_refreshes += res.stale_refreshes
     return res.x, res.iterations
 
 
@@ -111,6 +132,8 @@ def transient_analysis(
     on_failure: Optional[str] = None,
     h_floor: Optional[float] = None,
     on_invalid: str = "raise",
+    reuse_lu: bool = True,
+    reuse_iter_threshold: int = 2,
 ) -> TransientResult:
     """Integrate the circuit from ``t_start`` to ``t_stop``.
 
@@ -136,6 +159,21 @@ def transient_analysis(
     on_invalid:
         Pre-flight lint policy: circuit topology plus timestep checks
         (``AN_TIMESTEP_NONPOSITIVE``, ``AN_TIMESTEP_COARSE``).
+    reuse_lu:
+        Reuse the step-Jacobian LU factorization across Newton
+        iterations and across timesteps while the stepsize ``h`` is
+        unchanged (``C/h + alpha G`` keyed by ``h``), with fail-closed
+        refresh on stale steps.  The cache is invalidated whenever a
+        step is rejected, since backoff changes ``h``.  Converged
+        answers are unchanged (the residual stays exact); disable only
+        to benchmark the reuse itself.
+    reuse_iter_threshold:
+        Step-level staleness policy: a converged step that needed more
+        than this many Newton iterations signals that the cached LU has
+        drifted (strong nonlinearity active), so the cache is dropped
+        and the next step factors fresh.  Keeps reuse a net win on
+        nonlinear circuits where stale factors degrade the convergence
+        rate.
     """
     validation = enforce(
         preflight(system, "transient", dt=dt, t_stop=t_stop, t_start=t_start),
@@ -147,10 +185,13 @@ def transient_analysis(
     backoff_factor = float(backoff_opts.get("factor", 0.25))
     floor = float(h_floor if h_floor is not None else backoff_opts.get("floor", 1e-21))
     report = SolveReport(analysis="transient", on_failure=mode)
+    counters = PerfCounters()
+    cache = FactorCache(max_entries=4, counters=counters) if reuse_lu else None
 
     if x0 is None:
         # already linted above; don't lint (or raise) twice
-        x0 = dc_analysis(system, on_invalid="ignore").x
+        with counters.stage("dc"):
+            x0 = dc_analysis(system, on_invalid="ignore").x
     x = np.asarray(x0, dtype=float).copy()
 
     # LTE is only meaningful for unknowns with dynamics: algebraic
@@ -180,6 +221,8 @@ def transient_analysis(
                 detail={"steps": len(times) - 1, "rejected": rejected},
             )
         )
+        counters.add_stage("stepping", time.perf_counter() - step_t0)
+        counters.attach(report)
         return TransientResult(
             t=np.array(times),
             X=np.array(states).T,
@@ -203,14 +246,21 @@ def transient_analysis(
         return finish(False)
 
     t_eps = 1e-12 * max(abs(t_stop), abs(t_start), dt)
+    step_t0 = time.perf_counter()
     while t < t_stop - t_eps:
         if len(times) > max_steps:
             return give_up(f"exceeded {max_steps} steps")
         h = min(h, t_stop - t)
         try:
-            x_new, iters = step_once(system, x, t, h, method)
+            x_new, iters = step_once(
+                system, x, t, h, method, cache=cache, cache_key=("step", method, h)
+            )
         except ConvergenceError as exc:
             rejected += 1
+            if cache is not None:
+                # backoff changes h, so G + C/h changes: any cached
+                # factorization is stale for every retry from here on
+                cache.invalidate()
             if rejected <= _MAX_RECORDED_REJECTIONS:
                 report.record(
                     AttemptRecord(
@@ -232,6 +282,10 @@ def transient_analysis(
                 return give_up(f"step backoff hit the floor ({floor:g} s)")
             continue
         total_newton += iters
+        if cache is not None and iters > reuse_iter_threshold:
+            # slow step: the cached factorization no longer matches the
+            # active nonlinearity — refactor fresh next step
+            cache.invalidate()
 
         # floor: below ~dt/100 the extrapolation error estimate is
         # dominated by Newton solver noise, so force acceptance there

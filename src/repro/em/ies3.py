@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.em.aca import low_rank_block, svd_recompress
 from repro.em.clustertree import ClusterNode, block_partition, build_cluster_tree
+from repro.perf import sweep_map
 from repro.robust import EscalationPolicy, robust_gmres
 
 __all__ = ["CompressedOperator", "compress_operator", "IES3Stats"]
@@ -140,6 +141,7 @@ def compress_operator(
     eta: float = 1.5,
     tol: float = 1e-6,
     max_rank: int = 64,
+    workers: Optional[int] = None,
 ) -> CompressedOperator:
     """Build the IES3-style compressed form of a kernel operator.
 
@@ -154,33 +156,43 @@ def compress_operator(
         Admissibility parameter; larger = more aggressive compression.
     tol:
         Relative low-rank truncation tolerance.
+    workers:
+        :func:`repro.perf.sweep_map` thread count for the independent
+        per-block compressions; block order (and hence the operator) is
+        identical for any value.
     """
     t0 = time.perf_counter()
     n = points.shape[0]
     tree = build_cluster_tree(points, leaf_size=leaf_size)
     lr_pairs, dense_pairs = block_partition(tree, tree, eta=eta)
 
-    dense_blocks = []
-    stored = 0
-    for a, b in dense_pairs:
-        blk = entry(a.indices, b.indices)
-        dense_blocks.append((a.indices, b.indices, blk))
-        stored += blk.size
+    dense_blocks = sweep_map(
+        lambda pair: (pair[0].indices, pair[1].indices, entry(pair[0].indices, pair[1].indices)),
+        dense_pairs,
+        workers=workers,
+    )
+    stored = sum(blk.size for _, _, blk in dense_blocks)
 
-    lr_blocks = []
-    ranks = []
-    svd_fallbacks = 0
-    for a, b in lr_pairs:
+    def compress_pair(pair):
+        a, b = pair
         U, V = low_rank_block(entry, a.indices, b.indices, tol=tol, max_rank=max_rank)
+        fallback = False
         if not _cross_is_accurate(entry, a.indices, b.indices, U, V, tol):
             # ACA picked degenerate pivots (rank-deficient cross); rebuild
             # the block densely and recompress by SVD — slower but exact
             blk = entry(a.indices, b.indices)
             U, V = svd_recompress(blk, np.eye(blk.shape[1]), tol=tol * 0.1)
-            svd_fallbacks += 1
-        lr_blocks.append((a.indices, b.indices, U, V))
-        stored += U.size + V.size
-        ranks.append(U.shape[1])
+            fallback = True
+        return (a.indices, b.indices, U, V), fallback
+
+    lr_blocks = []
+    ranks = []
+    svd_fallbacks = 0
+    for block, fallback in sweep_map(compress_pair, lr_pairs, workers=workers):
+        lr_blocks.append(block)
+        stored += block[2].size + block[3].size
+        ranks.append(block[2].shape[1])
+        svd_fallbacks += int(fallback)
 
     stats = IES3Stats(
         n=n,

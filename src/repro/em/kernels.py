@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.em.geometry import Panel
+from repro.perf import sweep_map
 
 __all__ = [
     "EPS0",
@@ -132,9 +133,19 @@ class PanelKernel:
             out[a, b] = self.entry(int(rows[a]), int(cols[b]))
         return out
 
-    def dense(self) -> np.ndarray:
+    def dense(self, workers: Optional[int] = None) -> np.ndarray:
+        """Full panel matrix, assembled in fixed 64-row blocks.
+
+        The blocking is independent of ``workers`` (which only controls
+        the :func:`repro.perf.sweep_map` executor), so serial and
+        parallel assembly are bit-identical.
+        """
         idx = np.arange(self.n)
-        return self.block(idx, idx)
+        spans = [idx[lo : lo + 64] for lo in range(0, self.n, 64)]
+        if not spans:
+            return np.zeros((0, 0))
+        blocks = sweep_map(lambda rows: self.block(rows, idx), spans, workers=workers)
+        return np.vstack(blocks)
 
     def matvec_exact(self, q: np.ndarray) -> np.ndarray:
         return self.dense() @ q

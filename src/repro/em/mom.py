@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.em.geometry import Panel
 from repro.em.kernels import EPS0, PanelKernel
+from repro.perf import sweep_map
 from repro.robust import SolveReport
 from repro.robust.diagnostics import ValidationReport, enforce
 from repro.robust.validate import lint_panels
@@ -64,6 +65,7 @@ def capacitance_matrix(
     kernel: Optional[PanelKernel] = None,
     compute_condition: bool = True,
     on_invalid: str = "raise",
+    workers: Optional[int] = None,
 ) -> MoMResult:
     """Short-circuit capacitance matrix by dense collocation MoM.
 
@@ -71,12 +73,14 @@ def capacitance_matrix(
     (:func:`~repro.robust.validate.lint_panels`: zero-area panels,
     extreme aspect ratios, coincident centers) before the dense matrix
     is formed; the report travels on ``result.validation``.
+    ``workers`` parallelizes the multi-panel matrix assembly
+    (:meth:`PanelKernel.dense` row blocks) with bit-identical results.
     """
     panels = list(panels)
     validation = enforce(lint_panels(panels), on_invalid)
     kern = kernel or PanelKernel(panels, eps=eps, ground_plane=ground_plane)
     t0 = time.perf_counter()
-    P = kern.dense()
+    P = kern.dense(workers=workers)
     build_time = time.perf_counter() - t0
 
     conds = conductor_ids(panels)
@@ -117,6 +121,7 @@ def capacitance_matrix_fast(
     on_invalid: str = "raise",
     policy=None,
     on_failure: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> MoMResult:
     """Capacitance extraction through the IES3-compressed operator.
 
@@ -129,7 +134,9 @@ def capacitance_matrix_fast(
 
     ``policy``/``on_failure`` steer the per-excitation GMRES escalation
     ladder (:meth:`~repro.em.ies3.CompressedOperator.solve`); the merged
-    attempt history rides on ``result.report``.
+    attempt history rides on ``result.report`` (merged in conductor
+    order even when ``workers`` parallelizes the block compression and
+    the per-conductor excitation solves).
     """
     from repro.em.ies3 import compress_operator
     from repro.em.kernels import PanelKernel
@@ -139,7 +146,8 @@ def capacitance_matrix_fast(
     kern = PanelKernel(panels, eps=eps, ground_plane=ground_plane)
     t0 = time.perf_counter()
     op = compress_operator(
-        kern.block, kern.centers, leaf_size=leaf_size, eta=eta, tol=tol
+        kern.block, kern.centers, leaf_size=leaf_size, eta=eta, tol=tol,
+        workers=workers,
     )
     build_time = time.perf_counter() - t0
 
@@ -148,9 +156,13 @@ def capacitance_matrix_fast(
     C = np.zeros((conds.size, conds.size))
     report = SolveReport(analysis="mom-fast")
     t0 = time.perf_counter()
-    for jj, cj in enumerate(conds):
+
+    def solve_conductor(cj):
         v = (sel == cj).astype(float)
-        res = op.solve(v, tol=gmres_tol, policy=policy, on_failure=on_failure)
+        return op.solve(v, tol=gmres_tol, policy=policy, on_failure=on_failure)
+
+    results = sweep_map(solve_conductor, conds, workers=workers)
+    for jj, res in enumerate(results):
         report.merge(res.report)
         for ii, ci in enumerate(conds):
             C[ii, jj] = float(np.sum(res.x[sel == ci]))

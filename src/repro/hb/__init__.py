@@ -1,5 +1,11 @@
 """Harmonic balance (paper sec. 2.1)."""
 
-from repro.hb.hb_core import FrequencyDomainBlock, HBResult, harmonic_balance, hb_grid
+from repro.hb.hb_core import (
+    FrequencyDomainBlock,
+    HBResult,
+    harmonic_balance,
+    hb_grid,
+    hb_sweep,
+)
 
-__all__ = ["HBResult", "harmonic_balance", "hb_grid", "FrequencyDomainBlock"]
+__all__ = ["HBResult", "harmonic_balance", "hb_grid", "hb_sweep", "FrequencyDomainBlock"]

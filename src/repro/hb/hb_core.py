@@ -31,8 +31,9 @@ from repro.mpde.mpde_core import (
     solve_mpde,
 )
 from repro.netlist.mna import MNASystem
+from repro.perf import sweep_map
 
-__all__ = ["HBResult", "harmonic_balance", "hb_grid", "FrequencyDomainBlock"]
+__all__ = ["HBResult", "harmonic_balance", "hb_grid", "hb_sweep", "FrequencyDomainBlock"]
 
 
 def _samples_for(num_harmonics: int, oversample: int = 4) -> int:
@@ -140,3 +141,28 @@ def harmonic_balance(
         on_invalid=on_invalid,
     )
     return HBResult(sol)
+
+
+def hb_sweep(
+    system: MNASystem,
+    points: Sequence[dict],
+    workers: Optional[int] = None,
+    **hb_kwargs,
+):
+    """Run :func:`harmonic_balance` at many sweep points.
+
+    Each entry of ``points`` is a dict of ``harmonic_balance`` keyword
+    overrides (typically ``{"freqs": [...]}`` for a tone sweep, or
+    per-point ``harmonics``/``fd_blocks``); ``hb_kwargs`` supplies the
+    common baseline.  Points are independent solves, dispatched through
+    the :func:`repro.perf.sweep_map` executor; results come back in
+    point order regardless of ``workers``, and serial vs. parallel runs
+    are equivalent.
+    """
+
+    def solve_point(pt):
+        kwargs = dict(hb_kwargs)
+        kwargs.update(pt)
+        return harmonic_balance(system, **kwargs)
+
+    return sweep_map(solve_point, list(points), workers=workers)

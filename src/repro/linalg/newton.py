@@ -67,6 +67,17 @@ class NewtonOptions:
     dx_limit:
         Optional cap on the infinity norm of a Newton update; exponential
         device models need this to avoid overflow on early iterations.
+    reuse_jacobian:
+        Modified-Newton knob: maximum consecutive iterations one
+        factorization may serve before a mandatory refresh.  0 (the
+        default) disables in-solve reuse unless a ``factor_cache`` is
+        passed to :func:`newton_solve`, in which case a conservative
+        default applies.
+    reuse_rate_limit:
+        Staleness policy: after a step taken with a *stale*
+        factorization, refresh when ``||F_new|| > reuse_rate_limit *
+        ||F||`` — i.e. as soon as the contraction rate degrades past
+        this ratio, the next iteration pays for a fresh Jacobian.
     """
 
     abstol: float = 1e-9
@@ -75,6 +86,8 @@ class NewtonOptions:
     damping: bool = True
     max_backtrack: int = 20
     dx_limit: Optional[float] = None
+    reuse_jacobian: int = 0
+    reuse_rate_limit: float = 0.5
 
 
 @dataclasses.dataclass
@@ -87,6 +100,12 @@ class NewtonResult:
     # SolveReport attached by the repro.robust recovery layer when this
     # solve ran inside an escalation ladder; None for bare solves.
     report: object = None
+    # modified-Newton accounting: Jacobians actually evaluated, steps
+    # served by a reused factorization, and fail-closed refreshes where
+    # a stale factor produced a bad step and was replaced in-place
+    jacobian_evals: int = 0
+    factor_reuses: int = 0
+    stale_refreshes: int = 0
 
 
 def _solve_linear(J, r):
@@ -98,12 +117,19 @@ def _solve_linear(J, r):
     return np.linalg.solve(J, r)
 
 
+#: in-solve reuse cap applied when a factor cache is supplied but the
+#: caller did not set ``NewtonOptions.reuse_jacobian`` explicitly
+_CACHE_DEFAULT_REUSE = 8
+
+
 def newton_solve(
     residual: Callable[[np.ndarray], np.ndarray],
     jacobian: Callable[[np.ndarray], object],
     x0: np.ndarray,
     options: Optional[NewtonOptions] = None,
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    factor_cache=None,
+    cache_key=None,
 ) -> NewtonResult:
     """Solve ``residual(x) = 0`` by damped Newton iteration.
 
@@ -117,6 +143,16 @@ def newton_solve(
         by the matrix-free HB Newton where the Jacobian solve is GMRES).
     x0:
         Initial guess (not modified).
+    factor_cache / cache_key:
+        Optional :class:`~repro.perf.factorcache.FactorCache` and entry
+        key enabling *modified Newton*: the Jacobian factorization is
+        reused across iterations (and across successive solves sharing
+        the cache, e.g. transient timesteps at a fixed stepsize) until
+        the staleness policy in :class:`NewtonOptions` triggers a
+        refresh.  The stale-factor mode **fails closed**: a reused
+        factorization that produces a non-finite or non-descent step is
+        invalidated and the step retried with a fresh Jacobian before
+        any :class:`ConvergenceError` escapes to an escalation ladder.
     """
     opts = options or NewtonOptions()
     x = np.array(x0, dtype=float)
@@ -124,6 +160,21 @@ def newton_solve(
     fnorm = np.linalg.norm(F)
     history = [fnorm]
     best_x, best_norm = x.copy(), fnorm
+
+    reuse_limit = opts.reuse_jacobian
+    if reuse_limit <= 0 and factor_cache is not None:
+        reuse_limit = _CACHE_DEFAULT_REUSE
+    use_reuse = reuse_limit > 0
+    cache = factor_cache if (factor_cache is not None and cache_key is not None) else None
+
+    solver = None  # current linear-solve callable (factorization)
+    solver_stale = False  # factored at an earlier iterate / another solve
+    reusable = True  # False for matrix-free (callable) Jacobians
+    force_fresh = False  # staleness policy demanded a refresh: skip cache
+    age = 0  # accepted steps served by the current factorization
+    jac_evals = 0
+    reuses = 0
+    stale_refreshes = 0
 
     def _fail(message, it):
         raise attach_failure_payload(
@@ -134,42 +185,117 @@ def newton_solve(
             history=history,
         )
 
-    for it in range(1, opts.maxiter + 1):
-        if fnorm <= opts.abstol:
-            return NewtonResult(x, True, it - 1, fnorm, history)
+    def _result(xv, converged, iters, norm):
+        return NewtonResult(
+            xv,
+            converged,
+            iters,
+            norm,
+            history,
+            jacobian_evals=jac_evals,
+            factor_reuses=reuses,
+            stale_refreshes=stale_refreshes,
+        )
+
+    def _fresh_solver(it):
+        """Evaluate the Jacobian at the current iterate and factor it."""
+        nonlocal jac_evals
+        from repro.perf.factorcache import make_factor_solver
 
         J = jacobian(x)
+        jac_evals += 1
+        if callable(J):
+            return J, False
         try:
-            dx = _solve_linear(J, F)
-        except np.linalg.LinAlgError as exc:
+            s = make_factor_solver(J)
+        except (np.linalg.LinAlgError, RuntimeError, ValueError) as exc:
             _fail(f"singular Jacobian at iteration {it}: {exc}", it - 1)
-        dx = np.asarray(dx, dtype=float)
-        if not np.all(np.isfinite(dx)):
-            _fail("Newton update is not finite (singular Jacobian?)", it - 1)
+        if cache is not None:
+            cache.store(cache_key, s)
+        return s, True
 
+    def _limited(dx):
         if opts.dx_limit is not None:
             peak = np.max(np.abs(dx))
             if peak > opts.dx_limit:
                 dx = dx * (opts.dx_limit / peak)
+        return dx
 
+    def _line_search(dx):
+        """Backtracking search; mirrors the classic accept-anyway tail."""
         step = 1.0
-        accepted = False
         for _ in range(opts.max_backtrack + 1):
             x_new = x - step * dx
             F_new = residual(x_new)
             fnorm_new = np.linalg.norm(F_new)
-            if np.isfinite(fnorm_new) and (not opts.damping or fnorm_new < fnorm or fnorm <= opts.abstol):
-                accepted = True
-                break
+            if np.isfinite(fnorm_new) and (
+                not opts.damping or fnorm_new < fnorm or fnorm <= opts.abstol
+            ):
+                return x_new, F_new, fnorm_new, True
             step *= 0.5
+        # smallest step, evaluated once more (historical behaviour)
+        x_new = x - step * dx
+        F_new = residual(x_new)
+        fnorm_new = np.linalg.norm(F_new)
+        return x_new, F_new, fnorm_new, False
+
+    for it in range(1, opts.maxiter + 1):
+        if fnorm <= opts.abstol:
+            return _result(x, True, it - 1, fnorm)
+
+        if not use_reuse:
+            J = jacobian(x)
+            jac_evals += 1
+            try:
+                dx = _solve_linear(J, F)
+            except np.linalg.LinAlgError as exc:
+                _fail(f"singular Jacobian at iteration {it}: {exc}", it - 1)
+            dx = np.asarray(dx, dtype=float)
+            if not np.all(np.isfinite(dx)):
+                _fail("Newton update is not finite (singular Jacobian?)", it - 1)
+            x_new, F_new, fnorm_new, accepted = _line_search(_limited(dx))
+        else:
+            used_stale = False
+            while True:
+                if solver is None:
+                    cached = None
+                    if cache is not None and not force_fresh:
+                        cached = cache.get(cache_key)
+                    if cached is not None:
+                        solver, solver_stale, reusable = cached, True, True
+                    else:
+                        solver, reusable = _fresh_solver(it)
+                        solver_stale = False
+                    force_fresh = False
+                    age = 0
+                used_stale = solver_stale
+                dx = np.asarray(solver(F), dtype=float)
+                if not np.all(np.isfinite(dx)):
+                    if used_stale:
+                        # fail closed: poisoned/stale factorization — drop
+                        # it and retry with a fresh Jacobian before any
+                        # escalation ladder sees a failure
+                        if cache is not None:
+                            cache.invalidate(cache_key)
+                        solver = None
+                        stale_refreshes += 1
+                        continue
+                    _fail("Newton update is not finite (singular Jacobian?)", it - 1)
+                x_new, F_new, fnorm_new, accepted = _line_search(_limited(dx))
+                if accepted or not used_stale:
+                    break
+                # fail closed: the stale factorization could not produce a
+                # descent step — refresh and redo this iteration
+                if cache is not None:
+                    cache.invalidate(cache_key)
+                solver = None
+                stale_refreshes += 1
+
         if not accepted:
             # Accept the smallest step anyway; Newton sometimes needs to
             # climb out of a shallow residual plateau.  But never carry a
             # non-finite residual into the next iteration — that only
             # loops on NaNs until maxiter with no diagnostic.
-            x_new = x - step * dx
-            F_new = residual(x_new)
-            fnorm_new = np.linalg.norm(F_new)
             if not np.isfinite(fnorm_new):
                 _fail(
                     f"residual is not finite after {opts.max_backtrack} "
@@ -177,6 +303,17 @@ def newton_solve(
                     f"{best_norm:.3e})",
                     it,
                 )
+
+        if use_reuse:
+            if used_stale:
+                reuses += 1
+            age += 1
+            rate_bad = used_stale and fnorm_new > opts.reuse_rate_limit * fnorm
+            if not reusable or age >= reuse_limit or rate_bad:
+                solver = None
+                force_fresh = True
+            else:
+                solver_stale = True
 
         dx_norm = np.linalg.norm(x_new - x)
         x_scale = max(np.linalg.norm(x_new), 1.0)
@@ -188,10 +325,10 @@ def newton_solve(
             callback(it, x, fnorm)
 
         if fnorm <= opts.abstol or (dx_norm <= opts.reltol * x_scale and fnorm <= 1e3 * opts.abstol):
-            return NewtonResult(x, True, it, fnorm, history)
+            return _result(x, True, it, fnorm)
 
     if fnorm <= opts.abstol * 10:
-        return NewtonResult(x, True, opts.maxiter, fnorm, history)
+        return _result(x, True, opts.maxiter, fnorm)
     _fail(
         f"Newton failed to converge in {opts.maxiter} iterations (||F|| = {fnorm:.3e})",
         opts.maxiter,

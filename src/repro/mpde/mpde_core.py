@@ -37,6 +37,7 @@ from repro.analysis.dc import dc_analysis
 from repro.linalg import ConvergenceError, attach_failure_payload
 from repro.mpde.grid import Axis, MPDEGrid
 from repro.netlist.mna import MNASystem
+from repro.perf import PerfCounters
 from repro.robust import (
     EscalationPolicy,
     RungOutcome,
@@ -105,6 +106,17 @@ class MPDEOptions:
     direct_fallback_max: int = 40000
     # harmonic-continuation stops coarsening at this many samples/axis
     coarsen_floor: int = 8
+    # modified-Newton reuse (repro.perf): hold the direct-solver LU (or
+    # the averaged-circuit preconditioner on the GMRES path) across
+    # Newton iterations instead of refactoring every time.  The residual
+    # stays exact, so converged answers are unchanged; stale factors
+    # fail closed (refresh + retry) before the escalation ladder sees a
+    # failure.  reuse_limit caps consecutive stale iterations; after a
+    # stale-served step the factor is also dropped when the contraction
+    # rate degrades past reuse_rate_limit.
+    reuse_factorization: bool = True
+    reuse_limit: int = 5
+    reuse_rate_limit: float = 0.5
 
 
 @dataclasses.dataclass
@@ -433,6 +445,14 @@ def solve_mpde(
     B_dc = np.tile(system.b_dc(), (grid.total, 1)).reshape(grid.total, system.n)
 
     counters = {"newton": 0, "gmres": 0, "gmres_fallbacks": 0}
+    perf = PerfCounters()
+    reuse_on = opts.reuse_factorization and opts.reuse_limit > 0
+    # modified-Newton state shared across solve_at calls: the direct LU
+    # (or averaged preconditioner) plus its age in served iterations and
+    # the contraction rate of the last accepted step — the LU is only
+    # served stale once the iteration is already contracting well (the
+    # asymptotic regime where the Jacobian has stopped moving)
+    reuse = {"lu": None, "lu_age": 0, "pc": None, "pc_age": 0, "contraction": np.inf}
 
     def solve_at(B, x_start, abstol):
         x_it = x_start.copy()
@@ -443,74 +463,153 @@ def solve_mpde(
         for it in range(opts.maxiter):
             if rnorm <= abstol:
                 return x_it, rnorm
-            G_big, C_big, g_vals, c_vals = prob.batch_matrices(x_it)
-            if solver == "direct":
-                J = prob.direct_jacobian(G_big, C_big)
-                dx = spla.spsolve(J, r)
-            else:
-                mv = prob.matvec(G_big, C_big)
-                pc = prob.averaged_preconditioner(g_vals, c_vals)
-                lin_tol = max(opts.gmres_tol, min(1e-3, 0.01 * rnorm / r0))
-                # restart escalation first (repro.robust ladder); the
-                # dense rung is disabled — materializing the HB operator
-                # is never affordable, the sparse direct Jacobian below
-                # is the analysis-specific equivalent
-                res = robust_gmres(
-                    mv,
-                    r,
-                    tol=lin_tol,
-                    restart=opts.gmres_restart,
-                    maxiter=opts.gmres_maxiter,
-                    precond=pc,
-                    on_failure="best_effort",
-                    dense_max_n=0,
-                    restart_growth=(1, 2),
-                )
-                counters["gmres"] += (
-                    res.report.total_iterations if res.report else res.iterations
-                )
-                if not res.converged:
-                    # the averaged-circuit preconditioner degrades on
-                    # extreme conductance modulation (hard-driven diode
-                    # stacks); fall back to a direct factorization when
-                    # the problem is small enough to afford it
-                    if not prob.fd_blocks and system.n * grid.total <= opts.direct_fallback_max:
+            # two passes at most: the first may serve a stale
+            # factorization, the second (after a fail-closed refresh)
+            # always factors fresh at the current iterate
+            for attempt in (0, 1):
+                used_stale_lu = used_stale_pc = False
+                if solver == "direct":
+                    if (
+                        reuse_on
+                        and attempt == 0
+                        and reuse["lu"] is not None
+                        and reuse["lu_age"] < opts.reuse_limit
+                        and reuse["contraction"] <= opts.reuse_rate_limit
+                    ):
+                        dx = reuse["lu"](r)
+                        used_stale_lu = True
+                        perf.factor_hits += 1
+                        perf.jacobian_evals_saved += 1
+                    else:
+                        G_big, C_big, g_vals, c_vals = prob.batch_matrices(x_it)
+                        perf.jacobian_evals += 1
                         J = prob.direct_jacobian(G_big, C_big)
-                        dx = spla.spsolve(J, r)
-                        counters["gmres_fallbacks"] += 1
-                        res = None
-                    elif res.final_residual > 0.5:
-                        raise attach_failure_payload(
-                            ConvergenceError(
-                                f"MPDE GMRES stalled (relres {res.final_residual:.2e})"
-                            ),
-                            best_x=best_x,
-                            best_norm=float(best_norm),
-                            iterations=it,
-                        )
-                dx = res.x if res is not None else dx
-            counters["newton"] += 1
-            step = 1.0
-            x_try = x_it - dx
-            r_try = prob.residual(x_try, B)
-            rnorm_try = np.linalg.norm(r_try)
-            for _ in range(12):
-                if np.isfinite(rnorm_try) and rnorm_try < rnorm:
-                    break
-                step *= 0.5
-                x_try = x_it - step * dx
+                        if reuse_on:
+                            reuse["lu"] = spla.splu(J.tocsc()).solve
+                            reuse["lu_age"] = 0
+                            perf.factor_misses += 1
+                            dx = reuse["lu"](r)
+                        else:
+                            dx = spla.spsolve(J, r)
+                else:
+                    # matrix-free GMRES: the operator must be exact at
+                    # the current iterate, so the batch Jacobians are
+                    # always rebuilt — the reusable (and expensive) part
+                    # is the averaged-circuit preconditioner, one dense
+                    # LU per retained frequency
+                    G_big, C_big, g_vals, c_vals = prob.batch_matrices(x_it)
+                    perf.jacobian_evals += 1
+                    mv = prob.matvec(G_big, C_big)
+                    if (
+                        reuse_on
+                        and attempt == 0
+                        and reuse["pc"] is not None
+                        and reuse["pc_age"] < opts.reuse_limit
+                    ):
+                        pc = reuse["pc"]
+                        used_stale_pc = True
+                        perf.factor_hits += 1
+                        perf.jacobian_evals_saved += 1
+                    else:
+                        pc = prob.averaged_preconditioner(g_vals, c_vals)
+                        if reuse_on:
+                            reuse["pc"] = pc
+                            reuse["pc_age"] = 0
+                            perf.factor_misses += 1
+                    lin_tol = max(opts.gmres_tol, min(1e-3, 0.01 * rnorm / r0))
+                    # restart escalation first (repro.robust ladder); the
+                    # dense rung is disabled — materializing the HB operator
+                    # is never affordable, the sparse direct Jacobian below
+                    # is the analysis-specific equivalent
+                    res = robust_gmres(
+                        mv,
+                        r,
+                        tol=lin_tol,
+                        restart=opts.gmres_restart,
+                        maxiter=opts.gmres_maxiter,
+                        precond=pc,
+                        on_failure="best_effort",
+                        dense_max_n=0,
+                        restart_growth=(1, 2),
+                    )
+                    counters["gmres"] += (
+                        res.report.total_iterations if res.report else res.iterations
+                    )
+                    if not res.converged and used_stale_pc:
+                        # fail closed: a stale preconditioner may be what
+                        # stalled GMRES — rebuild it fresh and retry
+                        # before engaging any fallback
+                        reuse["pc"] = None
+                        perf.stale_refreshes += 1
+                        perf.factor_invalidations += 1
+                        continue
+                    if not res.converged:
+                        # the averaged-circuit preconditioner degrades on
+                        # extreme conductance modulation (hard-driven diode
+                        # stacks); fall back to a direct factorization when
+                        # the problem is small enough to afford it
+                        if not prob.fd_blocks and system.n * grid.total <= opts.direct_fallback_max:
+                            J = prob.direct_jacobian(G_big, C_big)
+                            dx = spla.spsolve(J, r)
+                            counters["gmres_fallbacks"] += 1
+                            res = None
+                        elif res.final_residual > 0.5:
+                            raise attach_failure_payload(
+                                ConvergenceError(
+                                    f"MPDE GMRES stalled (relres {res.final_residual:.2e})"
+                                ),
+                                best_x=best_x,
+                                best_norm=float(best_norm),
+                                iterations=it,
+                            )
+                    dx = res.x if res is not None else dx
+                counters["newton"] += 1
+                step = 1.0
+                x_try = x_it - dx
                 r_try = prob.residual(x_try, B)
                 rnorm_try = np.linalg.norm(r_try)
-            if not np.isfinite(rnorm_try):
-                # fail fast instead of looping on NaNs until maxiter
-                raise attach_failure_payload(
-                    ConvergenceError(
-                        f"MPDE residual is not finite at Newton iteration {it}"
-                    ),
-                    best_x=best_x,
-                    best_norm=float(best_norm),
-                    iterations=it + 1,
-                )
+                descent = False
+                for _ in range(12):
+                    if np.isfinite(rnorm_try) and rnorm_try < rnorm:
+                        descent = True
+                        break
+                    step *= 0.5
+                    x_try = x_it - step * dx
+                    r_try = prob.residual(x_try, B)
+                    rnorm_try = np.linalg.norm(r_try)
+                if not descent and used_stale_lu:
+                    # fail closed: the stale LU produced a residual-
+                    # increasing (or non-finite) step — drop it and redo
+                    # this iteration with a fresh Jacobian before any
+                    # escalation ladder engages
+                    reuse["lu"] = None
+                    perf.stale_refreshes += 1
+                    perf.factor_invalidations += 1
+                    continue
+                if not np.isfinite(rnorm_try):
+                    # fail fast instead of looping on NaNs until maxiter
+                    raise attach_failure_payload(
+                        ConvergenceError(
+                            f"MPDE residual is not finite at Newton iteration {it}"
+                        ),
+                        best_x=best_x,
+                        best_norm=float(best_norm),
+                        iterations=it + 1,
+                    )
+                break
+            if reuse_on:
+                reuse["contraction"] = rnorm_try / rnorm if rnorm > 0 else 0.0
+                rate_bad = rnorm_try > opts.reuse_rate_limit * rnorm
+                if reuse["lu"] is not None:
+                    reuse["lu_age"] += 1
+                    if used_stale_lu and rate_bad:
+                        reuse["lu"] = None
+                        perf.factor_invalidations += 1
+                if reuse["pc"] is not None:
+                    reuse["pc_age"] += 1
+                    if used_stale_pc and rate_bad:
+                        reuse["pc"] = None
+                        perf.factor_invalidations += 1
             x_it, r, rnorm = x_try, r_try, rnorm_try
             if rnorm < best_norm:
                 best_x, best_norm = x_it.copy(), rnorm
@@ -596,6 +695,8 @@ def solve_mpde(
     out, rep = run_ladder(
         "mpde", strategies, policy=pol, on_failure=mode, fallback=fallback
     )
+    perf.add_stage("mpde", time.perf_counter() - t_begin)
+    perf.attach(rep)
     x, rnorm = out.value
     return MPDESolution(
         system=system,

@@ -50,6 +50,11 @@ class MNASystem:
         self.branch_owner = list(branch_owner)
         self.n = len(node_names) + len(branch_owner)
         self._node_index = {name: i for i, name in enumerate(node_names)}
+        # first-occurrence wins, matching the historical linear scan for
+        # devices owning several branch currents
+        self._branch_index = {}
+        for i, owner in enumerate(self.branch_owner):
+            self._branch_index.setdefault(owner, len(self.node_names) + i)
         #: pre-flight ValidationReport attached by Circuit.compile (or None)
         self.validation = None
 
@@ -65,14 +70,14 @@ class MNASystem:
 
     def branch(self, device_name: str) -> int:
         """Global unknown index of a device's (first) branch current."""
-        for i, owner in enumerate(self.branch_owner):
-            if owner == device_name:
-                return len(self.node_names) + i
-        available = sorted(set(self.branch_owner))
-        raise KeyError(
-            f"device {device_name!r} has no branch current; devices with "
-            f"branch currents: {available or 'none'}"
-        )
+        idx = self._branch_index.get(device_name)
+        if idx is None:
+            available = sorted(set(self.branch_owner))
+            raise KeyError(
+                f"device {device_name!r} has no branch current; devices with "
+                f"branch currents: {available or 'none'}"
+            )
+        return idx
 
     # ------------------------------------------------------------------
     def _build_linear(self) -> None:

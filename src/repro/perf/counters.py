@@ -1,0 +1,107 @@
+"""Performance counters attached to solve reports.
+
+A :class:`PerfCounters` instance travels with a
+:class:`~repro.perf.factorcache.FactorCache` (which bumps the factor
+hit/miss counts) and with the analyses that adopt the performance layer
+(which bump the Jacobian-saving and stage-timing counts).  At the end of
+a solve the counters are published onto the existing
+:class:`~repro.robust.report.SolveReport` as the ``perf`` dict, so the
+robustness layer's reports now carry timing next to the attempt history.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Dict
+
+__all__ = ["PerfCounters"]
+
+
+@dataclasses.dataclass
+class PerfCounters:
+    """Factorization-reuse and wall-time counters for one logical solve.
+
+    Attributes
+    ----------
+    factor_hits / factor_misses:
+        Cache lookups that reused an existing factorization vs. ones
+        that had to factor fresh.
+    factor_invalidations:
+        Entries dropped (stepsize change, rejected step, poisoned
+        factor, eviction).
+    jacobian_evals:
+        Jacobian evaluations actually performed.
+    jacobian_evals_saved:
+        Newton iterations served by a reused (stale) factorization —
+        Jacobian evaluations *and* factorizations that never happened.
+    stale_refreshes:
+        Fail-closed refreshes: a stale factorization produced a
+        non-descent (or non-finite) step and was replaced by a fresh
+        Jacobian before any escalation ladder engaged.
+    workers:
+        Worker count of the sweep executor run that produced this
+        result (1 for serial).
+    stage_seconds:
+        Wall time per named stage (``"dc"``, ``"stepping"``, ...).
+    """
+
+    factor_hits: int = 0
+    factor_misses: int = 0
+    factor_invalidations: int = 0
+    jacobian_evals: int = 0
+    jacobian_evals_saved: int = 0
+    stale_refreshes: int = 0
+    workers: int = 1
+    stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Factor-cache hit rate in [0, 1] (0 when never queried)."""
+        total = self.factor_hits + self.factor_misses
+        return self.factor_hits / total if total else 0.0
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        """Context manager accumulating wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_stage(name, time.perf_counter() - t0)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + float(seconds)
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate another counter set into this one (returned)."""
+        self.factor_hits += other.factor_hits
+        self.factor_misses += other.factor_misses
+        self.factor_invalidations += other.factor_invalidations
+        self.jacobian_evals += other.jacobian_evals
+        self.jacobian_evals_saved += other.jacobian_evals_saved
+        self.stale_refreshes += other.stale_refreshes
+        self.workers = max(self.workers, other.workers)
+        for name, sec in other.stage_seconds.items():
+            self.add_stage(name, sec)
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (what lands in ``report.perf``)."""
+        return {
+            "factor_hits": self.factor_hits,
+            "factor_misses": self.factor_misses,
+            "factor_hit_rate": self.hit_rate,
+            "factor_invalidations": self.factor_invalidations,
+            "jacobian_evals": self.jacobian_evals,
+            "jacobian_evals_saved": self.jacobian_evals_saved,
+            "stale_refreshes": self.stale_refreshes,
+            "workers": self.workers,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+    def attach(self, report) -> None:
+        """Publish onto a :class:`SolveReport`'s ``perf`` dict (if any)."""
+        if report is not None and hasattr(report, "perf"):
+            report.perf.update(self.as_dict())

@@ -1,0 +1,118 @@
+"""Keyed cache of matrix factorizations.
+
+Every implicit step and Newton iteration in the tool family bottoms out
+in "factor a sparse/dense matrix, then solve against it".  Much of the
+time the matrix is identical (transient steps at a fixed stepsize ``h``
+share ``G + C/h`` for linear circuits) or *close enough* (modified
+Newton tolerates a stale Jacobian as long as the iteration still
+contracts).  :class:`FactorCache` holds the factorizations, keyed by the
+caller's notion of matrix identity, with LRU eviction and explicit
+invalidation for the staleness policies layered on top (see
+:func:`repro.linalg.newton.newton_solve` and
+:func:`repro.analysis.transient.transient_analysis`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.perf.counters import PerfCounters
+
+__all__ = ["FactorCache", "make_factor_solver"]
+
+
+def make_factor_solver(A) -> Callable[[np.ndarray], np.ndarray]:
+    """Factor a dense or sparse matrix once; return ``solve(rhs)``.
+
+    Sparse matrices go through SuperLU (:func:`scipy.sparse.linalg.splu`),
+    dense ones through LAPACK :func:`scipy.linalg.lu_factor`.  Raises
+    ``RuntimeError`` / :class:`numpy.linalg.LinAlgError` /
+    ``ValueError`` on exactly singular input, matching what the callers'
+    singular-Jacobian handling already expects.
+    """
+    if sp.issparse(A):
+        lu = spla.splu(A.tocsc())
+        return lu.solve
+    A = np.asarray(A)
+    lu, piv = sla.lu_factor(A)
+
+    def solve(rhs):
+        return sla.lu_solve((lu, piv), rhs)
+
+    return solve
+
+
+class FactorCache:
+    """LRU cache of factorization solve-callables, with perf counters.
+
+    Keys are caller-defined matrix identities — e.g. ``("step", method,
+    h)`` for the transient companion matrix ``C/h + alpha G``.  The
+    cache never decides staleness itself: callers (modified Newton, the
+    transient step loop) invalidate or overwrite entries per their own
+    policy, and every lookup is counted on :attr:`counters` so the
+    effectiveness of that policy is observable in ``report.perf``.
+    """
+
+    def __init__(self, max_entries: int = 8, counters: Optional[PerfCounters] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.counters = counters if counters is not None else PerfCounters()
+        self._entries: "OrderedDict[Hashable, Callable]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        return self.counters.factor_hits
+
+    @property
+    def misses(self) -> int:
+        return self.counters.factor_misses
+
+    def get(self, key: Hashable) -> Optional[Callable]:
+        """Cached solver for ``key`` or None; counts the hit/miss."""
+        solver = self._entries.get(key)
+        if solver is None:
+            self.counters.factor_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.counters.factor_hits += 1
+        return solver
+
+    def store(self, key: Hashable, solver: Callable) -> Callable:
+        """Insert/replace the solver for ``key`` (LRU-evicting)."""
+        self._entries[key] = solver
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.counters.factor_invalidations += 1
+        return solver
+
+    def factor(self, key: Hashable, build: Callable[[], object]) -> Tuple[Callable, bool]:
+        """``(solver, was_cached)`` for ``key``; ``build()`` supplies the
+        matrix on a miss and the resulting factorization is stored."""
+        solver = self.get(key)
+        if solver is not None:
+            return solver, True
+        return self.store(key, make_factor_solver(build())), False
+
+    def invalidate(self, key: Optional[Hashable] = None) -> int:
+        """Drop one entry (or all, when ``key`` is None); returns count."""
+        if key is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            dropped = 1 if self._entries.pop(key, None) is not None else 0
+        self.counters.factor_invalidations += dropped
+        return dropped

@@ -1,0 +1,87 @@
+"""Deterministic parallel executor for embarrassingly parallel sweeps.
+
+AC/HB frequency points, phase-noise Monte-Carlo paths, ROM transfer
+sweeps and EM panel-matrix row blocks are all independent work items.
+:func:`sweep_map` runs them through a ``concurrent.futures`` thread pool
+when ``workers > 1`` and falls back to a plain serial loop otherwise (or
+when the pool cannot be created, e.g. in restricted environments).
+
+Two invariants the adopters rely on:
+
+* **deterministic ordering** — results come back in item order,
+  regardless of completion order or worker count;
+* **worker-count independence** — the per-item computation never
+  depends on ``workers``, so serial and parallel runs produce
+  bit-identical outputs (the equivalence tests in
+  ``tests/test_perf.py`` pin this down).
+
+The default worker count is 1 (serial); set the environment variable
+``REPRO_SWEEP_WORKERS`` or pass ``workers=`` explicitly to go parallel.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional
+
+__all__ = ["WORKERS_ENV", "resolve_workers", "sweep_map"]
+
+#: Environment variable consulted when ``workers`` is None.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else env var, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+def sweep_map(
+    fn: Callable,
+    items: Iterable,
+    workers: Optional[int] = None,
+    stats: Optional[dict] = None,
+) -> List:
+    """Map ``fn`` over ``items`` preserving order; parallel when asked.
+
+    Parameters
+    ----------
+    fn / items:
+        The per-point work and the sweep points.  ``fn`` must not
+        depend on execution order (the executor guarantees nothing
+        about it) — only result *ordering* is deterministic.
+    workers:
+        Thread count; ``None`` consults :data:`WORKERS_ENV`, and any
+        value <= 1 (or a single item) runs the serial fallback.
+    stats:
+        Optional dict filled with ``{"workers", "tasks"}`` describing
+        what actually ran — the benchmarks record it.
+
+    Exceptions raised by ``fn`` propagate to the caller in both modes
+    (the first failing item wins under threads, as with ``map``).
+    """
+    items = list(items)
+    w = resolve_workers(workers)
+    effective = min(w, len(items)) if items else 1
+    results: List
+    if effective <= 1:
+        effective = 1
+        results = [fn(it) for it in items]
+    else:
+        try:
+            with ThreadPoolExecutor(max_workers=effective) as ex:
+                results = list(ex.map(fn, items))
+        except (OSError, RuntimeError):
+            # thread creation refused (container limits): serial fallback
+            effective = 1
+            results = [fn(it) for it in items]
+    if stats is not None:
+        stats["workers"] = effective
+        stats["tasks"] = len(items)
+    return results

@@ -20,9 +20,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.perf import sweep_map
 from repro.phasenoise.ode import ODESystem
 
 __all__ = ["JitterMeasurement", "simulate_sde_ensemble", "measure_jitter", "periodogram_psd"]
+
+
+#: paths per simulation block in the default (per-path-seeded) mode; a
+#: fixed block size keeps results independent of the worker count
+_PATH_CHUNK = 32
 
 
 def simulate_sde_ensemble(
@@ -34,31 +40,71 @@ def simulate_sde_ensemble(
     record_state: int = 0,
     seed: int = 0,
     rng: Optional[np.random.Generator] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Euler-Maruyama ensemble; records one state across all paths.
 
     Returns ``(t, traces)`` with ``traces`` of shape (steps+1, n_paths).
     The noise matrix is evaluated once at ``x0`` (constant-B systems;
-    the reference oscillators all qualify).  Every random draw comes
-    from ``rng`` when given (so fault-injection and jitter tests are
-    reproducible against an externally owned generator); otherwise a
-    fresh generator is seeded with ``seed``.
+    the reference oscillators all qualify).
+
+    Randomness: when ``rng`` is given, every draw comes from it in the
+    historical shared-generator order (fault-injection and jitter tests
+    stay reproducible against an externally owned generator; this path
+    is serial).  Otherwise path ``r`` owns the generator
+    ``default_rng((seed, r))``, so its noise sequence is a function of
+    ``(seed, r)`` alone — paths are then simulated in fixed-size blocks
+    through :func:`repro.perf.sweep_map` and the ensemble is
+    **bit-identical for any** ``workers``.
     """
-    rng = np.random.default_rng(seed) if rng is None else rng
+    x0 = np.asarray(x0, dtype=float)
     h = t_stop / steps
-    X = np.tile(np.asarray(x0, dtype=float)[:, None], (1, n_paths))
-    B = system.noise_matrix(np.asarray(x0, dtype=float))
+    B = system.noise_matrix(x0)
     p = B.shape[1]
     sqh = np.sqrt(h)
     t = np.linspace(0.0, t_stop, steps + 1)
-    traces = np.empty((steps + 1, n_paths))
-    traces[0] = X[record_state]
-    for k in range(steps):
-        drift = system.f(X)
-        noise = B @ rng.standard_normal((p, n_paths)) if p else 0.0
-        X = X + h * drift + sqh * noise
-        traces[k + 1] = X[record_state]
-    return t, traces
+
+    if rng is not None:
+        X = np.tile(x0[:, None], (1, n_paths))
+        traces = np.empty((steps + 1, n_paths))
+        traces[0] = X[record_state]
+        for k in range(steps):
+            drift = system.f(X)
+            noise = B @ rng.standard_normal((p, n_paths)) if p else 0.0
+            X = X + h * drift + sqh * noise
+            traces[k + 1] = X[record_state]
+        return t, traces
+
+    spans = [
+        (lo, min(lo + _PATH_CHUNK, n_paths)) for lo in range(0, n_paths, _PATH_CHUNK)
+    ]
+
+    def run_block(span):
+        lo, hi = span
+        m = hi - lo
+        if p:
+            # (steps, p, m): per-path precomputed noise, seeded by path id
+            noise = np.stack(
+                [
+                    np.random.default_rng((seed, r)).standard_normal((steps, p))
+                    for r in range(lo, hi)
+                ],
+                axis=2,
+            )
+        X = np.tile(x0[:, None], (1, m))
+        out = np.empty((steps + 1, m))
+        out[0] = X[record_state]
+        for k in range(steps):
+            drift = system.f(X)
+            nz = B @ noise[k] if p else 0.0
+            X = X + h * drift + sqh * nz
+            out[k + 1] = X[record_state]
+        return out
+
+    blocks = sweep_map(run_block, spans, workers=workers)
+    if not blocks:
+        return t, np.empty((steps + 1, 0))
+    return t, np.concatenate(blocks, axis=1)
 
 
 @dataclasses.dataclass

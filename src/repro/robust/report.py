@@ -77,12 +77,18 @@ class SolveReport:
         / ``"best_effort"``).
     notes:
         Ladder-level annotations (budget exhaustion, skipped rungs).
+    perf:
+        Performance counters published by :mod:`repro.perf` (factor
+        cache hits/misses, Jacobian evaluations saved, per-stage wall
+        times, sweep worker counts).  Empty for solves that never
+        touched the performance layer.
     """
 
     analysis: str
     attempts: List[AttemptRecord] = dataclasses.field(default_factory=list)
     on_failure: str = "raise"
     notes: List[str] = dataclasses.field(default_factory=list)
+    perf: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     # -- outcome ----------------------------------------------------------
     @property
@@ -129,6 +135,25 @@ class SolveReport:
             name = f"{prefix}:{a.strategy}" if prefix else a.strategy
             self.attempts.append(dataclasses.replace(a, strategy=name))
         self.notes.extend(other.notes)
+        for key, val in other.perf.items():
+            if key == "workers":
+                self.perf[key] = max(self.perf.get(key, 1), val)
+            elif key == "stage_seconds" and isinstance(val, dict):
+                mine = self.perf.setdefault(key, {})
+                for stage, sec in val.items():
+                    mine[stage] = mine.get(stage, 0.0) + sec
+            elif (
+                key in self.perf
+                and not key.endswith("_rate")
+                and isinstance(val, (int, float))
+                and not isinstance(val, bool)
+            ):
+                self.perf[key] = self.perf[key] + val
+            else:
+                self.perf.setdefault(key, val)
+        hits, misses = self.perf.get("factor_hits"), self.perf.get("factor_misses")
+        if hits is not None and misses is not None:
+            self.perf["factor_hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
 
     def summary(self) -> str:
         """Human-readable multi-line account of the solve."""
@@ -149,4 +174,12 @@ class SolveReport:
             )
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.perf:
+            hits = self.perf.get("factor_hits", 0)
+            misses = self.perf.get("factor_misses", 0)
+            saved = self.perf.get("jacobian_evals_saved", 0)
+            lines.append(
+                f"  perf: factor cache {hits} hit / {misses} miss, "
+                f"{saved} Jacobian eval(s) saved"
+            )
         return "\n".join(lines)

@@ -22,6 +22,7 @@ import scipy.sparse.linalg as spla
 
 from repro.netlist.components import ISource, VSource
 from repro.netlist.mna import MNASystem
+from repro.perf import sweep_map
 from repro.robust import SolveReport
 from repro.robust.krylov import robust_direct_solve
 
@@ -55,6 +56,7 @@ class DescriptorSystem:
         policy=None,
         on_failure: Optional[str] = None,
         report: Optional[SolveReport] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """H(s) over an array of complex frequencies -> (len(s), m, p).
 
@@ -63,18 +65,26 @@ class DescriptorSystem:
         GMRES-Jacobi → least-squares), so probing at or near a pole of
         ``H`` degrades to the minimum-norm solution instead of silently
         returning garbage.  Pass a :class:`SolveReport` to collect the
-        per-frequency attempt history.
+        per-frequency attempt history (merged in frequency order even
+        under a parallel sweep), and ``workers`` to dispatch the
+        independent frequency points through the
+        :func:`repro.perf.sweep_map` executor — serial and parallel runs
+        are bit-identical.
         """
         s_values = np.asarray(list(s_values), dtype=complex)
         out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
-        for k, s in enumerate(s_values):
+
+        def solve_point(s):
             A = self.G + s * self.C
-            res = robust_direct_solve(
+            return robust_direct_solve(
                 sp.csc_matrix(A) if sp.issparse(A) else A,
                 self.B.astype(complex),
                 policy=policy,
                 on_failure=on_failure,
             )
+
+        results = sweep_map(solve_point, s_values, workers=workers)
+        for k, (s, res) in enumerate(zip(s_values, results)):
             if report is not None:
                 report.merge(res.report, prefix=f"s={s:.3g}")
             out[k] = self.L.T @ res.x
