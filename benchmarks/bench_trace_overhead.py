@@ -1,0 +1,114 @@
+"""Tracing layer: disabled overhead and enabled trace generation.
+
+Two claims pinned down here (ISSUE 5 acceptance criteria):
+
+* with tracing **disabled** the instrumentation hooks are one attribute
+  read per guard — the transient workload of ``bench_perf_transient``
+  must not regress measurably;
+* with tracing **enabled** a full transient + HB run emits a JSONL
+  trace that strictly parses and summarizes (the same path the CI
+  trace-smoke job exercises through ``examples/quickstart.py``).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.analysis import transient_analysis
+from repro.hb import harmonic_balance
+from repro.netlist import Circuit, Sine
+from repro.trace import disable, load_trace, span_table, summarize, using
+
+from conftest import report, write_bench_json
+
+
+def interconnect(stages=120, clamps=4):
+    ckt = Circuit("RC interconnect with diode clamps")
+    ckt.vsource("V1", "n0", "0", Sine(0.5, 10e6))
+    for k in range(stages):
+        ckt.resistor(f"R{k}", f"n{k}", f"n{k+1}", 25.0)
+        ckt.capacitor(f"C{k}", f"n{k+1}", "0", 0.5e-12)
+    for d in range(clamps):
+        node = f"n{(d + 1) * stages // clamps}"
+        ckt.diode(f"D{d}", node, "0", isat=1e-14)
+    return ckt.compile()
+
+
+def mixer():
+    ckt = Circuit("diode detector")
+    ckt.vsource("V1", "in", "0", Sine(0.8, 1e9))
+    ckt.resistor("R1", "in", "out", 1e3)
+    ckt.diode("D1", "out", "0", isat=1e-13)
+    ckt.capacitor("C1", "out", "0", 1e-12)
+    return ckt.compile()
+
+
+def test_trace_overhead_and_generation(benchmark, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    disable()
+    system = interconnect()
+    t_stop, dt = 1.5e-7, 2e-10
+
+    def run():
+        t0 = time.perf_counter()
+        res = transient_analysis(system, t_stop, dt)
+        return res, time.perf_counter() - t0
+
+    # warm-up, then best-of-3 each way to suppress scheduler noise
+    run()
+    t_off = min(run()[1] for _ in range(3))
+    trace_path = str(tmp_path / "trace_on.jsonl")
+    with using(trace_path):
+        res_on, t_on = run()
+        for _ in range(2):
+            t_on = min(t_on, run()[1])
+    res_off, _ = run()
+    np.testing.assert_array_equal(res_on.X, res_off.X)
+
+    # enabled end-to-end trace: transient + HB into one file, summarized
+    full_path = str(tmp_path / "full.jsonl")
+    with using(full_path):
+        tran = transient_analysis(mixer(), 5e-9, 1e-11)
+        hb = harmonic_balance(mixer(), freqs=[1e9], harmonics=8)
+    records = load_trace(full_path)  # strict parse
+    spans = {r["name"] for r in records if r["type"] == "span"}
+    assert {"transient.analysis", "hb.solve", "mpde.solve"} <= spans
+    assert tran.report.perf["trace"]["events"]["transient.step"] > 0
+    assert hb.report.perf["trace"], "HB must publish a trace summary"
+    stats = summarize(full_path, top=5)
+    assert stats["records"] == len(records)
+
+    overhead = t_on / t_off
+    rows = [
+        ("transient (disabled)", t_off, "-", "-"),
+        ("transient (enabled)", t_on, f"{overhead:.3f}x", len(load_trace(trace_path))),
+        ("transient+HB trace", "-", "-", len(records)),
+    ]
+    report(
+        "Tracing overhead and JSONL generation",
+        rows,
+        header=("workload", "wall [s]", "vs off", "records"),
+        notes=(
+            "disabled-path guards are one attribute read per hook",
+            "enabled run bit-identical to disabled run (asserted)",
+        ),
+    )
+
+    # enabled tracing costs real I/O per event; keep it bounded, and the
+    # disabled path must stay within timer noise of the PR 4 numbers
+    # (the < 5% acceptance bound is enforced against bench_perf_transient)
+    assert overhead < 3.0
+    table = span_table(records)
+    assert any(row["name"] == "newton.solve" for row in table)
+
+    write_bench_json(
+        "trace_overhead",
+        results=[res_on, tran, hb],
+        extra={
+            "wall_disabled": t_off,
+            "wall_enabled": t_on,
+            "enabled_over_disabled": overhead,
+            "trace_records": len(records),
+        },
+    )

@@ -26,6 +26,13 @@ Subpackages
 ``repro.rf``
     Generators for the paper's example systems (quadrature modulator,
     switching mixer, oscillators) and RF metrics.
+``repro.robust``
+    Solve reports, escalation-ladder recovery, pre-flight validation.
+``repro.perf``
+    Factor caching, perf counters, deterministic sweep executor.
+``repro.trace``
+    Span-based tracing/metrics (``REPRO_TRACE=run.jsonl``) with a
+    ``python -m repro.trace summarize`` aggregator.
 """
 
 __version__ = "0.1.0"

@@ -30,6 +30,7 @@ from repro.perf import FactorCache, PerfCounters
 from repro.robust import AttemptRecord, EscalationPolicy, SolveFailure, SolveReport
 from repro.robust.diagnostics import ValidationReport, enforce
 from repro.robust.validate import preflight
+from repro.trace import get_tracer, spanned, traceable
 
 __all__ = ["TransientResult", "transient_analysis", "step_once", "TRANSIENT_LADDER"]
 
@@ -117,6 +118,8 @@ def step_once(
     return res.x, res.iterations
 
 
+@traceable
+@spanned("transient.analysis")
 def transient_analysis(
     system: MNASystem,
     t_stop: float,
@@ -185,6 +188,8 @@ def transient_analysis(
     backoff_factor = float(backoff_opts.get("factor", 0.25))
     floor = float(h_floor if h_floor is not None else backoff_opts.get("floor", 1e-21))
     report = SolveReport(analysis="transient", on_failure=mode)
+    tr = get_tracer()
+    trace_mark = tr.mark() if tr.enabled else None
     counters = PerfCounters()
     cache = FactorCache(max_entries=4, counters=counters) if reuse_lu else None
 
@@ -223,6 +228,8 @@ def transient_analysis(
         )
         counters.add_stage("stepping", time.perf_counter() - step_t0)
         counters.attach(report)
+        if tr.enabled:
+            tr.publish(report, trace_mark)
         return TransientResult(
             t=np.array(times),
             X=np.array(states).T,
@@ -257,6 +264,15 @@ def transient_analysis(
             )
         except ConvergenceError as exc:
             rejected += 1
+            if tr.enabled:
+                tr.event(
+                    "transient.step",
+                    t=float(t),
+                    h=float(h),
+                    iters=int(getattr(exc, "iterations", 0) or 0),
+                    accepted=False,
+                    cause="newton-fail",
+                )
             if cache is not None:
                 # backoff changes h, so G + C/h changes: any cached
                 # factorization is stale for every retry from here on
@@ -298,6 +314,15 @@ def transient_analysis(
             if not np.isfinite(err):
                 err = 8.0 * lte_tol  # treat as a bad step, but bounded
             if err > 4.0 * lte_tol and h > h_min:
+                if tr.enabled:
+                    tr.event(
+                        "transient.step",
+                        t=float(t),
+                        h=float(h),
+                        iters=iters,
+                        accepted=False,
+                        cause="lte",
+                    )
                 h = max(0.5 * h, h_min)
                 rejected += 1
                 continue
@@ -306,6 +331,10 @@ def transient_analysis(
         else:
             h_next = h
 
+        if tr.enabled:
+            tr.event(
+                "transient.step", t=float(t), h=float(h), iters=iters, accepted=True
+            )
         t += h
         x = x_new
         times.append(t)

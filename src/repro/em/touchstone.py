@@ -64,8 +64,9 @@ def write_touchstone(
     """Write a version-1 Touchstone file.
 
     ``S`` has shape (m, p, p).  Two-port files use the Touchstone
-    column order S11 S21 S12 S22; other port counts are written row by
-    row (the version-1 convention).
+    column order S11 S21 S12 S22; for p >= 3 the matrix is written row
+    by row with at most four complex parameters per line (the version-1
+    wrapping convention), the frequency leading the first line only.
     """
     freqs = np.asarray(list(freqs), dtype=float)
     S = np.asarray(S, dtype=complex)
@@ -78,14 +79,26 @@ def write_touchstone(
             lines.append(f"! {row}")
     lines.append(f"# Hz S {fmt} R {z0:g}")
     for k in range(m):
-        vals: List[float] = []
-        if p == 2:
-            order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        if p <= 2:
+            order = (
+                [(0, 0), (1, 0), (0, 1), (1, 1)] if p == 2 else [(0, 0)]
+            )
+            vals: List[float] = []
+            for i, j in order:
+                vals.extend(_format_value(S[k, i, j], fmt))
+            lines.append(" ".join([f"{freqs[k]:.9e}"] + [f"{v:.9e}" for v in vals]))
         else:
-            order = [(i, j) for i in range(p) for j in range(p)]
-        for i, j in order:
-            vals.extend(_format_value(S[k, i, j], fmt))
-        lines.append(" ".join([f"{freqs[k]:.9e}"] + [f"{v:.9e}" for v in vals]))
+            first = True
+            for i in range(p):
+                row_vals: List[float] = []
+                for j in range(p):
+                    row_vals.extend(_format_value(S[k, i, j], fmt))
+                # wrap long matrix rows at 4 complex (8 real) values
+                for start in range(0, len(row_vals), 8):
+                    chunk = row_vals[start : start + 8]
+                    prefix = [f"{freqs[k]:.9e}"] if first else []
+                    first = False
+                    lines.append(" ".join(prefix + [f"{v:.9e}" for v in chunk]))
     with open(path, "w") as fh:
         fh.write("\n".join(lines) + "\n")
 
@@ -122,14 +135,29 @@ def read_touchstone(path: str, num_ports: Optional[int] = None) -> TouchstoneDat
                     elif up in ("RI", "MA", "DB"):
                         fmt = up
                     elif up == "R" and k + 1 < len(tokens):
-                        z0 = float(tokens[k + 1])
+                        # a trailing bare "R" (or junk after it) is
+                        # tolerated: keep the default reference impedance
+                        try:
+                            z0 = float(tokens[k + 1])
+                        except ValueError:
+                            pass
                 continue
             rows.append([float(t) for t in line.split()])
+
+    if not rows:
+        raise ValueError(f"{path}: no data rows found")
 
     # continuation lines: a frequency row has odd length (f + 2 n values);
     # glue rows until each record carries 2 p^2 values
     if num_ports is None:
+        # The first row alone undercounts wrapped (p >= 3) files, so
+        # accumulate continuation rows (even token counts) until the
+        # next frequency row (odd count) closes the first record.
         nvals = len(rows[0]) - 1
+        for row in rows[1:]:
+            if len(row) % 2 == 1:
+                break
+            nvals += len(row)
         num_ports = int(round(np.sqrt(nvals / 2)))
     per_record = 2 * num_ports * num_ports
     records: List[List[float]] = []

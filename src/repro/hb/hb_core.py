@@ -32,6 +32,7 @@ from repro.mpde.mpde_core import (
 )
 from repro.netlist.mna import MNASystem
 from repro.perf import sweep_map
+from repro.trace import spanned, traceable
 
 __all__ = ["HBResult", "harmonic_balance", "hb_grid", "hb_sweep", "FrequencyDomainBlock"]
 
@@ -91,6 +92,8 @@ class HBResult:
         return out
 
 
+@traceable
+@spanned("hb.solve")
 def harmonic_balance(
     system: MNASystem,
     freqs: Optional[Sequence[float]] = None,

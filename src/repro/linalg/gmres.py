@@ -18,6 +18,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..trace import get_tracer
+
 __all__ = ["GMRESResult", "gmres"]
 
 
@@ -80,6 +82,22 @@ def gmres(
         preconditioning keeps the monitored residual equal to the true
         residual of the original system.
     """
+    tr = get_tracer()
+    if not tr.enabled:
+        return _gmres_impl(tr, matvec, b, x0, tol, restart, maxiter, precond)
+    with tr.span("gmres.solve", n=int(np.asarray(b).shape[0]), restart=restart,
+                 maxiter=maxiter, tol=tol):
+        res = _gmres_impl(tr, matvec, b, x0, tol, restart, maxiter, precond)
+        tr.event(
+            "gmres.done",
+            converged=res.converged,
+            iterations=res.iterations,
+            final_rel=float(res.final_residual),
+        )
+        return res
+
+
+def _gmres_impl(tr, matvec, b, x0, tol, restart, maxiter, precond):
     b = np.asarray(b)
     n = b.shape[0]
     dtype = np.result_type(b.dtype, np.float64)
@@ -93,8 +111,10 @@ def gmres(
 
     residuals: list = []
     total_iters = 0
+    cycle = 0
 
     while total_iters < maxiter:
+        cycle += 1
         r = b - matvec(x)
         beta = np.linalg.norm(r)
         if beta / bnorm <= tol:
@@ -174,6 +194,15 @@ def gmres(
             y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
         x = x + precond(Q[:, :k_used] @ y)
 
+        if tr.enabled:
+            tr.event(
+                "gmres.cycle",
+                cycle=cycle,
+                iters=k_used,
+                total_iters=total_iters,
+                rel=float(abs(residuals[-1])),
+            )
+
         if residuals[-1] <= tol:
             # Re-check with a true residual to guard against drift in the
             # recurrence-based estimate.
@@ -182,4 +211,17 @@ def gmres(
             if true_rel <= tol * 10:
                 return GMRESResult(x, True, total_iters, residuals)
 
-    return GMRESResult(x, residuals[-1] <= tol if residuals else False, total_iters, residuals)
+    # Restart budget exhausted.  The Arnoldi-recurrence estimate in
+    # ``residuals[-1]`` can drift arbitrarily far from the true residual
+    # (inexact matvecs, loss of orthogonality mid-cycle), so the verdict
+    # must come from the same ``||b - Ax|| / ||b||`` recheck the in-loop
+    # exit performs — otherwise an exhausted solve can claim convergence
+    # the true residual contradicts.
+    claimed = bool(residuals) and residuals[-1] <= tol
+    true_rel = float(np.linalg.norm(b - matvec(x)) / bnorm)
+    if residuals:
+        residuals[-1] = true_rel
+    else:
+        residuals.append(true_rel)
+    converged = true_rel <= (tol * 10 if claimed else tol)
+    return GMRESResult(x, converged, total_iters, residuals)

@@ -15,6 +15,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..trace import get_tracer, spanned
+
 __all__ = [
     "NewtonResult",
     "NewtonOptions",
@@ -122,6 +124,7 @@ def _solve_linear(J, r):
 _CACHE_DEFAULT_REUSE = 8
 
 
+@spanned("newton.solve")
 def newton_solve(
     residual: Callable[[np.ndarray], np.ndarray],
     jacobian: Callable[[np.ndarray], object],
@@ -155,6 +158,7 @@ def newton_solve(
         any :class:`ConvergenceError` escapes to an escalation ladder.
     """
     opts = options or NewtonOptions()
+    tr = get_tracer()
     x = np.array(x0, dtype=float)
     F = residual(x)
     fnorm = np.linalg.norm(F)
@@ -177,6 +181,8 @@ def newton_solve(
     stale_refreshes = 0
 
     def _fail(message, it):
+        if tr.enabled:
+            tr.event("newton.fail", iterations=it, best_norm=float(best_norm))
         raise attach_failure_payload(
             ConvergenceError(message),
             best_x=best_x,
@@ -186,6 +192,16 @@ def newton_solve(
         )
 
     def _result(xv, converged, iters, norm):
+        if tr.enabled:
+            tr.event(
+                "newton.done",
+                converged=converged,
+                iterations=iters,
+                rnorm=float(norm),
+                jacobian_evals=jac_evals,
+                factor_reuses=reuses,
+                stale_refreshes=stale_refreshes,
+            )
         return NewtonResult(
             xv,
             converged,
@@ -279,6 +295,8 @@ def newton_solve(
                             cache.invalidate(cache_key)
                         solver = None
                         stale_refreshes += 1
+                        if tr.enabled:
+                            tr.event("newton.stale_refresh", iter=it, cause="nonfinite-step")
                         continue
                     _fail("Newton update is not finite (singular Jacobian?)", it - 1)
                 x_new, F_new, fnorm_new, accepted = _line_search(_limited(dx))
@@ -290,6 +308,8 @@ def newton_solve(
                     cache.invalidate(cache_key)
                 solver = None
                 stale_refreshes += 1
+                if tr.enabled:
+                    tr.event("newton.stale_refresh", iter=it, cause="non-descent")
 
         if not accepted:
             # Accept the smallest step anyway; Newton sometimes needs to
@@ -317,6 +337,14 @@ def newton_solve(
 
         dx_norm = np.linalg.norm(x_new - x)
         x_scale = max(np.linalg.norm(x_new), 1.0)
+        if tr.enabled:
+            tr.event(
+                "newton.iter",
+                iter=it,
+                rnorm=float(fnorm_new),
+                contraction=float(fnorm_new / fnorm) if fnorm > 0 else 0.0,
+                stale=bool(use_reuse and used_stale),
+            )
         x, F, fnorm = x_new, F_new, fnorm_new
         history.append(fnorm)
         if np.isfinite(fnorm) and fnorm < best_norm:

@@ -47,6 +47,7 @@ from repro.robust import (
 )
 from repro.robust.diagnostics import ValidationReport, enforce
 from repro.robust.validate import preflight
+from repro.trace import get_tracer, spanned, traceable
 
 __all__ = [
     "MPDEOptions",
@@ -380,6 +381,8 @@ def _prolong(x_coarse: np.ndarray, grid_c: MPDEGrid, grid_f: MPDEGrid, n: int) -
     return fine.reshape(-1)
 
 
+@traceable
+@spanned("mpde.solve")
 def solve_mpde(
     system: MNASystem,
     grid: MPDEGrid,
@@ -445,6 +448,8 @@ def solve_mpde(
     B_dc = np.tile(system.b_dc(), (grid.total, 1)).reshape(grid.total, system.n)
 
     counters = {"newton": 0, "gmres": 0, "gmres_fallbacks": 0}
+    tr = get_tracer()
+    trace_mark = tr.mark() if tr.enabled else None
     perf = PerfCounters()
     reuse_on = opts.reuse_factorization and opts.reuse_limit > 0
     # modified-Newton state shared across solve_at calls: the direct LU
@@ -512,6 +517,8 @@ def solve_mpde(
                         perf.jacobian_evals_saved += 1
                     else:
                         pc = prob.averaged_preconditioner(g_vals, c_vals)
+                        if tr.enabled:
+                            tr.event("mpde.precond_build", m=prob.m, n=prob.n)
                         if reuse_on:
                             reuse["pc"] = pc
                             reuse["pc_age"] = 0
@@ -542,6 +549,8 @@ def solve_mpde(
                         reuse["pc"] = None
                         perf.stale_refreshes += 1
                         perf.factor_invalidations += 1
+                        if tr.enabled:
+                            tr.event("mpde.stale_refresh", iter=it, cause="gmres-stall")
                         continue
                     if not res.converged:
                         # the averaged-circuit preconditioner degrades on
@@ -585,6 +594,8 @@ def solve_mpde(
                     reuse["lu"] = None
                     perf.stale_refreshes += 1
                     perf.factor_invalidations += 1
+                    if tr.enabled:
+                        tr.event("mpde.stale_refresh", iter=it, cause="non-descent")
                     continue
                 if not np.isfinite(rnorm_try):
                     # fail fast instead of looping on NaNs until maxiter
@@ -610,6 +621,16 @@ def solve_mpde(
                     if used_stale_pc and rate_bad:
                         reuse["pc"] = None
                         perf.factor_invalidations += 1
+            if tr.enabled:
+                tr.event(
+                    "mpde.newton",
+                    iter=it,
+                    rnorm=float(rnorm_try),
+                    contraction=float(rnorm_try / rnorm) if rnorm > 0 else 0.0,
+                    solver=solver,
+                    stale_lu=used_stale_lu,
+                    stale_pc=used_stale_pc,
+                )
             x_it, r, rnorm = x_try, r_try, rnorm_try
             if rnorm < best_norm:
                 best_x, best_norm = x_it.copy(), rnorm
@@ -697,6 +718,8 @@ def solve_mpde(
     )
     perf.add_stage("mpde", time.perf_counter() - t_begin)
     perf.attach(rep)
+    if tr.enabled:
+        tr.publish(rep, trace_mark)
     x, rnorm = out.value
     return MPDESolution(
         system=system,

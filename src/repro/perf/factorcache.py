@@ -23,6 +23,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.perf.counters import PerfCounters
+from repro.trace import get_tracer
 
 __all__ = ["FactorCache", "make_factor_solver"]
 
@@ -83,11 +84,16 @@ class FactorCache:
     def get(self, key: Hashable) -> Optional[Callable]:
         """Cached solver for ``key`` or None; counts the hit/miss."""
         solver = self._entries.get(key)
+        tr = get_tracer()
         if solver is None:
             self.counters.factor_misses += 1
+            if tr.enabled:
+                tr.event("factorcache.miss", key=str(key))
             return None
         self._entries.move_to_end(key)
         self.counters.factor_hits += 1
+        if tr.enabled:
+            tr.event("factorcache.hit", key=str(key))
         return solver
 
     def store(self, key: Hashable, solver: Callable) -> Callable:
@@ -115,4 +121,8 @@ class FactorCache:
         else:
             dropped = 1 if self._entries.pop(key, None) is not None else 0
         self.counters.factor_invalidations += dropped
+        if dropped:
+            tr = get_tracer()
+            if tr.enabled:
+                tr.event("factorcache.invalidate", key=str(key), dropped=dropped)
         return dropped

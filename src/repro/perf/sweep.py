@@ -25,6 +25,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional
 
+from ..trace import get_tracer
+
 __all__ = ["WORKERS_ENV", "resolve_workers", "sweep_map"]
 
 #: Environment variable consulted when ``workers`` is None.
@@ -60,8 +62,11 @@ def sweep_map(
         Thread count; ``None`` consults :data:`WORKERS_ENV`, and any
         value <= 1 (or a single item) runs the serial fallback.
     stats:
-        Optional dict filled with ``{"workers", "tasks"}`` describing
-        what actually ran — the benchmarks record it.
+        Optional dict filled with ``{"workers", "tasks", "attempted"}``
+        describing what actually ran — the benchmarks record it.  The
+        dict is populated even when ``fn`` raises (``attempted`` counts
+        the items whose execution started before the failure), so
+        callers that pre-registered it never read stale entries.
 
     Exceptions raised by ``fn`` propagate to the caller in both modes
     (the first failing item wins under threads, as with ``map``).
@@ -69,19 +74,58 @@ def sweep_map(
     items = list(items)
     w = resolve_workers(workers)
     effective = min(w, len(items)) if items else 1
+    tr = get_tracer()
+    task = fn
+    if tr.enabled:
+        def task(it, _fn=fn, _tr=tr):
+            with _tr.span("sweep.task"):
+                return _fn(it)
+    attempted = 0
     results: List
-    if effective <= 1:
-        effective = 1
-        results = [fn(it) for it in items]
-    else:
+    try:
+        if tr.enabled:
+            sweep_span = tr.span("sweep.map", tasks=len(items))
+            sweep_span.__enter__()
+        else:
+            sweep_span = None
         try:
-            with ThreadPoolExecutor(max_workers=effective) as ex:
-                results = list(ex.map(fn, items))
-        except (OSError, RuntimeError):
-            # thread creation refused (container limits): serial fallback
-            effective = 1
-            results = [fn(it) for it in items]
-    if stats is not None:
-        stats["workers"] = effective
-        stats["tasks"] = len(items)
+            if effective <= 1:
+                effective = 1
+                results = []
+                for it in items:
+                    attempted += 1
+                    results.append(task(it))
+            else:
+                pool = None
+                try:
+                    # Pool creation and submission are the only steps
+                    # allowed to trigger the serial fallback; an OSError/
+                    # RuntimeError raised by ``fn`` itself must propagate,
+                    # not silently re-run the sweep serially.
+                    pool = ThreadPoolExecutor(max_workers=effective)
+                    futures = [pool.submit(task, it) for it in items]
+                except (OSError, RuntimeError):
+                    # thread creation refused (container limits)
+                    if pool is not None:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                    effective = 1
+                    results = []
+                    for it in items:
+                        attempted += 1
+                        results.append(task(it))
+                else:
+                    attempted = len(items)
+                    try:
+                        results = [f.result() for f in futures]
+                    finally:
+                        pool.shutdown(wait=True)
+        finally:
+            if sweep_span is not None:
+                sweep_span.annotate(workers=effective, attempted=attempted)
+                sweep_span.__exit__(None, None, None)
+    finally:
+        if stats is not None:
+            stats["workers"] = effective
+            stats["tasks"] = len(items)
+            stats["attempted"] = attempted
     return results

@@ -33,6 +33,7 @@ from repro.linalg.gmres import GMRESResult, gmres
 from repro.linalg.newton import ConvergenceError
 from repro.robust.policy import EscalationPolicy, RungOutcome, run_ladder
 from repro.robust.report import SolveReport
+from repro.trace import get_tracer
 
 __all__ = ["robust_gmres", "robust_direct_solve", "DirectSolveResult"]
 
@@ -119,6 +120,9 @@ def robust_gmres(
             raise ConvergenceError(
                 f"dense fallback refused: n = {n} > dense_max_n = {dense_max_n}"
             )
+        tr = get_tracer()
+        if tr.enabled:
+            tr.event("krylov.dense_fallback", n=n)
         dtype = np.result_type(b.dtype, np.float64)
         A = _materialize(matvec, n, dtype)
         try:

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.linalg.newton import ConvergenceError
 from repro.robust.report import AttemptRecord, SolveReport
+from repro.trace import get_tracer
 
 __all__ = [
     "ON_FAILURE_MODES",
@@ -189,6 +190,7 @@ def run_ladder(
     rep = report if report is not None else SolveReport(analysis=analysis)
     rep.on_failure = pol.on_failure
     chosen = pol.select(strategies)
+    tr = get_tracer()
 
     best: Optional[RungOutcome] = None
     t_ladder = time.perf_counter()
@@ -205,7 +207,11 @@ def run_ladder(
             break
         t0 = time.perf_counter()
         try:
-            out = thunk()
+            if tr.enabled:
+                with tr.span("ladder.attempt", analysis=analysis, strategy=name):
+                    out = thunk()
+            else:
+                out = thunk()
         except _RECOVERABLE as exc:
             norm = float(getattr(exc, "best_norm", np.inf) or np.inf)
             rep.record(
@@ -219,6 +225,16 @@ def run_ladder(
                     residual_history=list(getattr(exc, "history", None) or []),
                 )
             )
+            if tr.enabled:
+                tr.event(
+                    "ladder.rung",
+                    analysis=analysis,
+                    strategy=name,
+                    converged=False,
+                    cause=type(exc).__name__,
+                    residual=norm,
+                    iterations=int(getattr(exc, "iterations", 0) or 0),
+                )
             bx = getattr(exc, "best_x", None)
             if bx is not None and (best is None or norm < best.residual_norm):
                 best = RungOutcome(
@@ -242,6 +258,15 @@ def run_ladder(
                 detail=dict(out.detail),
             )
         )
+        if tr.enabled:
+            tr.event(
+                "ladder.rung",
+                analysis=analysis,
+                strategy=name,
+                converged=True,
+                residual=float(out.residual_norm),
+                iterations=out.iterations,
+            )
         return out, rep
 
     counts = rep.attempt_counts()
@@ -250,6 +275,13 @@ def run_ladder(
         f"({', '.join(f'{k}x{v}' if v > 1 else k for k, v in counts.items()) or 'none ran'}; "
         f"best |r| = {rep.best_residual:.3e})"
     )
+    if tr.enabled:
+        tr.event(
+            "ladder.exhausted",
+            analysis=analysis,
+            attempts=len(rep.attempts),
+            mode=pol.on_failure,
+        )
     if pol.on_failure == "raise" or fallback is None:
         raise SolveFailure(msg, rep, best)
     if pol.on_failure == "warn":

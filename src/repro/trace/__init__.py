@@ -1,0 +1,48 @@
+"""Structured tracing & metrics for the solver stack.
+
+Enable with ``REPRO_TRACE=run.jsonl`` in the environment, a ``trace=``
+kwarg on any ``@traceable`` entry point (``transient_analysis``,
+``harmonic_balance``, ``solve_mpde``), or programmatically via
+:func:`enable`/:func:`using`.  Summarize traces with
+``python -m repro.trace summarize run.jsonl [--top N]``.
+"""
+
+from .summarize import (
+    event_table,
+    flame_rollup,
+    load_trace,
+    main,
+    span_table,
+    summarize,
+)
+from .tracer import (
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    spanned,
+    traceable,
+    using,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "TRACE_ENV",
+    "get_tracer",
+    "enable",
+    "disable",
+    "using",
+    "traceable",
+    "spanned",
+    "load_trace",
+    "span_table",
+    "event_table",
+    "flame_rollup",
+    "summarize",
+    "main",
+]

@@ -1,0 +1,5 @@
+import sys
+
+from .summarize import main
+
+sys.exit(main())

@@ -1,0 +1,161 @@
+"""Offline analysis of JSONL traces: per-span aggregates and a
+flame-style rollup.  Exposed as ``python -m repro.trace summarize``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["load_trace", "span_table", "event_table", "flame_rollup", "main"]
+
+
+def load_trace(path):
+    """Parse a JSONL trace file strictly; raise ``ValueError`` on junk."""
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed JSONL: {exc}") from exc
+            if not isinstance(rec, dict) or "type" not in rec:
+                raise ValueError(f"{path}:{lineno}: record missing 'type'")
+            records.append(rec)
+    return records
+
+
+def _percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def span_table(records):
+    """Per-span-name aggregates: count/total/mean/p50/p95/max."""
+    durs = {}
+    for rec in records:
+        if rec.get("type") == "span":
+            durs.setdefault(rec["name"], []).append(float(rec.get("dur", 0.0)))
+    rows = []
+    for name, vals in durs.items():
+        vals.sort()
+        total = sum(vals)
+        rows.append(
+            {
+                "name": name,
+                "count": len(vals),
+                "total": total,
+                "mean": total / len(vals),
+                "p50": _percentile(vals, 0.50),
+                "p95": _percentile(vals, 0.95),
+                "max": vals[-1],
+            }
+        )
+    rows.sort(key=lambda r: r["total"], reverse=True)
+    return rows
+
+
+def event_table(records):
+    """Per-event-name counts, sorted by count descending."""
+    counts = {}
+    for rec in records:
+        if rec.get("type") == "event":
+            counts[rec["name"]] = counts.get(rec["name"], 0) + 1
+    return sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+
+
+def flame_rollup(records, top=10):
+    """Inclusive time grouped by span call path (``a/b/c``), top-N.
+
+    Paths are reconstructed from the id→parent chain; spans on different
+    threads with the same path merge.  Times are inclusive, so a parent
+    path's total covers its children.
+    """
+    by_id = {r["id"]: r for r in records if r.get("type") == "span"}
+    paths = {}
+    for rec in by_id.values():
+        parts = [rec["name"]]
+        parent = rec.get("parent")
+        hops = 0
+        while parent is not None and hops < 64:
+            pr = by_id.get(parent)
+            if pr is None:
+                break
+            parts.append(pr["name"])
+            parent = pr.get("parent")
+            hops += 1
+        path = "/".join(reversed(parts))
+        stat = paths.setdefault(path, [0, 0.0])
+        stat[0] += 1
+        stat[1] += float(rec.get("dur", 0.0))
+    rows = [
+        {"path": path, "count": count, "total": total}
+        for path, (count, total) in paths.items()
+    ]
+    rows.sort(key=lambda r: r["total"], reverse=True)
+    return rows[:top]
+
+
+def _fmt_seconds(s):
+    if s >= 1.0:
+        return f"{s:8.3f}s"
+    return f"{s * 1e3:7.2f}ms"
+
+
+def summarize(path, top=0, out=None):
+    out = out or sys.stdout
+    records = load_trace(path)
+    spans = span_table(records)
+    events = event_table(records)
+    out.write(f"trace: {path} ({len(records)} records)\n\n")
+    out.write("spans:\n")
+    out.write(
+        f"  {'name':<28s} {'count':>7s} {'total':>9s} {'mean':>9s}"
+        f" {'p50':>9s} {'p95':>9s} {'max':>9s}\n"
+    )
+    for row in spans:
+        out.write(
+            f"  {row['name']:<28s} {row['count']:>7d}"
+            f" {_fmt_seconds(row['total'])}"
+            f" {_fmt_seconds(row['mean'])}"
+            f" {_fmt_seconds(row['p50'])}"
+            f" {_fmt_seconds(row['p95'])}"
+            f" {_fmt_seconds(row['max'])}\n"
+        )
+    if not spans:
+        out.write("  (none)\n")
+    out.write("\nevents:\n")
+    for name, count in events:
+        out.write(f"  {name:<36s} {count:>9d}\n")
+    if not events:
+        out.write("  (none)\n")
+    if top:
+        out.write(f"\ntop {top} span paths (inclusive time):\n")
+        for row in flame_rollup(records, top=top):
+            out.write(
+                f"  {_fmt_seconds(row['total'])}  x{row['count']:<5d} {row['path']}\n"
+            )
+    return {"records": len(records), "spans": spans, "events": events}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.trace")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="aggregate a JSONL trace file")
+    p_sum.add_argument("file", help="trace file produced via REPRO_TRACE / trace=")
+    p_sum.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print a flame-style rollup of the N hottest span paths",
+    )
+    args = parser.parse_args(argv)
+    summarize(args.file, top=args.top)
+    return 0

@@ -1,0 +1,415 @@
+"""Span-based tracing core: :class:`Tracer`, the process-global default,
+and the ``traceable``/``spanned`` decorators used to wire instrumentation
+through the solver layers.
+
+Design constraints (see DESIGN.md "Observability"):
+
+* **Near-zero overhead when disabled.**  The process-global tracer is a
+  :class:`NullTracer` singleton whose ``enabled`` flag is ``False``; hot
+  loops guard every emission with ``if tr.enabled:`` so the disabled path
+  costs one attribute read.  ``get_tracer()`` is a plain global read.
+* **Thread-safe JSONL output.**  ``sweep_map`` workers emit concurrently;
+  a single lock serialises writes and one record never spans lines.
+* **Monotonic timestamps.**  All times are ``time.perf_counter()`` deltas
+  relative to the tracer's creation, so traces are comparable within a
+  run and immune to wall-clock jumps.
+
+Record schema (one JSON object per line):
+
+``{"type": "span", "name": ..., "id": ..., "parent": ..., "tid": ...,
+   "t0": ..., "dur": ..., "attrs": {...}}``
+    Emitted when a span *closes*.  ``parent`` is the id of the enclosing
+    span on the same thread (``null`` at top level).  A span that exits
+    via an exception carries ``attrs["error"]`` with the exception type.
+
+``{"type": "event", "name": ..., "t": ..., "tid": ..., "span": ...,
+   "attrs": {...}}``
+    A point event attached to the innermost open span on its thread.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "TRACE_ENV",
+    "get_tracer",
+    "enable",
+    "disable",
+    "using",
+    "traceable",
+    "spanned",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+
+
+def _json_default(obj):
+    """Serialise numpy scalars/arrays (and anything else) best-effort."""
+    tolist = getattr(obj, "tolist", None)
+    if tolist is not None:
+        try:
+            return tolist()
+        except Exception:
+            pass
+    return str(obj)
+
+
+class Span:
+    """An open span; used as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "id", "parent", "tid", "t0")
+
+    def __init__(self, tracer, name, attrs, span_id, parent, tid, t0):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id = span_id
+        self.parent = parent
+        self.tid = tid
+        self.t0 = t0
+
+    def annotate(self, **attrs):
+        """Attach extra attributes to the span before it closes."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._close_span(self)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Kept API-compatible with :class:`Tracer` so instrumented code can
+    call ``span``/``event``/``mark``/``summary_since``/``publish``
+    unconditionally — though hot paths should still guard on
+    ``.enabled`` to skip attribute packing.
+    """
+
+    enabled = False
+    path = None
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name, **attrs):
+        return None
+
+    def mark(self):
+        return None
+
+    def summary_since(self, mark=None):
+        return {}
+
+    def publish(self, report, mark=None):
+        return None
+
+    def flush(self):
+        return None
+
+    def close(self):
+        return None
+
+
+_NULL = NullTracer()
+
+
+class Tracer:
+    """Collects spans and events, writing JSONL to ``path`` (optional).
+
+    A tracer without a path still aggregates in-memory statistics
+    (``summary_since``), which is what ``SolveReport.perf["trace"]``
+    consumes; the file is only opened when ``path`` is given.
+    """
+
+    enabled = True
+
+    def __init__(self, path=None):
+        self.path = os.fspath(path) if path is not None else None
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._tids = {}
+        self._fh = open(self.path, "w") if self.path else None
+        # name -> [count, total_seconds, sorted-ish durations capped]
+        self._span_stats = {}
+        self._event_counts = {}
+        self._seq = 0
+
+    # -- internals -----------------------------------------------------
+
+    def _now(self):
+        return time.perf_counter() - self._t0
+
+    def _tid(self):
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._tids.get(ident)
+            if tid is None:
+                tid = len(self._tids)
+                self._tids[ident] = tid
+        return tid
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _write(self, record):
+        line = json.dumps(record, default=_json_default)
+        with self._lock:
+            self._seq += 1
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+
+    # -- public API ----------------------------------------------------
+
+    def span(self, name, **attrs):
+        stack = self._stack()
+        parent = stack[-1].id if stack else None
+        sp = Span(self, name, attrs, next(self._ids), parent, self._tid(), self._now())
+        stack.append(sp)
+        return sp
+
+    def _close_span(self, sp):
+        stack = self._stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        elif sp in stack:  # pragma: no cover - misnested exit
+            stack.remove(sp)
+        dur = self._now() - sp.t0
+        with self._lock:
+            stat = self._span_stats.setdefault(sp.name, [0, 0.0])
+            stat[0] += 1
+            stat[1] += dur
+        self._write(
+            {
+                "type": "span",
+                "name": sp.name,
+                "id": sp.id,
+                "parent": sp.parent,
+                "tid": sp.tid,
+                "t0": round(sp.t0, 9),
+                "dur": round(dur, 9),
+                "attrs": sp.attrs,
+            }
+        )
+
+    def event(self, name, **attrs):
+        stack = self._stack()
+        parent = stack[-1].id if stack else None
+        with self._lock:
+            self._event_counts[name] = self._event_counts.get(name, 0) + 1
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "t": round(self._now(), 9),
+                "tid": self._tid(),
+                "span": parent,
+                "attrs": attrs,
+            }
+        )
+
+    def mark(self):
+        """Snapshot of aggregate state, for later ``summary_since``."""
+        with self._lock:
+            return {
+                "spans": {k: tuple(v) for k, v in self._span_stats.items()},
+                "events": dict(self._event_counts),
+            }
+
+    def summary_since(self, mark=None):
+        """Aggregate span/event statistics accumulated since ``mark``.
+
+        Returns ``{"file": path-or-None, "spans": {name: {"count", "seconds"}},
+        "events": {name: count}}`` — plain builtins, safe to stash on
+        ``SolveReport.perf["trace"]`` and merge via ``setdefault``.
+        """
+        base_spans = (mark or {}).get("spans", {})
+        base_events = (mark or {}).get("events", {})
+        with self._lock:
+            spans = {}
+            for name, (count, total) in self._span_stats.items():
+                b = base_spans.get(name, (0, 0.0))
+                dc, dt = count - b[0], total - b[1]
+                if dc > 0:
+                    spans[name] = {"count": dc, "seconds": round(dt, 9)}
+            events = {}
+            for name, count in self._event_counts.items():
+                dc = count - base_events.get(name, 0)
+                if dc > 0:
+                    events[name] = dc
+        return {"file": self.path, "spans": spans, "events": events}
+
+    def publish(self, report, mark=None):
+        """Attach a trace summary to a ``SolveReport``-like object."""
+        if report is None:
+            return None
+        summary = self.summary_since(mark)
+        perf = getattr(report, "perf", None)
+        if isinstance(perf, dict):
+            perf["trace"] = summary
+        return summary
+
+    def flush(self):
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self):
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+
+# -- process-global default tracer -------------------------------------
+
+_active = _NULL
+_active_lock = threading.Lock()
+
+
+def get_tracer():
+    """Return the active tracer (a :class:`NullTracer` unless enabled)."""
+    return _active
+
+
+def enable(path=None):
+    """Install a live :class:`Tracer` as the process default.
+
+    ``path`` may be ``None`` for in-memory aggregation only (no file).
+    Returns the tracer.  Idempotent-ish: a second ``enable`` replaces
+    (and closes) the previous tracer.
+    """
+    global _active
+    with _active_lock:
+        old = _active
+        tracer = Tracer(path)
+        _active = tracer
+        if isinstance(old, Tracer):
+            old.close()
+    return tracer
+
+
+def disable():
+    """Restore the no-op default tracer, closing any open file."""
+    global _active
+    with _active_lock:
+        old = _active
+        _active = _NULL
+        if isinstance(old, Tracer):
+            old.close()
+
+
+@contextmanager
+def using(tracer):
+    """Temporarily install ``tracer`` as the process default.
+
+    Accepts a :class:`Tracer`, a path (``str``/``os.PathLike``) which is
+    opened as a fresh tracer and closed on exit, or ``None`` (no-op).
+    """
+    global _active
+    if tracer is None:
+        yield _NULL
+        return
+    own = False
+    if not isinstance(tracer, (Tracer, NullTracer)):
+        tracer = Tracer(tracer)
+        own = True
+    with _active_lock:
+        prev = _active
+        _active = tracer
+    try:
+        yield tracer
+    finally:
+        with _active_lock:
+            _active = prev
+        if own:
+            tracer.close()
+        elif isinstance(tracer, Tracer):
+            tracer.flush()
+
+
+def traceable(fn):
+    """Add a hidden ``trace=`` kwarg that scopes a tracer to this call.
+
+    ``fn(..., trace="run.jsonl")`` writes a JSONL trace of just this
+    call; ``trace=None`` (the default) leaves the ambient tracer alone.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, trace=None, **kwargs):
+        if trace is None:
+            return fn(*args, **kwargs)
+        with using(trace):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def spanned(name, **static_attrs):
+    """Wrap a function in a span when the active tracer is enabled."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tr = _active
+            if not tr.enabled:
+                return fn(*args, **kwargs)
+            with tr.span(name, **static_attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
+def _close_active():  # pragma: no cover - atexit hook
+    if isinstance(_active, Tracer):
+        _active.close()
+
+
+atexit.register(_close_active)
+
+_env_path = os.environ.get(TRACE_ENV)
+if _env_path:
+    enable(_env_path)

@@ -149,3 +149,68 @@ class TestHappyBreakdown:
         assert res.converged
         assert res.iterations <= 6
         np.testing.assert_allclose(A @ res.x, b, atol=1e-9)
+
+
+class TestExhaustedFinalReturnRecheck:
+    """The final (maxiter-exhausted) return must recheck the true residual.
+
+    The Arnoldi-recurrence estimate drifts away from ``||b - Ax|| / ||b||``
+    when the matvec is inexact — exactly the compressed-operator setting
+    (IES3 blocks, lossy preconditioners) robust_gmres ranks best iterates
+    in.  Pre-fix, gmres returned the recurrence value as the final
+    residual, which on this system is orders of magnitude optimistic.
+    """
+
+    @staticmethod
+    def _quantized_system():
+        # Inexact matvec modeling a compressed operator: quantize the
+        # product to ~3 decimal digits.  The recurrence residual keeps
+        # shrinking while the true residual stalls near the quantization
+        # floor, so a single long cycle truncated by maxiter exits with
+        # a recurrence estimate far below the truth.
+        rng = np.random.default_rng(26)
+        n = 100
+        A = np.eye(n) * 2.0 + 0.5 * rng.standard_normal((n, n))
+        b = rng.standard_normal(n)
+
+        def matvec(v):
+            w = A @ v
+            q = 1e-3 * np.max(np.abs(w))
+            return np.round(w / q) * q if q > 0 else w
+
+        return matvec, b
+
+    def test_final_residual_is_true_residual_on_exhaustion(self):
+        matvec, b = self._quantized_system()
+        n = b.size
+        res = gmres(matvec, b, tol=1e-12, restart=n, maxiter=n - 2)
+        true_rel = np.linalg.norm(b - matvec(res.x)) / np.linalg.norm(b)
+        # the reported residual must match reality, not the recurrence
+        assert res.final_residual == pytest.approx(true_rel, rel=0.5)
+        # and the verdict must follow the true residual
+        assert res.converged == (true_rel <= 1e-12)
+
+    def test_exhaustion_never_claims_unearned_convergence(self):
+        matvec, b = self._quantized_system()
+        n = b.size
+        res = gmres(matvec, b, tol=1e-12, restart=n, maxiter=n - 2)
+        assert not res.converged
+        assert res.final_residual > 1e-12
+
+    def test_maxiter_zero_with_exact_initial_guess(self):
+        # maxiter=0 skips the loop entirely; the final return alone must
+        # notice that x0 already solves the system
+        A = np.diag([2.0, 3.0, 4.0])
+        x_true = np.array([1.0, -1.0, 0.5])
+        b = A @ x_true
+        res = gmres(lambda v: A @ v, b, x0=x_true, tol=1e-10, maxiter=0)
+        assert res.converged
+        assert res.final_residual <= 1e-10
+
+    def test_converged_path_unaffected(self):
+        rng = np.random.default_rng(3)
+        A = np.eye(40) + 0.1 * rng.standard_normal((40, 40))
+        x_true = rng.standard_normal(40)
+        res = gmres(lambda v: A @ v, A @ x_true, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)

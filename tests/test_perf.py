@@ -89,10 +89,11 @@ class TestSweepMap:
     def test_stats_and_serial(self):
         stats = {}
         sweep_map(lambda x: x, [1, 2, 3], workers=1, stats=stats)
-        assert stats == {"workers": 1, "tasks": 3}
+        assert stats == {"workers": 1, "tasks": 3, "attempted": 3}
         stats = {}
         sweep_map(lambda x: x, [1, 2, 3], workers=8, stats=stats)
         assert stats["workers"] == 3  # capped by item count
+        assert stats["attempted"] == 3
 
     def test_exception_propagates(self):
         def boom(x):
@@ -104,6 +105,43 @@ class TestSweepMap:
             sweep_map(boom, [1, 2, 3], workers=2)
         with pytest.raises(ValueError, match="item 2"):
             sweep_map(boom, [1, 2, 3], workers=1)
+
+    def test_stats_filled_on_serial_failure(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("item 2")
+            return x
+
+        stats = {}
+        with pytest.raises(ValueError, match="item 2"):
+            sweep_map(boom, [1, 2, 3], workers=1, stats=stats)
+        # items 1 and 2 started before the failure; 3 never ran
+        assert stats == {"workers": 1, "tasks": 3, "attempted": 2}
+
+    def test_stats_filled_on_threaded_failure(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("item 2")
+            return x
+
+        stats = {}
+        with pytest.raises(ValueError, match="item 2"):
+            sweep_map(boom, [1, 2, 3], workers=2, stats=stats)
+        # all items were submitted to the pool before the failure surfaced
+        assert stats == {"workers": 2, "tasks": 3, "attempted": 3}
+
+    def test_fn_runtimeerror_propagates_under_threads(self):
+        # an fn-raised RuntimeError must propagate, not trigger the
+        # serial thread-creation fallback (which would re-run items)
+        calls = []
+
+        def boom(x):
+            calls.append(x)
+            raise RuntimeError("from fn")
+
+        with pytest.raises(RuntimeError, match="from fn"):
+            sweep_map(boom, [1, 2, 3], workers=2)
+        assert sorted(calls) == [1, 2, 3]  # each item ran exactly once
 
     def test_env_var_resolution(self, monkeypatch):
         from repro.perf.sweep import WORKERS_ENV, resolve_workers

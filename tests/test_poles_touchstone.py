@@ -119,3 +119,90 @@ class TestTouchstone:
         np.testing.assert_allclose(
             np.abs(fit.poles[0].imag) / (2 * np.pi), f0, rtol=0.02
         )
+
+
+class TestTouchstoneHardening:
+    @staticmethod
+    def _random_sparams(rng, m, p):
+        S = 0.3 * rng.standard_normal((m, p, p)) + 0.3j * rng.standard_normal(
+            (m, p, p)
+        )
+        return S
+
+    @pytest.mark.parametrize("fmt", ["RI", "MA", "DB"])
+    @pytest.mark.parametrize("ports", [1, 2, 3, 4])
+    def test_roundtrip_formats_by_port_count(self, tmp_path, fmt, ports):
+        rng = np.random.default_rng(ports * 10 + len(fmt))
+        freqs = np.linspace(1e9, 5e9, 5)
+        S = self._random_sparams(rng, 5, ports)
+        path = str(tmp_path / f"dut.s{ports}p")
+        write_touchstone(path, freqs, S, fmt=fmt)
+        data = read_touchstone(path)
+        assert data.num_ports == ports
+        np.testing.assert_allclose(data.freqs, freqs, rtol=1e-8)
+        np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-9)
+
+    def test_wrapped_rows_written_for_three_ports(self, tmp_path):
+        # p >= 3 must write one matrix row per line (<= 4 complex values),
+        # the version-1 wrapping convention other tools expect
+        freqs = np.array([1e9])
+        S = np.arange(9).reshape(1, 3, 3) * (0.01 + 0.01j)
+        path = str(tmp_path / "wrap.s3p")
+        write_touchstone(path, freqs, S)
+        data_lines = [
+            l for l in open(path).read().splitlines()
+            if l and not l.startswith(("!", "#"))
+        ]
+        assert len(data_lines) == 3  # one per matrix row
+        assert len(data_lines[0].split()) == 7  # f + 3 complex values
+        assert len(data_lines[1].split()) == 6  # continuation, no frequency
+
+    def test_wrapped_rows_infer_ports_without_extension(self, tmp_path):
+        # wrapped 3-port data in a file whose name gives no port hint:
+        # the odd/even row-length record heuristic must find p = 3
+        rng = np.random.default_rng(7)
+        freqs = np.linspace(1e9, 3e9, 4)
+        S = self._random_sparams(rng, 4, 3)
+        src = str(tmp_path / "dut.s3p")
+        write_touchstone(src, freqs, S)
+        anon = str(tmp_path / "measurement.dat")
+        with open(src) as fin, open(anon, "w") as fout:
+            fout.write(fin.read())
+        data = read_touchstone(anon)
+        assert data.num_ports == 3
+        np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-9)
+
+    def test_option_line_trailing_r_token(self, tmp_path):
+        # "R" as the last option token must not crash; Z0 stays default
+        path = str(tmp_path / "trailing.s1p")
+        with open(path, "w") as fh:
+            fh.write("# Hz S MA R\n1e9 0.5 45.0\n")
+        data = read_touchstone(path)
+        assert data.z0 == 50.0
+        np.testing.assert_allclose(data.freqs, [1e9])
+
+    def test_option_line_junk_after_r(self, tmp_path):
+        path = str(tmp_path / "junk.s1p")
+        with open(path, "w") as fh:
+            fh.write("# Hz S RI R fifty\n1e9 0.5 0.1\n")
+        data = read_touchstone(path)
+        assert data.z0 == 50.0
+        np.testing.assert_allclose(data.S[0, 0, 0], 0.5 + 0.1j)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = str(tmp_path / "empty.s2p")
+        with open(path, "w") as fh:
+            fh.write("# Hz S RI R 50\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_touchstone(path)
+
+    def test_db_format_roundtrips_small_magnitudes(self, tmp_path):
+        # dB formatting of near-zero entries must survive the round trip
+        freqs = np.array([1e9, 2e9])
+        S = np.array(
+            [[[1e-6 + 0j, 0.9 + 0.1j], [0.9 - 0.1j, 1e-8 + 0j]]] * 2
+        )
+        path = str(tmp_path / "small.s2p")
+        write_touchstone(path, freqs, S, fmt="DB")
+        data = read_touchstone(path)
+        np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-12)

@@ -228,3 +228,34 @@ class TestVectorFitProperties:
         np.testing.assert_allclose(
             rom.transfer(s)[:, 0, 0], H, rtol=2e-3, atol=1e-4 * np.max(np.abs(H))
         )
+
+
+class TestTouchstoneRoundtripProperty:
+    @given(
+        ports=st.integers(min_value=1, max_value=4),
+        m=st.integers(min_value=1, max_value=6),
+        fmt=st.sampled_from(["RI", "MA", "DB"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        hint=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip(self, tmp_path_factory, ports, m, fmt, seed, hint):
+        """write_touchstone -> read_touchstone is identity within tolerance
+        over formats x port counts, with and without the .sNp extension
+        hint (the latter exercises the wrapped-row port inference)."""
+        from repro.em import read_touchstone, write_touchstone
+
+        rng = np.random.default_rng(seed)
+        freqs = np.sort(rng.uniform(1e8, 1e10, m))
+        assume(np.all(np.diff(freqs) > 0) or m == 1)
+        S = 0.5 * rng.standard_normal((m, ports, ports)) + 0.5j * rng.standard_normal(
+            (m, ports, ports)
+        )
+        d = tmp_path_factory.mktemp("ts")
+        name = f"dut.s{ports}p" if hint else "dut.dat"
+        path = str(d / name)
+        write_touchstone(path, freqs, S, fmt=fmt)
+        data = read_touchstone(path)
+        assert data.num_ports == ports
+        np.testing.assert_allclose(data.freqs, freqs, rtol=1e-8)
+        np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-9)
