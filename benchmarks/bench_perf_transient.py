@@ -17,14 +17,16 @@ Both runs must return the same trajectory with reuse on and off: the
 residual stays exact, only the iteration matrix is stale.
 """
 
+import os
 import time
 
 import numpy as np
 
 from repro.analysis import transient_analysis
 from repro.netlist import Circuit, Sine
+from repro.perf import sweep_map
 
-from conftest import report, write_bench_json
+from conftest import backend_sweep_timings, report, write_bench_json
 
 
 def interconnect(stages=200, clamps=4):
@@ -51,6 +53,33 @@ def diode_ladder(stages=20):
         ckt.resistor(f"Rb{k}", "vb", f"n{k+1}", 5e3)
         ckt.capacitor(f"C{k}", f"n{k+1}", "0", 3e-12)
     return ckt.compile()
+
+
+class _CornerTransient:
+    """Picklable Monte-Carlo-corner transient task for the sweep matrix.
+
+    Each corner rebuilds the ladder at its own bias — a pure function of
+    the bias value, so the sweep is bit-identical across executors.
+    """
+
+    __slots__ = ("stages", "t_stop", "dt")
+
+    def __init__(self, stages, t_stop, dt):
+        self.stages = stages
+        self.t_stop = t_stop
+        self.dt = dt
+
+    def __call__(self, bias):
+        ckt = Circuit("corner ladder")
+        ckt.vsource("V1", "n0", "0", Sine(0.8, 10e6))
+        ckt.vsource("Vb", "vb", "0", float(bias))
+        for k in range(self.stages):
+            ckt.resistor(f"R{k}", f"n{k}", f"n{k+1}", 150.0)
+            ckt.diode(f"D{k}", f"n{k+1}", "0", isat=1e-13)
+            ckt.resistor(f"Rb{k}", "vb", f"n{k+1}", 5e3)
+            ckt.capacitor(f"C{k}", f"n{k+1}", "0", 3e-12)
+        res = transient_analysis(ckt.compile(), self.t_stop, self.dt)
+        return res.X
 
 
 def _timed_pair(system, t_stop, dt):
@@ -121,8 +150,45 @@ def test_transient_lu_reuse(benchmark):
     assert records["diode-ladder"]["speedup"] >= 0.9
     assert records["diode-ladder"]["factor_hits"] > 0
 
+    # Monte-Carlo corner sweep through the executor backends: eight
+    # bias corners of a 10-stage ladder, identical trajectories
+    # demanded across serial / thread / process at 4 workers
+    corners = [0.15 + 0.05 * k for k in range(8)]
+    task = _CornerTransient(stages=10, t_stop=4e-8, dt=4e-10)
+    workers = 4
+    backends, outputs = backend_sweep_timings(
+        lambda backend: sweep_map(task, corners, workers=workers, backend=backend)
+    )
+    for backend in ("thread", "process"):
+        for ref, got in zip(outputs["serial"], outputs[backend]):
+            assert np.array_equal(ref, got)
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert backends["process"]["speedup_vs_serial"] >= 2.0
+    elif cpus >= 2:
+        assert backends["process"]["speedup_vs_serial"] >= 1.0
+
+    report(
+        f"Transient corner-sweep backend matrix (workers={workers}, cpus={cpus})",
+        [
+            (backend, rec["wall"], rec["speedup_vs_serial"])
+            for backend, rec in backends.items()
+        ],
+        header=("backend", "wall [s]", "vs serial"),
+        notes=("bit-identical trajectories asserted across all backends",),
+    )
+
     write_bench_json(
         "perf_transient",
         results=results,
-        extra={"circuits": records, "workers": 1},
+        extra={
+            "circuits": records,
+            "sweep": {
+                "corners": len(corners),
+                "workers": workers,
+                "backends": backends,
+                "identical": True,
+            },
+        },
     )

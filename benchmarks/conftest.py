@@ -7,8 +7,10 @@ doubles as the experiment log (EXPERIMENTS.md records one frozen copy).
 """
 
 import json
+import os
 import pathlib
 import sys
+import time
 
 
 def strategy_counts(*results):
@@ -107,20 +109,51 @@ def write_bench_json(name, *, results=(), extra=None):
     Records the per-strategy solver attempt counts and the pre-flight
     lint wall time harvested from ``results`` (any objects carrying
     ``.report`` / ``.validation``), plus whatever ``extra`` metrics the
-    bench wants frozen.  The JSON lands next to the bench files so the
-    experiment log diffs cleanly between runs.
+    bench wants frozen.  The JSON lands next to the bench files *and*
+    at the repo root so the bench trajectory diffs cleanly between runs
+    (CI archives the top-level copy).  ``cpu_count`` is always recorded
+    — speedup numbers are meaningless without the core count they were
+    measured on.
     """
     payload = {
         "bench": name,
+        "cpu_count": os.cpu_count(),
         "strategy_counts": strategy_counts(*results),
         "lint": lint_wall_time(*results),
         "perf": perf_counters(*results),
     }
     if extra:
         payload.update(extra)
-    path = pathlib.Path(__file__).resolve().parent / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    here = pathlib.Path(__file__).resolve().parent
+    text = json.dumps(payload, indent=2, default=float) + "\n"
+    (here / f"BENCH_{name}.json").write_text(text)
+    (here.parent / f"BENCH_{name}.json").write_text(text)
     return payload
+
+
+def backend_sweep_timings(run, backends=("serial", "thread", "process"), repeats=1):
+    """Time ``run(backend)`` per backend; return records with speedups.
+
+    ``run`` must return the sweep's results (used only to carry them
+    back to the caller for equivalence asserts).  Each backend's wall
+    time is the best of ``repeats`` runs — benchmarks here compare
+    executor overhead, not scheduler noise.  Speedups are relative to
+    the serial backend, which therefore must be in ``backends``.
+    """
+    records = {}
+    outputs = {}
+    for backend in backends:
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            outputs[backend] = run(backend)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        records[backend] = {"wall": best}
+    serial = records["serial"]["wall"]
+    for backend, rec in records.items():
+        rec["speedup_vs_serial"] = serial / rec["wall"] if rec["wall"] > 0 else float("inf")
+    return records, outputs
 
 
 def report(title, rows, header=None, notes=()):

@@ -61,6 +61,25 @@ def ac_excitation_vector(system: MNASystem, source_name: str, magnitude: float =
     raise KeyError(f"no source named {source_name!r}")
 
 
+class _ACPoint:
+    """Picklable per-frequency solve for the sweep executor.
+
+    Ships the linearized (G, C, db) triple to process-backend workers;
+    a plain closure over the sparse matrices would not pickle.
+    """
+
+    __slots__ = ("G", "C", "db")
+
+    def __init__(self, G, C, db):
+        self.G = G
+        self.C = C
+        self.db = db
+
+    def __call__(self, f0):
+        A = (self.G + 1j * 2.0 * np.pi * f0 * self.C).tocsc()
+        return spla.spsolve(A, self.db)
+
+
 def ac_analysis(
     system: MNASystem,
     source_name: str,
@@ -68,6 +87,7 @@ def ac_analysis(
     x_dc: Optional[np.ndarray] = None,
     magnitude: float = 1.0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ACResult:
     """Frequency sweep of the linearized circuit.
 
@@ -80,10 +100,14 @@ def ac_analysis(
     x_dc:
         Operating point; computed via :func:`dc_analysis` if omitted.
     workers:
-        Sweep-executor thread count (each frequency point is an
+        Sweep-executor worker count (each frequency point is an
         independent sparse solve).  Serial and parallel runs produce
         bit-identical results; defaults to the ``REPRO_SWEEP_WORKERS``
         environment variable, else serial.
+    backend:
+        Sweep-executor backend (``"serial"`` | ``"thread"`` |
+        ``"process"``); defaults to ``REPRO_SWEEP_BACKEND``, else
+        threads.
     """
     if x_dc is None:
         x_dc = dc_analysis(system).x
@@ -93,11 +117,7 @@ def ac_analysis(
 
     freqs = np.asarray(list(freqs), dtype=float)
 
-    def solve_point(f0):
-        A = (G + 1j * 2.0 * np.pi * f0 * C).tocsc()
-        return spla.spsolve(A, db)
-
-    cols = sweep_map(solve_point, freqs, workers=workers)
+    cols = sweep_map(_ACPoint(G, C, db), freqs, workers=workers, backend=backend)
     X = np.zeros((system.n, freqs.size), dtype=complex)
     for k, col in enumerate(cols):
         X[:, k] = col

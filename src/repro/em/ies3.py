@@ -142,6 +142,7 @@ def compress_operator(
     tol: float = 1e-6,
     max_rank: int = 64,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> CompressedOperator:
     """Build the IES3-style compressed form of a kernel operator.
 
@@ -156,10 +157,12 @@ def compress_operator(
         Admissibility parameter; larger = more aggressive compression.
     tol:
         Relative low-rank truncation tolerance.
-    workers:
-        :func:`repro.perf.sweep_map` thread count for the independent
-        per-block compressions; block order (and hence the operator) is
-        identical for any value.
+    workers / backend:
+        :func:`repro.perf.sweep_map` worker count and backend for the
+        independent per-block compressions; block order (and hence the
+        operator) is identical for any value.  The block tasks close
+        over the kernel callable, so the process backend degrades to
+        threads unless ``entry`` is picklable.
     """
     t0 = time.perf_counter()
     n = points.shape[0]
@@ -170,6 +173,7 @@ def compress_operator(
         lambda pair: (pair[0].indices, pair[1].indices, entry(pair[0].indices, pair[1].indices)),
         dense_pairs,
         workers=workers,
+        backend=backend,
     )
     stored = sum(blk.size for _, _, blk in dense_blocks)
 
@@ -188,7 +192,9 @@ def compress_operator(
     lr_blocks = []
     ranks = []
     svd_fallbacks = 0
-    for block, fallback in sweep_map(compress_pair, lr_pairs, workers=workers):
+    for block, fallback in sweep_map(
+        compress_pair, lr_pairs, workers=workers, backend=backend
+    ):
         lr_blocks.append(block)
         stored += block[2].size + block[3].size
         ranks.append(block[2].shape[1])

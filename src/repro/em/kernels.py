@@ -133,18 +133,24 @@ class PanelKernel:
             out[a, b] = self.entry(int(rows[a]), int(cols[b]))
         return out
 
-    def dense(self, workers: Optional[int] = None) -> np.ndarray:
+    def _row_block(self, rows: np.ndarray) -> np.ndarray:
+        """All-columns row block (picklable sweep task, unlike a lambda)."""
+        return self.block(rows, np.arange(self.n))
+
+    def dense(
+        self, workers: Optional[int] = None, backend: Optional[str] = None
+    ) -> np.ndarray:
         """Full panel matrix, assembled in fixed 64-row blocks.
 
-        The blocking is independent of ``workers`` (which only controls
-        the :func:`repro.perf.sweep_map` executor), so serial and
-        parallel assembly are bit-identical.
+        The blocking is independent of ``workers``/``backend`` (which
+        only control the :func:`repro.perf.sweep_map` executor), so
+        serial and parallel assembly are bit-identical.
         """
         idx = np.arange(self.n)
         spans = [idx[lo : lo + 64] for lo in range(0, self.n, 64)]
         if not spans:
             return np.zeros((0, 0))
-        blocks = sweep_map(lambda rows: self.block(rows, idx), spans, workers=workers)
+        blocks = sweep_map(self._row_block, spans, workers=workers, backend=backend)
         return np.vstack(blocks)
 
     def matvec_exact(self, q: np.ndarray) -> np.ndarray:

@@ -66,6 +66,7 @@ def capacitance_matrix(
     compute_condition: bool = True,
     on_invalid: str = "raise",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> MoMResult:
     """Short-circuit capacitance matrix by dense collocation MoM.
 
@@ -73,14 +74,14 @@ def capacitance_matrix(
     (:func:`~repro.robust.validate.lint_panels`: zero-area panels,
     extreme aspect ratios, coincident centers) before the dense matrix
     is formed; the report travels on ``result.validation``.
-    ``workers`` parallelizes the multi-panel matrix assembly
+    ``workers``/``backend`` parallelize the multi-panel matrix assembly
     (:meth:`PanelKernel.dense` row blocks) with bit-identical results.
     """
     panels = list(panels)
     validation = enforce(lint_panels(panels), on_invalid)
     kern = kernel or PanelKernel(panels, eps=eps, ground_plane=ground_plane)
     t0 = time.perf_counter()
-    P = kern.dense(workers=workers)
+    P = kern.dense(workers=workers, backend=backend)
     build_time = time.perf_counter() - t0
 
     conds = conductor_ids(panels)
@@ -122,6 +123,7 @@ def capacitance_matrix_fast(
     policy=None,
     on_failure: Optional[str] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> MoMResult:
     """Capacitance extraction through the IES3-compressed operator.
 
@@ -147,7 +149,7 @@ def capacitance_matrix_fast(
     t0 = time.perf_counter()
     op = compress_operator(
         kern.block, kern.centers, leaf_size=leaf_size, eta=eta, tol=tol,
-        workers=workers,
+        workers=workers, backend=backend,
     )
     build_time = time.perf_counter() - t0
 
@@ -161,7 +163,7 @@ def capacitance_matrix_fast(
         v = (sel == cj).astype(float)
         return op.solve(v, tol=gmres_tol, policy=policy, on_failure=on_failure)
 
-    results = sweep_map(solve_conductor, conds, workers=workers)
+    results = sweep_map(solve_conductor, conds, workers=workers, backend=backend)
     for jj, res in enumerate(results):
         report.merge(res.report)
         for ii, ci in enumerate(conds):

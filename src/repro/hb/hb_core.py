@@ -69,6 +69,9 @@ class HBResult:
         self.solution = solution
 
     def __getattr__(self, item):
+        if item == "solution":
+            # not yet set (e.g. mid-unpickle): delegating would recurse
+            raise AttributeError(item)
         return getattr(self.solution, item)
 
     def amplitude_at(self, node, index: Tuple[int, ...]) -> float:
@@ -146,10 +149,31 @@ def harmonic_balance(
     return HBResult(sol)
 
 
+class _HBSweepPoint:
+    """Picklable per-point HB solve for the sweep executor.
+
+    Carries the compiled system and the baseline kwargs so the process
+    backend can ship whole solves to worker processes (the system
+    re-compiles itself from its device list on unpickle).
+    """
+
+    __slots__ = ("system", "hb_kwargs")
+
+    def __init__(self, system, hb_kwargs):
+        self.system = system
+        self.hb_kwargs = hb_kwargs
+
+    def __call__(self, pt):
+        kwargs = dict(self.hb_kwargs)
+        kwargs.update(pt)
+        return harmonic_balance(self.system, **kwargs)
+
+
 def hb_sweep(
     system: MNASystem,
     points: Sequence[dict],
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     **hb_kwargs,
 ):
     """Run :func:`harmonic_balance` at many sweep points.
@@ -159,13 +183,12 @@ def hb_sweep(
     per-point ``harmonics``/``fd_blocks``); ``hb_kwargs`` supplies the
     common baseline.  Points are independent solves, dispatched through
     the :func:`repro.perf.sweep_map` executor; results come back in
-    point order regardless of ``workers``, and serial vs. parallel runs
-    are equivalent.
+    point order regardless of ``workers`` and ``backend``, and serial,
+    threaded and process runs are equivalent.
     """
-
-    def solve_point(pt):
-        kwargs = dict(hb_kwargs)
-        kwargs.update(pt)
-        return harmonic_balance(system, **kwargs)
-
-    return sweep_map(solve_point, list(points), workers=workers)
+    return sweep_map(
+        _HBSweepPoint(system, hb_kwargs),
+        list(points),
+        workers=workers,
+        backend=backend,
+    )

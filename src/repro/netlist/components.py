@@ -159,12 +159,44 @@ class Device:
         """
         raise NotImplementedError
 
+    def nl_group_key(self):
+        """Batch-evaluation family, or None to evaluate per device.
+
+        Devices returning the same key are stacked into one numpy batch
+        and evaluated through the class's :meth:`nl_eval_group` by the
+        vectorized stamping path in :class:`~repro.netlist.mna.MNASystem`
+        — one call per device *type* instead of one Python-level call
+        per device.  Classes whose evaluation involves per-device user
+        callables (:class:`NonlinearResistor`, :class:`NonlinearCapacitor`)
+        keep the default ``None`` and stay on the per-device path.
+        """
+        return None
+
+    @classmethod
+    def nl_eval_group(cls, devices: Sequence["Device"], V: np.ndarray):
+        """Batched :meth:`nl_eval` over ``d`` same-class devices.
+
+        ``V`` has shape ``(d, k_in, m)``; returns ``(f, q, df, dq)``
+        with ``f, q`` of shape ``(d, k_eq, m)`` and ``df, dq`` of shape
+        ``(d, k_eq, k_in, m)``.  Implementations must mirror
+        :meth:`nl_eval` operation-for-operation (same expressions, same
+        association order) so the batched path is bit-identical to the
+        per-device reference — the property tests in
+        ``tests/test_properties.py`` pin this down.
+        """
+        raise NotImplementedError
+
     # --- noise -----------------------------------------------------------
     def noise_sources(self) -> List[NoiseSource]:
         return []
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
+
+
+def _param_column(devices: Sequence["Device"], attr: str) -> np.ndarray:
+    """(d, 1) float column of one scalar parameter across a batch."""
+    return np.array([getattr(dev, attr) for dev in devices], dtype=float)[:, None]
 
 
 def _two_node_stamps(i: int, j: int, val: float) -> List[Tuple[int, int, float]]:
@@ -389,6 +421,35 @@ class Diode(Device):
         dq[1, 0], dq[1, 1] = -cq, cq
         return f, q, df, dq
 
+    def nl_group_key(self):
+        return "diode"
+
+    @classmethod
+    def nl_eval_group(cls, devices, V):
+        # mirrors nl_eval/current with a leading device axis; parameter
+        # columns broadcast against the (d, m) sample planes
+        isat = _param_column(devices, "isat")
+        vt = _param_column(devices, "vt")
+        gmin = _param_column(devices, "gmin")
+        tt = _param_column(devices, "tt")
+        cj0 = _param_column(devices, "cj0")
+        vd = V[:, 0] - V[:, 1]
+        e, de = limexp(vd / vt)
+        i = isat * (e - 1.0) + gmin * vd
+        g = isat * de / vt + gmin
+        f = np.stack([i, -i], axis=1)
+        d, m = vd.shape
+        df = np.empty((d, 2, 2, m))
+        df[:, 0, 0], df[:, 0, 1] = g, -g
+        df[:, 1, 0], df[:, 1, 1] = -g, g
+        qd = tt * i + cj0 * vd
+        cq = tt * g + cj0
+        q = np.stack([qd, -qd], axis=1)
+        dq = np.empty((d, 2, 2, m))
+        dq[:, 0, 0], dq[:, 0, 1] = cq, -cq
+        dq[:, 1, 0], dq[:, 1, 1] = -cq, cq
+        return f, q, df, dq
+
     def noise_sources(self):
         i, j = self.node_idx
         vrow_a, vrow_c = self.node_idx
@@ -507,6 +568,64 @@ class BJT(Device):
         for row, dterm in enumerate((dq_c, dq_b, dq_e)):
             for col in range(3):
                 dq[row, col] = dterm[0] * dvbe[col] + dterm[1] * dvbc[col]
+        return f, q, df, dq
+
+    def nl_group_key(self):
+        return "bjt"
+
+    @classmethod
+    def nl_eval_group(cls, devices, V):
+        # mirrors nl_eval/_junction_currents with a leading device axis
+        p = _param_column(devices, "polarity")
+        isat = _param_column(devices, "isat")
+        vt = _param_column(devices, "vt")
+        gmin = _param_column(devices, "gmin")
+        beta_f = _param_column(devices, "beta_f")
+        beta_r = _param_column(devices, "beta_r")
+        tf = _param_column(devices, "tf")
+        cje = _param_column(devices, "cje")
+        cjc = _param_column(devices, "cjc")
+
+        vc, vb, ve = V[:, 0], V[:, 1], V[:, 2]
+        vbe = p * (vb - ve)
+        vbc = p * (vb - vc)
+        ef, def_ = limexp(vbe / vt)
+        er, der = limexp(vbc / vt)
+        i_f = isat * (ef - 1.0) + gmin * vbe
+        i_r = isat * (er - 1.0) + gmin * vbc
+        gf = isat * def_ / vt + gmin
+        gr = isat * der / vt + gmin
+
+        kr = 1.0 + 1.0 / beta_r
+        ic = i_f - i_r * kr
+        ib = i_f / beta_f + i_r / beta_r
+        ie = -(ic + ib)
+
+        d, m = vbe.shape
+        f = p[:, None] * np.stack([ic, ib, ie], axis=1)
+        dic = np.stack([gf, -gr * kr], axis=1)
+        dib = np.stack([gf / beta_f, gr / beta_r], axis=1)
+        die = -(dic + dib)
+        dvbe = np.array([0.0, 1.0, -1.0])
+        dvbc = np.array([-1.0, 1.0, 0.0])
+        df = np.empty((d, 3, 3, m))
+        for row, dterm in enumerate((dic, dib, die)):
+            for col in range(3):
+                df[:, row, col] = dterm[:, 0] * dvbe[col] + dterm[:, 1] * dvbc[col]
+
+        qbe = tf * i_f + cje * vbe
+        qbc = cjc * vbc
+        cbe = tf * gf + cje
+        cbc = np.broadcast_to(cjc, (d, m))
+        q = p[:, None] * np.stack([-qbc, qbe + qbc, -qbe], axis=1)
+        dq = np.empty((d, 3, 3, m))
+        zeros = np.zeros((d, m))
+        dq_c = np.stack([zeros, -cbc], axis=1)
+        dq_b = np.stack([np.broadcast_to(cbe, (d, m)), cbc], axis=1)
+        dq_e = np.stack([np.broadcast_to(-cbe, (d, m)), zeros], axis=1)
+        for row, dterm in enumerate((dq_c, dq_b, dq_e)):
+            for col in range(3):
+                dq[:, row, col] = dterm[:, 0] * dvbe[col] + dterm[:, 1] * dvbc[col]
         return f, q, df, dq
 
     def noise_sources(self):
@@ -638,6 +757,74 @@ class MOSFET(Device):
         dq[0, 0], dq[0, 1] = self.cgd, -self.cgd
         dq[1, 0], dq[1, 1], dq[1, 2] = -self.cgd, self.cgs + self.cgd, -self.cgs
         dq[2, 1], dq[2, 2] = -self.cgs, self.cgs
+        return f, q, df, dq
+
+    def nl_group_key(self):
+        return "mosfet"
+
+    @staticmethod
+    def _ids_group(vgs, vds, kp, vth, lam):
+        # mirrors _ids with (d, 1) parameter columns
+        vov = vgs - vth
+        on = vov > 0.0
+        sat = vds >= vov
+        clm = 1.0 + lam * vds
+
+        ids_sat = 0.5 * kp * vov**2 * clm
+        g_sat = kp * vov * clm
+        go_sat = 0.5 * kp * vov**2 * lam
+
+        ids_tri = kp * (vov - 0.5 * vds) * vds * clm
+        g_tri = kp * vds * clm
+        go_tri = kp * (vov - vds) * clm + kp * (vov - 0.5 * vds) * vds * lam
+
+        ids = np.where(sat, ids_sat, ids_tri)
+        gm = np.where(sat, g_sat, g_tri)
+        go = np.where(sat, go_sat, go_tri)
+        zero = np.zeros_like(ids)
+        ids = np.where(on, ids, zero)
+        gm = np.where(on, gm, zero)
+        go = np.where(on, go, zero)
+        return ids, gm, go
+
+    @classmethod
+    def nl_eval_group(cls, devices, V):
+        # mirrors nl_eval with a leading device axis
+        p = _param_column(devices, "polarity")
+        kp = _param_column(devices, "kp")
+        vth = _param_column(devices, "vth")
+        lam = _param_column(devices, "lam")
+        gmin = _param_column(devices, "gmin")
+        cgs = _param_column(devices, "cgs")
+        cgd = _param_column(devices, "cgd")
+
+        vd, vg, vs = V[:, 0], V[:, 1], V[:, 2]
+        vds_raw = p * (vd - vs)
+        swap = vds_raw < 0.0
+        vgs = np.where(swap, p * (vg - vd), p * (vg - vs))
+        vds = np.abs(vds_raw)
+        ids, gm, go = cls._ids_group(vgs, vds, kp, vth, lam)
+        ids = ids + gmin * vds
+        go = go + gmin
+
+        d, m = vds.shape
+        sign = np.where(swap, -1.0, 1.0)
+        i_d = p * sign * ids
+        f = np.stack([i_d, np.zeros((d, m)), -i_d], axis=1)
+
+        df = np.zeros((d, 3, 3, m))
+        did_vd = np.where(swap, gm + go, go)
+        did_vg = np.where(swap, -gm, gm)
+        did_vs = np.where(swap, -go, -(gm + go))
+        df[:, 0, 0], df[:, 0, 1], df[:, 0, 2] = did_vd, did_vg, did_vs
+        df[:, 2, 0], df[:, 2, 1], df[:, 2, 2] = -did_vd, -did_vg, -did_vs
+
+        qg = cgs * (vg - vs) + cgd * (vg - vd)
+        q = np.stack([-cgd * (vg - vd), qg, -cgs * (vg - vs)], axis=1)
+        dq = np.zeros((d, 3, 3, m))
+        dq[:, 0, 0], dq[:, 0, 1] = cgd, -cgd
+        dq[:, 1, 0], dq[:, 1, 1], dq[:, 1, 2] = -cgd, cgs + cgd, -cgs
+        dq[:, 2, 1], dq[:, 2, 2] = -cgs, cgs
         return f, q, df, dq
 
     def noise_sources(self):
@@ -777,4 +964,30 @@ class SwitchConductance(Device):
         df[1] = -df[0]
         q = np.zeros((2, m))
         dq = np.zeros((2, 4, m))
+        return f, q, df, dq
+
+    def nl_group_key(self):
+        return "switch"
+
+    @classmethod
+    def nl_eval_group(cls, devices, V):
+        # mirrors nl_eval/conductance with a leading device axis
+        g_on = _param_column(devices, "g_on")
+        g_off = _param_column(devices, "g_off")
+        sharpness = _param_column(devices, "sharpness")
+        v1, v2, cp, cn = V[:, 0], V[:, 1], V[:, 2], V[:, 3]
+        vc = cp - cn
+        vs = v1 - v2
+        th = np.tanh(sharpness * vc)
+        g = g_off + (g_on - g_off) * 0.5 * (1.0 + th)
+        dg = (g_on - g_off) * 0.5 * sharpness * (1.0 - th**2)
+        i = g * vs
+        d, m = vc.shape
+        f = np.stack([i, -i], axis=1)
+        df = np.empty((d, 2, 4, m))
+        df[:, 0, 0], df[:, 0, 1] = g, -g
+        df[:, 0, 2], df[:, 0, 3] = dg * vs, -dg * vs
+        df[:, 1] = -df[:, 0]
+        q = np.zeros((d, 2, m))
+        dq = np.zeros((d, 2, 4, m))
         return f, q, df, dq

@@ -9,10 +9,35 @@ together with their Jacobians ``G = df/dx`` and ``C = dq/dx``, both at a
 single operating point (sparse matrices, used by DC/AC/transient) and in
 *batch* over many time samples at once (used by the HB/MPDE engines,
 where one Newton iteration touches an entire periodic grid).
+
+Stamping paths
+--------------
+Nonlinear devices are evaluated through one of two equivalent paths:
+
+* **vectorized** (default): devices are grouped by type
+  (``Device.nl_group_key``) and each group is evaluated as one numpy
+  batch through ``Device.nl_eval_group``; results are scattered into
+  preallocated index structures (``np.add.at`` for f/q, precomputed
+  COO row/col arrays for the Jacobians).  One Python-level call per
+  device *type* instead of one per device.
+* **scalar**: the historical per-device loop, kept as the reference
+  implementation.
+
+Both paths share one canonical device ordering (batchable families
+grouped by first occurrence, netlist order within a family) and mirror
+each other operation-for-operation, so their outputs are bit-identical
+— ``tests/test_properties.py`` pins this down on random circuits.
+Select with ``compile(vectorize=...)`` or the ``REPRO_STAMP_MODE``
+environment variable (``"vectorized"`` | ``"scalar"``).
+
+Compiled systems pickle (for the process-backend sweep executor) by
+re-running compilation from the device list on unpickle — the noise
+closures and index structures are rebuilt, not serialized.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,7 +45,100 @@ import scipy.sparse as sp
 
 from repro.netlist.components import Device, NoiseSource
 
-__all__ = ["MNASystem"]
+__all__ = ["MNASystem", "STAMP_ENV", "resolve_stamp_mode"]
+
+STAMP_ENV = "REPRO_STAMP_MODE"
+
+_STAMP_MODES = ("vectorized", "scalar")
+
+
+def resolve_stamp_mode(mode=None) -> str:
+    """Normalize a stamping-mode request to ``"vectorized"`` | ``"scalar"``.
+
+    ``mode`` may be a mode name, a boolean (``True`` -> vectorized), or
+    ``None`` to consult the ``REPRO_STAMP_MODE`` environment variable
+    (default ``"vectorized"``).  Unknown values raise ``ValueError``.
+    """
+    if mode is None:
+        mode = os.environ.get(STAMP_ENV) or "vectorized"
+    if isinstance(mode, bool):
+        return "vectorized" if mode else "scalar"
+    if not isinstance(mode, str):
+        raise ValueError(
+            f"stamp mode must be a string or bool, got {type(mode).__name__}"
+        )
+    norm = mode.strip().lower()
+    if norm not in _STAMP_MODES:
+        raise ValueError(
+            f"unknown stamp mode {mode!r}; expected one of {_STAMP_MODES} "
+            f"(set via argument or ${STAMP_ENV})"
+        )
+    return norm
+
+
+class _NLGroup:
+    """Precomputed scatter indices for one batch of nonlinear devices.
+
+    Holds ``d`` same-family devices (``d == 1`` for devices that opt out
+    of batching via ``nl_group_key() is None``) together with the index
+    arrays the vectorized stamping path needs:
+
+    * ``var_safe``/``var_mask`` — gather ``(d, k_in, m)`` local voltages
+      from a state block, grounds reading as 0;
+    * ``eq_rows``/``eq_valid`` — scatter ``(d, k_eq, m)`` f/q
+      contributions onto global KCL rows, grounds dropped;
+    * ``jac_rows``/``jac_cols``/``jac_valid`` — the COO coordinates of
+      the group's Jacobian block in canonical (device, eq, var) order,
+      matching :meth:`MNASystem.jacobian_pattern`.
+    """
+
+    __slots__ = (
+        "devices",
+        "cls",
+        "batched",
+        "entries",
+        "var_idx",
+        "var_safe",
+        "var_mask",
+        "eq_rows",
+        "eq_valid",
+        "jac_rows",
+        "jac_cols",
+        "jac_valid",
+        "jac_nnz",
+    )
+
+    def __init__(self, entries, batched: bool):
+        self.entries = entries
+        self.devices = [dev for dev, _, _ in entries]
+        self.cls = type(self.devices[0])
+        self.batched = batched
+        var_idx = np.stack([v for _, v, _ in entries])  # (d, k_in)
+        eq_idx = np.stack([e for _, _, e in entries])  # (d, k_eq)
+        self.var_idx = var_idx
+        self.var_safe = np.where(var_idx >= 0, var_idx, 0)
+        self.var_mask = (var_idx >= 0)[..., None]
+        eq_flat = eq_idx.reshape(-1)
+        self.eq_valid = eq_flat >= 0
+        self.eq_rows = eq_flat[self.eq_valid]
+        valid = (eq_idx[:, :, None] >= 0) & (var_idx[:, None, :] >= 0)
+        rows = np.broadcast_to(eq_idx[:, :, None], valid.shape)
+        cols = np.broadcast_to(var_idx[:, None, :], valid.shape)
+        self.jac_valid = valid.reshape(-1)
+        self.jac_rows = rows.reshape(-1)[self.jac_valid]
+        self.jac_cols = cols.reshape(-1)[self.jac_valid]
+        self.jac_nnz = int(self.jac_rows.size)
+
+    def eval(self, x2d: np.ndarray):
+        """(f, q, df, dq) with a leading device axis of length ``d``."""
+        if self.batched:
+            V = np.where(self.var_mask, x2d[self.var_safe], 0.0)
+            return self.cls.nl_eval_group(self.devices, V)
+        # solo device: per-device reference evaluation, d == 1
+        dev, var_idx, _ = self.entries[0]
+        V = MNASystem._local_voltages(x2d, var_idx)
+        f, q, df, dq = dev.nl_eval(V)
+        return f[None], q[None], df[None], dq[None]
 
 
 class MNASystem:
@@ -35,6 +153,10 @@ class MNASystem:
         ``i < len(node_names)`` is the voltage of ``node_names[i]``.
     branch_owner:
         Device name owning each branch-current unknown.
+    vectorize:
+        True when the batched stamping path is active (see module
+        docstring); flip via the ``vectorize=`` compile argument or
+        ``REPRO_STAMP_MODE``.
     """
 
     def __init__(
@@ -43,11 +165,13 @@ class MNASystem:
         devices: Sequence[Device],
         node_names: Sequence[str],
         branch_owner: Sequence[str],
+        vectorize=None,
     ):
         self.title = title
         self.devices = list(devices)
         self.node_names = list(node_names)
         self.branch_owner = list(branch_owner)
+        self.vectorize = resolve_stamp_mode(vectorize) == "vectorized"
         self.n = len(node_names) + len(branch_owner)
         self._node_index = {name: i for i, name in enumerate(node_names)}
         # first-occurrence wins, matching the historical linear scan for
@@ -62,6 +186,29 @@ class MNASystem:
         self._build_nonlinear()
         self._build_sources()
         self._build_noise()
+
+    # --- pickling (process-backend sweeps) -----------------------------
+    def __getstate__(self):
+        # noise PSD closures and scatter structures are rebuilt from the
+        # device list on unpickle; only constructor inputs travel
+        return {
+            "title": self.title,
+            "devices": self.devices,
+            "node_names": self.node_names,
+            "branch_owner": self.branch_owner,
+            "vectorize": self.vectorize,
+            "validation": self.validation,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["title"],
+            state["devices"],
+            state["node_names"],
+            state["branch_owner"],
+            vectorize=state["vectorize"],
+        )
+        self.validation = state.get("validation")
 
     # ------------------------------------------------------------------
     def node(self, name: str) -> int:
@@ -104,12 +251,36 @@ class MNASystem:
         self._c_lin_coo = (cc.row.copy(), cc.col.copy(), cc.data.copy())
 
     def _build_nonlinear(self) -> None:
-        self._nl: List[Tuple[Device, np.ndarray, np.ndarray]] = []
+        entries: List[Tuple[Device, np.ndarray, np.ndarray]] = []
         for dev in self.devices:
             if dev.nonlinear:
                 var_idx, eq_idx = dev.nl_ports()
-                self._nl.append((dev, np.asarray(var_idx), np.asarray(eq_idx)))
+                entries.append((dev, np.asarray(var_idx), np.asarray(eq_idx)))
+        # canonical ordering shared by BOTH stamping paths: batchable
+        # families grouped by first occurrence of their group key (netlist
+        # order within a family); unbatchable devices are solo groups in
+        # place.  Scalar and vectorized stamping therefore visit devices
+        # in the same sequence and produce bit-identical sums and
+        # identically-ordered Jacobian patterns.
+        grouped: dict = {}
+        order: List[object] = []
+        solo_keys = set()
+        for pos, entry in enumerate(entries):
+            key = entry[0].nl_group_key()
+            if key is None:
+                key = ("__solo__", pos)
+                solo_keys.add(key)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(entry)
+        self._nl: List[Tuple[Device, np.ndarray, np.ndarray]] = [
+            e for key in order for e in grouped[key]
+        ]
         self.has_nonlinear = bool(self._nl)
+        self._nl_groups: List[_NLGroup] = [
+            _NLGroup(grouped[key], batched=key not in solo_keys) for key in order
+        ]
 
     def _build_sources(self) -> None:
         rows, waves, signs = [], [], []
@@ -137,7 +308,11 @@ class MNASystem:
         return V
 
     def _eval_nl(self, x2d: np.ndarray):
-        """Yield (dev, var_idx, eq_idx, f, q, df, dq) over nonlinear devices."""
+        """Yield (dev, var_idx, eq_idx, f, q, df, dq) over nonlinear devices.
+
+        The scalar reference path: one ``nl_eval`` call per device, in
+        the canonical ``self._nl`` order.
+        """
         for dev, var_idx, eq_idx in self._nl:
             V = self._local_voltages(x2d, var_idx)
             f, q, df, dq = dev.nl_eval(V)
@@ -150,24 +325,38 @@ class MNASystem:
         return x, False
 
     # --- DAE terms -------------------------------------------------------
+    def _add_nl_term(self, out: np.ndarray, x2d: np.ndarray, which: str) -> None:
+        """Accumulate nonlinear f or q contributions onto ``out`` in place."""
+        if not self.has_nonlinear:
+            return
+        if self.vectorize:
+            for grp in self._nl_groups:
+                fv, qv, _, _ = grp.eval(x2d)
+                vals = fv if which == "f" else qv
+                # np.add.at is unbuffered and applies additions in index
+                # order — the same (device, port) sequence as the scalar
+                # loop, so duplicate-row sums are bit-identical
+                flat = vals.reshape(-1, vals.shape[-1])
+                np.add.at(out, grp.eq_rows, flat[grp.eq_valid])
+            return
+        for _, _, eq_idx, fv, qv, _, _ in self._eval_nl(x2d):
+            vals = fv if which == "f" else qv
+            for k, row in enumerate(eq_idx):
+                if row >= 0:
+                    out[row] += vals[k]
+
     def f(self, x: np.ndarray) -> np.ndarray:
         """Resistive term f(x); accepts (n,) or (n, m)."""
         x2d, squeeze = self._as2d(x)
         out = self.G_lin @ x2d
-        for _, _, eq_idx, fv, _, _, _ in self._eval_nl(x2d):
-            for k, row in enumerate(eq_idx):
-                if row >= 0:
-                    out[row] += fv[k]
+        self._add_nl_term(out, x2d, "f")
         return out[:, 0] if squeeze else out
 
     def q(self, x: np.ndarray) -> np.ndarray:
         """Charge/flux term q(x); accepts (n,) or (n, m)."""
         x2d, squeeze = self._as2d(x)
         out = self.C_lin @ x2d
-        for _, _, eq_idx, _, qv, _, _ in self._eval_nl(x2d):
-            for k, row in enumerate(eq_idx):
-                if row >= 0:
-                    out[row] += qv[k]
+        self._add_nl_term(out, x2d, "q")
         return out[:, 0] if squeeze else out
 
     def b(self, t) -> np.ndarray:
@@ -199,22 +388,41 @@ class MNASystem:
     # --- Jacobians ---------------------------------------------------------
     def _point_jacobian(self, x: np.ndarray, which: str) -> sp.csr_matrix:
         x2d, _ = self._as2d(x)
-        rows, cols, vals = [], [], []
-        for _, var_idx, eq_idx, _, _, df, dq in self._eval_nl(x2d):
-            block = df if which == "G" else dq
-            for a, row in enumerate(eq_idx):
-                if row < 0:
-                    continue
-                for bb, col in enumerate(var_idx):
-                    if col < 0:
-                        continue
-                    rows.append(row), cols.append(col), vals.append(block[a, bb, 0])
         base = self.G_lin if which == "G" else self.C_lin
-        if not rows:
+        if not self.has_nonlinear:
             return base.copy()
-        extra = sp.csr_matrix(
-            (np.array(vals, dtype=float), (rows, cols)), shape=(self.n, self.n)
-        )
+        if self.vectorize:
+            rows_parts, cols_parts, vals_parts = [], [], []
+            for grp in self._nl_groups:
+                _, _, df, dq = grp.eval(x2d)
+                block = df if which == "G" else dq
+                # C-order flatten of (d, k_eq, k_in) matches the scalar
+                # (device, eq, var) loop nest entry-for-entry
+                vals_parts.append(block[..., 0].reshape(-1)[grp.jac_valid])
+                rows_parts.append(grp.jac_rows)
+                cols_parts.append(grp.jac_cols)
+            rows = np.concatenate(rows_parts)
+            cols = np.concatenate(cols_parts)
+            vals = np.concatenate(vals_parts)
+        else:
+            lrows: List[int] = []
+            lcols: List[int] = []
+            lvals: List[float] = []
+            for _, var_idx, eq_idx, _, _, df, dq in self._eval_nl(x2d):
+                block = df if which == "G" else dq
+                for a, row in enumerate(eq_idx):
+                    if row < 0:
+                        continue
+                    for bb, col in enumerate(var_idx):
+                        if col < 0:
+                            continue
+                        lrows.append(row), lcols.append(col)
+                        lvals.append(block[a, bb, 0])
+            rows, cols = lrows, lcols
+            vals = np.array(lvals, dtype=float)
+        if not len(rows):
+            return base.copy()
+        extra = sp.csr_matrix((vals, (rows, cols)), shape=(self.n, self.n))
         return (base + extra).tocsr()
 
     def G(self, x: np.ndarray) -> sp.csr_matrix:
@@ -269,6 +477,13 @@ class MNASystem:
         g_vals[:nnz_gl] = self._g_lin_coo[2][:, None]
         c_vals[nnz_gl : nnz_gl + nnz_cl] = self._c_lin_coo[2][:, None]
         pos = nnz_gl + nnz_cl
+        if self.vectorize:
+            for grp in self._nl_groups:
+                _, _, df, dq = grp.eval(X)
+                g_vals[pos : pos + grp.jac_nnz] = df.reshape(-1, m)[grp.jac_valid]
+                c_vals[pos : pos + grp.jac_nnz] = dq.reshape(-1, m)[grp.jac_valid]
+                pos += grp.jac_nnz
+            return g_vals, c_vals
         for _, var_idx, eq_idx, _, _, df, dq in self._eval_nl(X):
             for a, row in enumerate(eq_idx):
                 if row < 0:
@@ -300,5 +515,6 @@ class MNASystem:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"MNASystem({self.title!r}, n={self.n}, nodes={len(self.node_names)}, "
-            f"branches={len(self.branch_owner)}, devices={len(self.devices)})"
+            f"branches={len(self.branch_owner)}, devices={len(self.devices)}, "
+            f"stamp={'vectorized' if self.vectorize else 'scalar'})"
         )

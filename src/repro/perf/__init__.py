@@ -12,7 +12,8 @@ rest of the tool family uses to get there:
 * :mod:`repro.perf.sweep` — :func:`sweep_map`, a deterministic parallel
   executor for embarrassingly parallel workloads (AC/HB frequency
   points, Monte-Carlo paths, ROM transfer sweeps, EM panel-matrix
-  assembly) with a serial fallback;
+  assembly) with serial, thread and process backends — results are
+  bit-identical whichever backend and worker count runs them;
 * :mod:`repro.perf.counters` — :class:`PerfCounters`, the factor
   hit/miss, saved-Jacobian and per-stage wall-time counters attached to
   :class:`~repro.robust.report.SolveReport` objects as ``report.perf``.
@@ -20,12 +21,21 @@ rest of the tool family uses to get there:
 
 from repro.perf.counters import PerfCounters
 from repro.perf.factorcache import FactorCache, make_factor_solver
-from repro.perf.sweep import resolve_workers, sweep_map
+from repro.perf.sweep import (
+    BACKENDS,
+    resolve_backend,
+    resolve_workers,
+    sweep_map,
+    worker_factor_cache,
+)
 
 __all__ = [
+    "BACKENDS",
     "FactorCache",
     "PerfCounters",
     "make_factor_solver",
+    "resolve_backend",
     "resolve_workers",
     "sweep_map",
+    "worker_factor_cache",
 ]

@@ -43,6 +43,10 @@ class PerfCounters:
     workers:
         Worker count of the sweep executor run that produced this
         result (1 for serial).
+    sweep_backend:
+        Backend the sweep executor actually ran (``"serial"``,
+        ``"thread"`` or ``"process"``); merges keep the most parallel
+        one seen.
     stage_seconds:
         Wall time per named stage (``"dc"``, ``"stepping"``, ...).
     """
@@ -54,7 +58,11 @@ class PerfCounters:
     jacobian_evals_saved: int = 0
     stale_refreshes: int = 0
     workers: int = 1
+    sweep_backend: str = "serial"
     stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    #: backend names ordered by "parallelism rank" for merge()
+    _BACKEND_RANK = {"serial": 0, "thread": 1, "process": 2}
 
     @property
     def hit_rate(self) -> float:
@@ -83,6 +91,10 @@ class PerfCounters:
         self.jacobian_evals_saved += other.jacobian_evals_saved
         self.stale_refreshes += other.stale_refreshes
         self.workers = max(self.workers, other.workers)
+        if self._BACKEND_RANK.get(other.sweep_backend, 0) > self._BACKEND_RANK.get(
+            self.sweep_backend, 0
+        ):
+            self.sweep_backend = other.sweep_backend
         for name, sec in other.stage_seconds.items():
             self.add_stage(name, sec)
         return self
@@ -98,6 +110,7 @@ class PerfCounters:
             "jacobian_evals_saved": self.jacobian_evals_saved,
             "stale_refreshes": self.stale_refreshes,
             "workers": self.workers,
+            "sweep_backend": self.sweep_backend,
             "stage_seconds": dict(self.stage_seconds),
         }
 

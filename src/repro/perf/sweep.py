@@ -2,46 +2,212 @@
 
 AC/HB frequency points, phase-noise Monte-Carlo paths, ROM transfer
 sweeps and EM panel-matrix row blocks are all independent work items.
-:func:`sweep_map` runs them through a ``concurrent.futures`` thread pool
-when ``workers > 1`` and falls back to a plain serial loop otherwise (or
-when the pool cannot be created, e.g. in restricted environments).
+:func:`sweep_map` runs them through one of three backends:
 
-Two invariants the adopters rely on:
+``"serial"``
+    A plain loop.  The reference behaviour every other backend must
+    reproduce bit-for-bit.
+``"thread"``
+    A ``concurrent.futures`` thread pool.  Cheap to spin up and fine
+    when the per-item work releases the GIL (sparse LU, BLAS), but
+    pure-Python device evaluation serialises on the GIL and threads can
+    *lose* to serial.
+``"process"``
+    A ``concurrent.futures.ProcessPoolExecutor``.  Items are shipped to
+    worker processes in contiguous chunks, so CPU-bound Python work
+    scales with cores.  Requires the task callable, the items and the
+    results to be picklable; when the task is not picklable the call
+    transparently degrades to the thread backend (recorded in
+    ``stats["backend"]``).
+
+Three invariants the adopters rely on:
 
 * **deterministic ordering** — results come back in item order,
-  regardless of completion order or worker count;
-* **worker-count independence** — the per-item computation never
-  depends on ``workers``, so serial and parallel runs produce
-  bit-identical outputs (the equivalence tests in
-  ``tests/test_perf.py`` pin this down).
+  regardless of completion order, chunking, backend or worker count;
+* **backend/worker-count independence** — the per-item computation
+  never depends on ``workers`` or the backend, so serial, threaded and
+  process runs produce bit-identical outputs (pinned by
+  ``tests/test_sweep_backends.py``);
+* **purity** — tasks must be deterministic functions of their item (no
+  hidden mutable state): the process backend may re-run items serially
+  after a worker-pool failure, and chunked dispatch gives no ordering
+  guarantee during execution.
 
-The default worker count is 1 (serial); set the environment variable
-``REPRO_SWEEP_WORKERS`` or pass ``workers=`` explicitly to go parallel.
+Configuration: ``workers=`` / ``backend=`` arguments win; otherwise the
+``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_BACKEND`` environment variables
+apply; the defaults are one worker (serial) and the thread backend.
+
+Worker processes are seeded at pool start: the parent's tracing state is
+propagated (child spans are aggregated in-memory and folded back into
+the parent tracer, so ``SolveReport.perf["trace"]`` sees sweep work done
+in workers), and each worker gets a fresh per-process
+:class:`~repro.perf.factorcache.FactorCache` reachable through
+:func:`worker_factor_cache`, so picklable tasks can share
+factorizations across the items executed by the same worker.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional
 
+from .. import trace as _trace
 from ..trace import get_tracer
 
-__all__ = ["WORKERS_ENV", "resolve_workers", "sweep_map"]
+__all__ = [
+    "WORKERS_ENV",
+    "BACKEND_ENV",
+    "BACKENDS",
+    "resolve_workers",
+    "resolve_backend",
+    "sweep_map",
+    "worker_factor_cache",
+]
 
 #: Environment variable consulted when ``workers`` is None.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+#: Environment variable consulted when ``backend`` is None.
+BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+#: Recognised backend names.
+BACKENDS = ("serial", "thread", "process")
+
+#: Default FactorCache size seeded into each worker process.
+_WORKER_CACHE_ENTRIES = 8
+
+#: Per-process factor cache (created lazily, or by the pool initializer
+#: in process-backend workers).  One per OS process by construction.
+_WORKER_CACHE = None
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Effective worker count: explicit arg, else env var, else 1."""
+    """Effective worker count: explicit arg, else env var, else 1.
+
+    Rejects non-integers and values ``<= 0`` with :class:`ValueError`
+    (both for the explicit argument and for the environment variable) —
+    a typo'd worker count must fail loudly, not silently run serial.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
         try:
-            workers = int(raw) if raw else 1
+            workers = int(raw)
         except ValueError:
-            workers = 1
-    return max(1, int(workers))
+            raise ValueError(
+                f"{WORKERS_ENV}={raw!r} is not an integer worker count"
+            ) from None
+    if isinstance(workers, bool) or not hasattr(type(workers), "__index__"):
+        raise ValueError(
+            f"workers must be an integer >= 1, got {workers!r} "
+            f"({type(workers).__name__})"
+        )
+    workers = int(workers)
+    if workers <= 0:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Effective backend name: explicit arg, else env var, else "thread".
+
+    Unknown names raise :class:`ValueError` listing the valid choices.
+    """
+    if backend is None:
+        raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+        if not raw:
+            return "thread"
+        backend = raw
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def worker_factor_cache():
+    """The per-process :class:`FactorCache` for sweep tasks.
+
+    In a process-backend worker this is the cache created by the pool
+    initializer (fresh per pool, sized by the parent); in the parent
+    process (serial/thread backends) it is a lazily created
+    process-global cache.  Tasks that factor the same matrix for
+    several items (duplicate frequency points, repeated corners) key
+    into it — cache hits return the identical factorization object, so
+    results stay bit-identical with and without hits.
+    """
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        from .factorcache import FactorCache
+
+        _WORKER_CACHE = FactorCache(max_entries=_WORKER_CACHE_ENTRIES)
+    return _WORKER_CACHE
+
+
+def _process_worker_init(trace_enabled: bool, cache_entries: int) -> None:
+    """Pool initializer: seed per-worker tracer + factor cache."""
+    global _WORKER_CACHE
+    from .factorcache import FactorCache
+
+    _WORKER_CACHE = FactorCache(max_entries=max(1, int(cache_entries)))
+    if trace_enabled and not get_tracer().enabled:
+        # in-memory child tracer: spans are aggregated and shipped back
+        # to the parent with each chunk result (no JSONL file of its own)
+        _trace.enable(None)
+
+
+class _ChunkTask:
+    """Picklable unit of process-backend work: run ``fn`` over a chunk.
+
+    Returns ``(results, trace_summary, cache_counts)`` where the trace
+    summary is the child tracer's span/event aggregate for this chunk
+    (``None`` when tracing is disabled) and ``cache_counts`` the
+    ``(hits, misses)`` delta of the per-worker factor cache.
+    """
+
+    __slots__ = ("fn", "chunk")
+
+    def __init__(self, fn: Callable, chunk: List):
+        self.fn = fn
+        self.chunk = chunk
+
+    def __call__(self):
+        tr = get_tracer()
+        mark = tr.mark() if tr.enabled else None
+        cache = worker_factor_cache()
+        h0, m0 = cache.hits, cache.misses
+        results = []
+        for it in self.chunk:
+            if tr.enabled:
+                with tr.span("sweep.task"):
+                    results.append(self.fn(it))
+            else:
+                results.append(self.fn(it))
+        summary = None
+        if tr.enabled:
+            summary = tr.summary_since(mark)
+            summary.pop("file", None)
+        return results, summary, (cache.hits - h0, cache.misses - m0)
+
+
+def _is_picklable(fn: Callable) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
+
+
+def _serial_run(task: Callable, items: List, counter: List[int]) -> List:
+    results = []
+    for it in items:
+        counter[0] += 1
+        results.append(task(it))
+    return results
 
 
 def sweep_map(
@@ -49,83 +215,201 @@ def sweep_map(
     items: Iterable,
     workers: Optional[int] = None,
     stats: Optional[dict] = None,
+    backend: Optional[str] = None,
+    chunksize: Optional[int] = None,
 ) -> List:
     """Map ``fn`` over ``items`` preserving order; parallel when asked.
 
     Parameters
     ----------
     fn / items:
-        The per-point work and the sweep points.  ``fn`` must not
-        depend on execution order (the executor guarantees nothing
-        about it) — only result *ordering* is deterministic.
+        The per-point work and the sweep points.  ``fn`` must be a pure,
+        deterministic function of its item and must not depend on
+        execution order — only result *ordering* is deterministic.  For
+        the process backend ``fn``, the items and the results must all
+        be picklable; an unpicklable ``fn`` silently degrades to the
+        thread backend (recorded in ``stats``).
     workers:
-        Thread count; ``None`` consults :data:`WORKERS_ENV`, and any
-        value <= 1 (or a single item) runs the serial fallback.
+        Worker count; ``None`` consults :data:`WORKERS_ENV`.  Values
+        that are not integers >= 1 raise :class:`ValueError`.  A single
+        item (or ``workers=1``) runs the serial path whatever the
+        backend.
+    backend:
+        ``"serial"`` | ``"thread"`` | ``"process"``; ``None`` consults
+        :data:`BACKEND_ENV`, defaulting to ``"thread"``.
+    chunksize:
+        Process-backend items per dispatched chunk.  Defaults to
+        ``ceil(len(items) / (4 * workers))`` — large enough to amortise
+        pickling, small enough to load-balance.  Chunking never affects
+        results or their order.
     stats:
-        Optional dict filled with ``{"workers", "tasks", "attempted"}``
-        describing what actually ran — the benchmarks record it.  The
-        dict is populated even when ``fn`` raises (``attempted`` counts
-        the items whose execution started before the failure), so
-        callers that pre-registered it never read stale entries.
+        Optional dict filled with ``{"workers", "tasks", "attempted",
+        "backend"}`` describing what actually ran — the benchmarks
+        record it.  The process backend adds ``"chunksize"`` and
+        ``"worker_cache"`` (per-worker factor-cache hit/miss totals).
+        ``backend`` reports the backend that *executed* (after any
+        fallback), and ``backend_requested`` appears when a fallback
+        demoted the requested backend (running serial because there is
+        nothing to parallelise — one worker or one item — is the
+        requested backend's degenerate case, not a fallback).
+        The dict is populated even when ``fn`` raises (``attempted``
+        counts the items whose execution started before the failure).
 
-    Exceptions raised by ``fn`` propagate to the caller in both modes
-    (the first failing item wins under threads, as with ``map``).
+    Exceptions raised by ``fn`` propagate to the caller in every
+    backend (the first failing item in item order wins under threads
+    and processes, as with ``map``).
     """
     items = list(items)
     w = resolve_workers(workers)
+    requested = resolve_backend(backend)
     effective = min(w, len(items)) if items else 1
+    degenerate = effective <= 1  # nothing to parallelise: not a fallback
+    ran_backend = requested if effective > 1 else "serial"
     tr = get_tracer()
     task = fn
     if tr.enabled:
         def task(it, _fn=fn, _tr=tr):
             with _tr.span("sweep.task"):
                 return _fn(it)
-    attempted = 0
+    attempted = [0]
+    extra_stats = {}
+    # mutable execution record: fallbacks update it *before* running
+    # tasks, so a task exception still leaves stats reporting the
+    # backend that actually executed
+    ran = {"backend": ran_backend, "workers": effective}
     results: List
     try:
         if tr.enabled:
-            sweep_span = tr.span("sweep.map", tasks=len(items))
+            sweep_span = tr.span("sweep.map", tasks=len(items), backend=requested)
             sweep_span.__enter__()
         else:
             sweep_span = None
         try:
-            if effective <= 1:
-                effective = 1
-                results = []
-                for it in items:
-                    attempted += 1
-                    results.append(task(it))
+            if effective <= 1 or requested == "serial":
+                ran["backend"], ran["workers"] = "serial", 1
+                results = _serial_run(task, items, attempted)
+            elif requested == "process":
+                results = _process_map(
+                    fn, task, items, effective, chunksize, attempted,
+                    extra_stats, tr, ran,
+                )
             else:
-                pool = None
-                try:
-                    # Pool creation and submission are the only steps
-                    # allowed to trigger the serial fallback; an OSError/
-                    # RuntimeError raised by ``fn`` itself must propagate,
-                    # not silently re-run the sweep serially.
-                    pool = ThreadPoolExecutor(max_workers=effective)
-                    futures = [pool.submit(task, it) for it in items]
-                except (OSError, RuntimeError):
-                    # thread creation refused (container limits)
-                    if pool is not None:
-                        pool.shutdown(wait=True, cancel_futures=True)
-                    effective = 1
-                    results = []
-                    for it in items:
-                        attempted += 1
-                        results.append(task(it))
-                else:
-                    attempted = len(items)
-                    try:
-                        results = [f.result() for f in futures]
-                    finally:
-                        pool.shutdown(wait=True)
+                results = _thread_map(task, items, effective, attempted, ran)
         finally:
             if sweep_span is not None:
-                sweep_span.annotate(workers=effective, attempted=attempted)
+                sweep_span.annotate(
+                    workers=ran["workers"], attempted=attempted[0],
+                    ran=ran["backend"],
+                )
                 sweep_span.__exit__(None, None, None)
     finally:
         if stats is not None:
-            stats["workers"] = effective
+            stats["workers"] = ran["workers"]
             stats["tasks"] = len(items)
-            stats["attempted"] = attempted
+            stats["attempted"] = attempted[0]
+            stats["backend"] = ran["backend"]
+            if ran["backend"] != requested and not degenerate:
+                stats["backend_requested"] = requested
+            stats.update(extra_stats)
+    return results
+
+
+def _thread_map(
+    task: Callable, items: List, effective: int, attempted: List[int], ran: dict
+):
+    """Thread-pool dispatch with the historical serial fallback."""
+    pool = None
+    try:
+        # Pool creation and submission are the only steps allowed to
+        # trigger the serial fallback; an OSError/RuntimeError raised by
+        # ``fn`` itself must propagate, not silently re-run the sweep.
+        pool = ThreadPoolExecutor(max_workers=effective)
+        futures = [pool.submit(task, it) for it in items]
+    except (OSError, RuntimeError):
+        # thread creation refused (container limits)
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        ran["backend"], ran["workers"] = "serial", 1
+        return _serial_run(task, items, attempted)
+    ran["backend"], ran["workers"] = "thread", effective
+    attempted[0] = len(items)
+    try:
+        return [f.result() for f in futures]
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _process_map(
+    fn: Callable,
+    task: Callable,
+    items: List,
+    effective: int,
+    chunksize: Optional[int],
+    attempted: List[int],
+    extra_stats: dict,
+    tr,
+    ran: dict,
+):
+    """Process-pool dispatch: chunked, seeded, with graceful fallback.
+
+    Falls back to the thread backend when the task cannot be pickled or
+    the pool cannot be created, and to a serial re-run when the pool
+    breaks mid-flight (tasks are required to be pure, so re-running is
+    safe).  ``ran`` records the backend that actually executed.
+    """
+    if not _is_picklable(fn):
+        if tr.enabled:
+            tr.event("sweep.process_fallback", reason="unpicklable")
+        return _thread_map(task, items, effective, attempted, ran)
+
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(items) / (4 * effective)))
+    chunksize = max(1, int(chunksize))
+    chunks = [items[lo : lo + chunksize] for lo in range(0, len(items), chunksize)]
+
+    pool = None
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=effective,
+            initializer=_process_worker_init,
+            initargs=(bool(tr.enabled), _WORKER_CACHE_ENTRIES),
+        )
+        futures = [pool.submit(_ChunkTask(fn, chunk)) for chunk in chunks]
+    except (OSError, RuntimeError, pickle.PicklingError):
+        # process creation refused (sandbox/container limits) or a
+        # late pickling failure: degrade to threads
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if tr.enabled:
+            tr.event("sweep.process_fallback", reason="pool_unavailable")
+        return _thread_map(task, items, effective, attempted, ran)
+
+    ran["backend"], ran["workers"] = "process", effective
+    attempted[0] = len(items)
+    extra_stats["chunksize"] = chunksize
+    hits = misses = 0
+    results = []
+    try:
+        for f in futures:
+            try:
+                chunk_results, summary, cache_counts = f.result()
+            except BrokenProcessPool:
+                # a worker died (OOM-killed, sandbox signal).  Tasks are
+                # pure by contract, so the deterministic recovery is a
+                # serial re-run of the whole sweep.
+                pool.shutdown(wait=True, cancel_futures=True)
+                if tr.enabled:
+                    tr.event("sweep.process_fallback", reason="broken_pool")
+                attempted[0] = 0
+                ran["backend"], ran["workers"] = "serial", 1
+                return _serial_run(task, items, attempted)
+            results.extend(chunk_results)
+            hits += cache_counts[0]
+            misses += cache_counts[1]
+            if summary and tr.enabled:
+                tr.absorb(summary)
+    finally:
+        pool.shutdown(wait=True)
+    if hits or misses:
+        extra_stats["worker_cache"] = {"factor_hits": hits, "factor_misses": misses}
     return results

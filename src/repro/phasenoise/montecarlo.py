@@ -31,6 +31,53 @@ __all__ = ["JitterMeasurement", "simulate_sde_ensemble", "measure_jitter", "peri
 _PATH_CHUNK = 32
 
 
+class _SDEBlock:
+    """Picklable Euler-Maruyama integration of one block of paths.
+
+    Each path's noise is a pure function of ``(seed, path_id)``, so a
+    block is a pure function of its span — exactly the sweep-executor
+    purity contract, and what lets the process backend ship blocks to
+    worker processes.
+    """
+
+    __slots__ = ("system", "x0", "B", "h", "sqh", "steps", "seed", "record_state", "p")
+
+    def __init__(self, system, x0, B, h, sqh, steps, seed, record_state, p):
+        self.system = system
+        self.x0 = x0
+        self.B = B
+        self.h = h
+        self.sqh = sqh
+        self.steps = steps
+        self.seed = seed
+        self.record_state = record_state
+        self.p = p
+
+    def __call__(self, span):
+        lo, hi = span
+        m = hi - lo
+        if self.p:
+            # (steps, p, m): per-path precomputed noise, seeded by path id
+            noise = np.stack(
+                [
+                    np.random.default_rng((self.seed, r)).standard_normal(
+                        (self.steps, self.p)
+                    )
+                    for r in range(lo, hi)
+                ],
+                axis=2,
+            )
+        X = np.tile(self.x0[:, None], (1, m))
+        out = np.empty((self.steps + 1, m))
+        out[0] = X[self.record_state]
+        for k in range(self.steps):
+            drift = self.system.f(X)
+            nz = self.B @ noise[k] if self.p else 0.0
+            X = X + self.h * drift + self.sqh * nz
+            out[k + 1] = X[self.record_state]
+        return out
+
+
 def simulate_sde_ensemble(
     system: ODESystem,
     x0: np.ndarray,
@@ -41,6 +88,7 @@ def simulate_sde_ensemble(
     seed: int = 0,
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Euler-Maruyama ensemble; records one state across all paths.
 
@@ -55,7 +103,9 @@ def simulate_sde_ensemble(
     ``default_rng((seed, r))``, so its noise sequence is a function of
     ``(seed, r)`` alone — paths are then simulated in fixed-size blocks
     through :func:`repro.perf.sweep_map` and the ensemble is
-    **bit-identical for any** ``workers``.
+    **bit-identical for any** ``workers`` and ``backend`` (process
+    workers need a picklable ``system``; unpicklable systems degrade to
+    threads transparently).
     """
     x0 = np.asarray(x0, dtype=float)
     h = t_stop / steps
@@ -79,29 +129,8 @@ def simulate_sde_ensemble(
         (lo, min(lo + _PATH_CHUNK, n_paths)) for lo in range(0, n_paths, _PATH_CHUNK)
     ]
 
-    def run_block(span):
-        lo, hi = span
-        m = hi - lo
-        if p:
-            # (steps, p, m): per-path precomputed noise, seeded by path id
-            noise = np.stack(
-                [
-                    np.random.default_rng((seed, r)).standard_normal((steps, p))
-                    for r in range(lo, hi)
-                ],
-                axis=2,
-            )
-        X = np.tile(x0[:, None], (1, m))
-        out = np.empty((steps + 1, m))
-        out[0] = X[record_state]
-        for k in range(steps):
-            drift = system.f(X)
-            nz = B @ noise[k] if p else 0.0
-            X = X + h * drift + sqh * nz
-            out[k + 1] = X[record_state]
-        return out
-
-    blocks = sweep_map(run_block, spans, workers=workers)
+    run_block = _SDEBlock(system, x0, B, h, sqh, steps, seed, record_state, p)
+    blocks = sweep_map(run_block, spans, workers=workers, backend=backend)
     if not blocks:
         return t, np.empty((steps + 1, 0))
     return t, np.concatenate(blocks, axis=1)

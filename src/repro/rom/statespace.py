@@ -29,6 +29,26 @@ from repro.robust.krylov import robust_direct_solve
 __all__ = ["DescriptorSystem", "ReducedSystem", "port_descriptor"]
 
 
+class _TransferPoint:
+    """Picklable per-frequency resolvent solve for the sweep executor."""
+
+    __slots__ = ("system", "policy", "on_failure")
+
+    def __init__(self, system, policy, on_failure):
+        self.system = system
+        self.policy = policy
+        self.on_failure = on_failure
+
+    def __call__(self, s):
+        A = self.system.G + s * self.system.C
+        return robust_direct_solve(
+            sp.csc_matrix(A) if sp.issparse(A) else A,
+            self.system.B.astype(complex),
+            policy=self.policy,
+            on_failure=self.on_failure,
+        )
+
+
 @dataclasses.dataclass
 class DescriptorSystem:
     """Sparse/dense descriptor system with p inputs and m outputs."""
@@ -57,6 +77,7 @@ class DescriptorSystem:
         on_failure: Optional[str] = None,
         report: Optional[SolveReport] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """H(s) over an array of complex frequencies -> (len(s), m, p).
 
@@ -66,24 +87,20 @@ class DescriptorSystem:
         ``H`` degrades to the minimum-norm solution instead of silently
         returning garbage.  Pass a :class:`SolveReport` to collect the
         per-frequency attempt history (merged in frequency order even
-        under a parallel sweep), and ``workers`` to dispatch the
-        independent frequency points through the
-        :func:`repro.perf.sweep_map` executor — serial and parallel runs
-        are bit-identical.
+        under a parallel sweep), and ``workers``/``backend`` to dispatch
+        the independent frequency points through the
+        :func:`repro.perf.sweep_map` executor — serial, threaded and
+        process runs are bit-identical.
         """
         s_values = np.asarray(list(s_values), dtype=complex)
         out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
 
-        def solve_point(s):
-            A = self.G + s * self.C
-            return robust_direct_solve(
-                sp.csc_matrix(A) if sp.issparse(A) else A,
-                self.B.astype(complex),
-                policy=policy,
-                on_failure=on_failure,
-            )
-
-        results = sweep_map(solve_point, s_values, workers=workers)
+        results = sweep_map(
+            _TransferPoint(self, policy, on_failure),
+            s_values,
+            workers=workers,
+            backend=backend,
+        )
         for k, (s, res) in enumerate(zip(s_values, results)):
             if report is not None:
                 report.merge(res.report, prefix=f"s={s:.3g}")

@@ -136,6 +136,9 @@ class NullTracer:
     def summary_since(self, mark=None):
         return {}
 
+    def absorb(self, summary):
+        return None
+
     def publish(self, report, mark=None):
         return None
 
@@ -278,6 +281,27 @@ class Tracer:
                 if dc > 0:
                     events[name] = dc
         return {"file": self.path, "spans": spans, "events": events}
+
+    def absorb(self, summary):
+        """Fold a ``summary_since``-shaped aggregate into this tracer.
+
+        Used by the process-backend sweep executor: worker processes
+        aggregate their spans in-memory and ship the summary back with
+        each chunk; absorbing it here makes child work visible to
+        ``summary_since``/``publish`` (and hence
+        ``SolveReport.perf["trace"]``).  No JSONL records are written —
+        only the aggregate statistics move.
+        """
+        if not summary:
+            return None
+        with self._lock:
+            for name, rec in (summary.get("spans") or {}).items():
+                stat = self._span_stats.setdefault(name, [0, 0.0])
+                stat[0] += int(rec.get("count", 0))
+                stat[1] += float(rec.get("seconds", 0.0))
+            for name, count in (summary.get("events") or {}).items():
+                self._event_counts[name] = self._event_counts.get(name, 0) + int(count)
+        return None
 
     def publish(self, report, mark=None):
         """Attach a trace summary to a ``SolveReport``-like object."""

@@ -89,11 +89,17 @@ class TestSweepMap:
     def test_stats_and_serial(self):
         stats = {}
         sweep_map(lambda x: x, [1, 2, 3], workers=1, stats=stats)
-        assert stats == {"workers": 1, "tasks": 3, "attempted": 3}
+        assert stats == {
+            "workers": 1,
+            "tasks": 3,
+            "attempted": 3,
+            "backend": "serial",
+        }
         stats = {}
         sweep_map(lambda x: x, [1, 2, 3], workers=8, stats=stats)
         assert stats["workers"] == 3  # capped by item count
         assert stats["attempted"] == 3
+        assert stats["backend"] == "thread"
 
     def test_exception_propagates(self):
         def boom(x):
@@ -116,7 +122,12 @@ class TestSweepMap:
         with pytest.raises(ValueError, match="item 2"):
             sweep_map(boom, [1, 2, 3], workers=1, stats=stats)
         # items 1 and 2 started before the failure; 3 never ran
-        assert stats == {"workers": 1, "tasks": 3, "attempted": 2}
+        assert stats == {
+            "workers": 1,
+            "tasks": 3,
+            "attempted": 2,
+            "backend": "serial",
+        }
 
     def test_stats_filled_on_threaded_failure(self):
         def boom(x):
@@ -126,9 +137,14 @@ class TestSweepMap:
 
         stats = {}
         with pytest.raises(ValueError, match="item 2"):
-            sweep_map(boom, [1, 2, 3], workers=2, stats=stats)
+            sweep_map(boom, [1, 2, 3], workers=2, backend="thread", stats=stats)
         # all items were submitted to the pool before the failure surfaced
-        assert stats == {"workers": 2, "tasks": 3, "attempted": 3}
+        assert stats == {
+            "workers": 2,
+            "tasks": 3,
+            "attempted": 3,
+            "backend": "thread",
+        }
 
     def test_fn_runtimeerror_propagates_under_threads(self):
         # an fn-raised RuntimeError must propagate, not trigger the
@@ -149,8 +165,12 @@ class TestSweepMap:
         monkeypatch.setenv(WORKERS_ENV, "3")
         assert resolve_workers(None) == 3
         assert resolve_workers(2) == 2
-        monkeypatch.setenv(WORKERS_ENV, "junk")
+        monkeypatch.delenv(WORKERS_ENV)
         assert resolve_workers(None) == 1
+        # a typo'd env value must fail loudly, not silently run serial
+        monkeypatch.setenv(WORKERS_ENV, "junk")
+        with pytest.raises(ValueError, match="not an integer"):
+            resolve_workers(None)
 
 
 # ---------------------------------------------------------------------------

@@ -259,3 +259,154 @@ class TestTouchstoneRoundtripProperty:
         assert data.num_ports == ports
         np.testing.assert_allclose(data.freqs, freqs, rtol=1e-8)
         np.testing.assert_allclose(data.S, S, rtol=1e-6, atol=1e-9)
+
+
+class TestVectorizedStamping:
+    """The batched stamping path is bit-identical to the scalar reference.
+
+    Random circuits mixing linear devices (R/L/C, V/I sources) with every
+    batchable nonlinear family (diodes, BJTs, MOSFETs, switches) and the
+    per-device callables (NonlinearResistor/NonlinearCapacitor) must
+    produce *exactly* equal DAE terms, point Jacobians (same sparsity,
+    same values) and batch-Jacobian slabs under both paths.
+    """
+
+    NODES = ("0", "a", "b", "c", "d")
+
+    def _random_circuit(self, rng, n_devices):
+        from repro.netlist.components import (
+            NonlinearCapacitor,
+            NonlinearResistor,
+        )
+
+        ckt = Circuit("prop")
+        ckt.vsource("Vsrc", "a", "0", float(rng.uniform(-1.0, 1.0)))
+        kinds = rng.choice(
+            ["R", "L", "C", "I", "D", "Q", "M", "S", "NR", "NC"], size=n_devices
+        )
+        pick = lambda: str(rng.choice(self.NODES))
+        for i, kind in enumerate(kinds):
+            name = f"{kind}{i}"
+            if kind == "R":
+                ckt.resistor(name, pick(), pick(), float(rng.uniform(10, 1e5)))
+            elif kind == "L":
+                ckt.inductor(name, pick(), pick(), float(rng.uniform(1e-9, 1e-6)))
+            elif kind == "C":
+                ckt.capacitor(name, pick(), pick(), float(rng.uniform(1e-15, 1e-9)))
+            elif kind == "I":
+                ckt.isource(name, pick(), pick(), float(rng.uniform(-1e-3, 1e-3)))
+            elif kind == "D":
+                ckt.diode(
+                    name, pick(), pick(),
+                    isat=float(rng.uniform(1e-16, 1e-12)),
+                    tt=float(rng.choice([0.0, 1e-9])),
+                    cj0=float(rng.choice([0.0, 1e-12])),
+                )
+            elif kind == "Q":
+                ckt.bjt(
+                    name, pick(), pick(), pick(),
+                    beta_f=float(rng.uniform(10, 300)),
+                    polarity=int(rng.choice([1, -1])),
+                    tf=float(rng.choice([0.0, 1e-11])),
+                    cje=float(rng.choice([0.0, 1e-13])),
+                    cjc=float(rng.choice([0.0, 1e-13])),
+                )
+            elif kind == "M":
+                ckt.mosfet(
+                    name, pick(), pick(), pick(),
+                    kp=float(rng.uniform(1e-5, 1e-3)),
+                    vth=float(rng.uniform(0.2, 0.8)),
+                    lam=float(rng.choice([0.0, 0.05])),
+                    cgs=float(rng.choice([0.0, 1e-14])),
+                    cgd=float(rng.choice([0.0, 1e-14])),
+                    polarity=int(rng.choice([1, -1])),
+                )
+            elif kind == "S":
+                from repro.netlist.components import SwitchConductance
+
+                ckt.add(
+                    SwitchConductance(
+                        name, pick(), pick(), pick(), pick(),
+                        g_on=float(rng.uniform(1e-3, 1e-1)),
+                        sharpness=float(rng.uniform(5.0, 40.0)),
+                    )
+                )
+            elif kind == "NR":
+                aa = float(rng.uniform(1e-4, 1e-2))
+                ckt.add(
+                    NonlinearResistor(
+                        name, pick(), pick(),
+                        lambda v, aa=aa: aa * v**3,
+                        lambda v, aa=aa: 3.0 * aa * v**2,
+                    )
+                )
+            else:  # NC
+                cc = float(rng.uniform(1e-13, 1e-11))
+                ckt.add(
+                    NonlinearCapacitor(
+                        name, pick(), pick(),
+                        lambda v, cc=cc: cc * np.tanh(v),
+                        lambda v, cc=cc: cc * (1.0 - np.tanh(v) ** 2),
+                    )
+                )
+        # guarantee at least two batchable families are present
+        ckt.diode("Dfix", "b", "0")
+        ckt.bjt("Qfix", "c", "b", "0")
+        return ckt
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_devices=st.integers(min_value=2, max_value=14),
+        m=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_and_vectorized_paths_bit_identical(self, seed, n_devices, m):
+        rng = np.random.default_rng(seed)
+        ckt = self._random_circuit(rng, n_devices)
+        sys_vec = ckt.compile(vectorize=True)
+        sys_ref = ckt.compile(vectorize=False)
+        assert sys_vec.vectorize and not sys_ref.vectorize
+        # both paths share one canonical nonlinear-device ordering
+        assert [d.name for d, _, _ in sys_vec._nl] == [
+            d.name for d, _, _ in sys_ref._nl
+        ]
+
+        x = rng.normal(scale=1.0, size=sys_vec.n)
+        X = rng.normal(scale=1.0, size=(sys_vec.n, m))
+
+        np.testing.assert_array_equal(sys_vec.f(x), sys_ref.f(x))
+        np.testing.assert_array_equal(sys_vec.q(x), sys_ref.q(x))
+        np.testing.assert_array_equal(sys_vec.f(X), sys_ref.f(X))
+        np.testing.assert_array_equal(sys_vec.q(X), sys_ref.q(X))
+
+        Gv, Gs = sys_vec.G(x), sys_ref.G(x)
+        Cv, Cs = sys_vec.C(x), sys_ref.C(x)
+        # same sparsity structure AND same values, exactly
+        assert Gv.nnz == Gs.nnz and Cv.nnz == Cs.nnz
+        np.testing.assert_array_equal(Gv.toarray(), Gs.toarray())
+        np.testing.assert_array_equal(Cv.toarray(), Cs.toarray())
+
+        pv, ps = sys_vec.jacobian_pattern(), sys_ref.jacobian_pattern()
+        np.testing.assert_array_equal(pv[0], ps[0])
+        np.testing.assert_array_equal(pv[1], ps[1])
+        gv, cv = sys_vec.batch_jacobians(X)
+        gs, cs = sys_ref.batch_jacobians(X)
+        np.testing.assert_array_equal(gv, gs)
+        np.testing.assert_array_equal(cv, cs)
+
+    def test_stamp_mode_env_and_validation(self, monkeypatch):
+        from repro.netlist.mna import STAMP_ENV, resolve_stamp_mode
+
+        monkeypatch.setenv(STAMP_ENV, "scalar")
+        assert resolve_stamp_mode(None) == "scalar"
+        monkeypatch.setenv(STAMP_ENV, "vectorized")
+        assert resolve_stamp_mode(None) == "vectorized"
+        assert resolve_stamp_mode(True) == "vectorized"
+        assert resolve_stamp_mode(False) == "scalar"
+        monkeypatch.setenv(STAMP_ENV, "simd")
+        with pytest.raises(ValueError, match="unknown stamp mode"):
+            resolve_stamp_mode(None)
+        monkeypatch.delenv(STAMP_ENV)
+        rng = np.random.default_rng(1234)
+        ckt = self._random_circuit(rng, 3)
+        assert ckt.compile().vectorize  # default is the batched path
