@@ -88,6 +88,7 @@ def ac_analysis(
     magnitude: float = 1.0,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sweep_options: Optional[dict] = None,
 ) -> ACResult:
     """Frequency sweep of the linearized circuit.
 
@@ -108,6 +109,10 @@ def ac_analysis(
         Sweep-executor backend (``"serial"`` | ``"thread"`` |
         ``"process"``); defaults to ``REPRO_SWEEP_BACKEND``, else
         threads.
+    sweep_options:
+        Extra :func:`repro.perf.sweep_map` keyword arguments — the
+        fault-tolerance knobs (``timeout``, ``retries``,
+        ``on_item_failure``, ``checkpoint``, ...) and ``stats``.
     """
     if x_dc is None:
         x_dc = dc_analysis(system).x
@@ -117,7 +122,13 @@ def ac_analysis(
 
     freqs = np.asarray(list(freqs), dtype=float)
 
-    cols = sweep_map(_ACPoint(G, C, db), freqs, workers=workers, backend=backend)
+    cols = sweep_map(
+        _ACPoint(G, C, db),
+        freqs,
+        workers=workers,
+        backend=backend,
+        **(sweep_options or {}),
+    )
     X = np.zeros((system.n, freqs.size), dtype=complex)
     for k, col in enumerate(cols):
         X[:, k] = col

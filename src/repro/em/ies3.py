@@ -143,6 +143,7 @@ def compress_operator(
     max_rank: int = 64,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sweep_options: Optional[dict] = None,
 ) -> CompressedOperator:
     """Build the IES3-style compressed form of a kernel operator.
 
@@ -163,6 +164,11 @@ def compress_operator(
         operator) is identical for any value.  The block tasks close
         over the kernel callable, so the process backend degrades to
         threads unless ``entry`` is picklable.
+    sweep_options:
+        Extra :func:`~repro.perf.sweep_map` keywords — the
+        fault-tolerance knobs (``timeout``, ``retries``,
+        ``on_item_failure``, ``checkpoint``, ...) — applied to both the
+        dense-block and low-rank-block sweeps.
     """
     t0 = time.perf_counter()
     n = points.shape[0]
@@ -174,6 +180,7 @@ def compress_operator(
         dense_pairs,
         workers=workers,
         backend=backend,
+        **(sweep_options or {}),
     )
     stored = sum(blk.size for _, _, blk in dense_blocks)
 
@@ -193,7 +200,8 @@ def compress_operator(
     ranks = []
     svd_fallbacks = 0
     for block, fallback in sweep_map(
-        compress_pair, lr_pairs, workers=workers, backend=backend
+        compress_pair, lr_pairs, workers=workers, backend=backend,
+        **(sweep_options or {}),
     ):
         lr_blocks.append(block)
         stored += block[2].size + block[3].size

@@ -138,19 +138,31 @@ class PanelKernel:
         return self.block(rows, np.arange(self.n))
 
     def dense(
-        self, workers: Optional[int] = None, backend: Optional[str] = None
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        sweep_options: Optional[dict] = None,
     ) -> np.ndarray:
         """Full panel matrix, assembled in fixed 64-row blocks.
 
         The blocking is independent of ``workers``/``backend`` (which
         only control the :func:`repro.perf.sweep_map` executor), so
         serial and parallel assembly are bit-identical.
+        ``sweep_options`` forwards extra ``sweep_map`` keywords — the
+        fault-tolerance knobs (``timeout``, ``retries``,
+        ``on_item_failure``, ``checkpoint``, ...) and ``stats``.
         """
         idx = np.arange(self.n)
         spans = [idx[lo : lo + 64] for lo in range(0, self.n, 64)]
         if not spans:
             return np.zeros((0, 0))
-        blocks = sweep_map(self._row_block, spans, workers=workers, backend=backend)
+        blocks = sweep_map(
+            self._row_block,
+            spans,
+            workers=workers,
+            backend=backend,
+            **(sweep_options or {}),
+        )
         return np.vstack(blocks)
 
     def matvec_exact(self, q: np.ndarray) -> np.ndarray:

@@ -124,6 +124,7 @@ def capacitance_matrix_fast(
     on_failure: Optional[str] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sweep_options: Optional[dict] = None,
 ) -> MoMResult:
     """Capacitance extraction through the IES3-compressed operator.
 
@@ -138,7 +139,12 @@ def capacitance_matrix_fast(
     ladder (:meth:`~repro.em.ies3.CompressedOperator.solve`); the merged
     attempt history rides on ``result.report`` (merged in conductor
     order even when ``workers`` parallelizes the block compression and
-    the per-conductor excitation solves).
+    the per-conductor excitation solves).  ``sweep_options`` forwards
+    extra :func:`~repro.perf.sweep_map` keywords — the fault-tolerance
+    knobs (``timeout``, ``retries``, ``on_item_failure``,
+    ``checkpoint``, ...) — to both the compression and excitation
+    sweeps (the excitation tasks are closures, so process requests
+    degrade to threads there).
     """
     from repro.em.ies3 import compress_operator
     from repro.em.kernels import PanelKernel
@@ -149,7 +155,7 @@ def capacitance_matrix_fast(
     t0 = time.perf_counter()
     op = compress_operator(
         kern.block, kern.centers, leaf_size=leaf_size, eta=eta, tol=tol,
-        workers=workers, backend=backend,
+        workers=workers, backend=backend, sweep_options=sweep_options,
     )
     build_time = time.perf_counter() - t0
 
@@ -163,7 +169,10 @@ def capacitance_matrix_fast(
         v = (sel == cj).astype(float)
         return op.solve(v, tol=gmres_tol, policy=policy, on_failure=on_failure)
 
-    results = sweep_map(solve_conductor, conds, workers=workers, backend=backend)
+    results = sweep_map(
+        solve_conductor, conds, workers=workers, backend=backend,
+        **(sweep_options or {}),
+    )
     for jj, res in enumerate(results):
         report.merge(res.report)
         for ii, ci in enumerate(conds):

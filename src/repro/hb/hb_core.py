@@ -174,6 +174,7 @@ def hb_sweep(
     points: Sequence[dict],
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sweep_options: Optional[dict] = None,
     **hb_kwargs,
 ):
     """Run :func:`harmonic_balance` at many sweep points.
@@ -184,11 +185,15 @@ def hb_sweep(
     common baseline.  Points are independent solves, dispatched through
     the :func:`repro.perf.sweep_map` executor; results come back in
     point order regardless of ``workers`` and ``backend``, and serial,
-    threaded and process runs are equivalent.
+    threaded and process runs are equivalent.  ``sweep_options`` passes
+    extra ``sweep_map`` keywords through — the fault-tolerance knobs
+    (``timeout``, ``retries``, ``on_item_failure``, ``checkpoint``,
+    ...) and ``stats``.
     """
     return sweep_map(
         _HBSweepPoint(system, hb_kwargs),
         list(points),
         workers=workers,
         backend=backend,
+        **(sweep_options or {}),
     )

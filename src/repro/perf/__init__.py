@@ -23,7 +23,14 @@ from repro.perf.counters import PerfCounters
 from repro.perf.factorcache import FactorCache, make_factor_solver
 from repro.perf.sweep import (
     BACKENDS,
+    ON_ITEM_FAILURE_MODES,
+    SweepItemTimeout,
+    SweepWorkerCrash,
+    backoff_seconds,
     resolve_backend,
+    resolve_checkpoint,
+    resolve_retries,
+    resolve_timeout,
     resolve_workers,
     sweep_map,
     worker_factor_cache,
@@ -31,10 +38,17 @@ from repro.perf.sweep import (
 
 __all__ = [
     "BACKENDS",
+    "ON_ITEM_FAILURE_MODES",
     "FactorCache",
     "PerfCounters",
+    "SweepItemTimeout",
+    "SweepWorkerCrash",
+    "backoff_seconds",
     "make_factor_solver",
     "resolve_backend",
+    "resolve_checkpoint",
+    "resolve_retries",
+    "resolve_timeout",
     "resolve_workers",
     "sweep_map",
     "worker_factor_cache",

@@ -1,4 +1,4 @@
-"""Deterministic parallel executor for embarrassingly parallel sweeps.
+"""Deterministic, fault-tolerant parallel executor for sweeps.
 
 AC/HB frequency points, phase-noise Monte-Carlo paths, ROM transfer
 sweeps and EM panel-matrix row blocks are all independent work items.
@@ -29,13 +29,61 @@ Three invariants the adopters rely on:
   process runs produce bit-identical outputs (pinned by
   ``tests/test_sweep_backends.py``);
 * **purity** — tasks must be deterministic functions of their item (no
-  hidden mutable state): the process backend may re-run items serially
-  after a worker-pool failure, and chunked dispatch gives no ordering
+  hidden mutable state): the executor may re-run items after worker
+  crashes, timeouts or transient faults, and dispatch gives no ordering
   guarantee during execution.
 
 Configuration: ``workers=`` / ``backend=`` arguments win; otherwise the
 ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_BACKEND`` environment variables
 apply; the defaults are one worker (serial) and the thread backend.
+
+Fault tolerance
+---------------
+
+Long sweeps (Monte-Carlo ensembles, EM extraction batches, corner
+exploration) must survive individual solves hanging, crashing a worker,
+or failing transiently.  :func:`sweep_map` grows four orthogonal knobs
+(arguments win; ``REPRO_SWEEP_TIMEOUT`` / ``REPRO_SWEEP_RETRIES`` /
+``REPRO_SWEEP_CHECKPOINT`` environment variables apply otherwise):
+
+``timeout=``
+    Per-item deadline in seconds.  Enforcement strength is per backend:
+    the process backend interrupts the item *inside* the worker with
+    ``SIGALRM`` (tasks run on the worker's main thread) and backstops a
+    stuck worker by replacing the whole pool; the serial backend uses
+    ``SIGALRM`` when running on the main thread and post-hoc detection
+    otherwise; the thread backend can only *abandon* the worker thread
+    (soft timeout — the thread leaks until its item returns).
+``retries=`` / ``retry_backoff=`` / ``retry_on=``
+    Bounded re-execution of failed items with deterministic jittered
+    exponential backoff (:func:`backoff_seconds` — no RNG state, so two
+    runs of the same sweep back off identically).  ``retry_on`` narrows
+    which exception types are transient (default: any ``Exception``).
+``on_item_failure=``
+    ``"raise"`` (default) fails the sweep on the first exhausted item;
+    ``"retry"`` is ``"raise"`` with a default retry budget of one;
+    ``"skip"`` quarantines exhausted items — their result slot is
+    ``None`` and the sweep returns partial results plus a per-item
+    ledger (``stats["items"]``, a list of
+    :class:`~repro.robust.report.SweepItemRecord` dicts with wall time,
+    attempts, backoff and failure cause per item).
+``checkpoint=`` / ``checkpoint_tag=``
+    Path of an append-only JSONL checkpoint.  Completed items are
+    persisted keyed by a content address (fingerprint of ``fn`` +
+    pickle hash of the item), so an interrupted sweep — including one
+    torn down by ``KeyboardInterrupt`` or a broken pool — resumes
+    executing only the items not already on disk.  ``checkpoint_tag``
+    pins the fingerprint explicitly when ``fn`` is rebuilt between runs
+    (closures, functools.partial) and would not hash stably.
+
+Any of these knobs (or an installed
+:func:`repro.robust.faultinject.chaos_sweeps` harness) routes the sweep
+through the resilient engine, which dispatches process-backend work
+per-item and recovers crashed workers by replaying only the suspects —
+items whose in-flight breadcrumb file survived the crash — in isolated
+single-worker pools, resubmitting undispatched items to a fresh pool
+for free.  Without them, the historical chunked fast paths run
+unchanged.
 
 Worker processes are seeded at pool start: the parent's tracing state is
 propagated (child spans are aggregated in-memory and folded back into
@@ -48,22 +96,48 @@ factorizations across the items executed by the same worker.
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
 import math
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional
 
 from .. import trace as _trace
+from ..robust.report import SweepItemRecord
 from ..trace import get_tracer
 
 __all__ = [
     "WORKERS_ENV",
     "BACKEND_ENV",
+    "TIMEOUT_ENV",
+    "RETRIES_ENV",
+    "CHECKPOINT_ENV",
     "BACKENDS",
+    "ON_ITEM_FAILURE_MODES",
+    "SweepItemTimeout",
+    "SweepWorkerCrash",
+    "backoff_seconds",
     "resolve_workers",
     "resolve_backend",
+    "resolve_timeout",
+    "resolve_retries",
+    "resolve_checkpoint",
     "sweep_map",
     "worker_factor_cache",
 ]
@@ -72,8 +146,19 @@ __all__ = [
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 #: Environment variable consulted when ``backend`` is None.
 BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+#: Environment variable consulted when ``timeout`` is None.
+TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
+#: Environment variable consulted when ``retries`` is None.
+RETRIES_ENV = "REPRO_SWEEP_RETRIES"
+#: Environment variable consulted when ``checkpoint`` is None.
+CHECKPOINT_ENV = "REPRO_SWEEP_CHECKPOINT"
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
+#: Recognised ``on_item_failure`` policies.
+ON_ITEM_FAILURE_MODES = ("raise", "retry", "skip")
+
+#: Default base of the jittered exponential retry backoff, in seconds.
+_DEFAULT_BACKOFF = 0.05
 
 #: Default FactorCache size seeded into each worker process.
 _WORKER_CACHE_ENTRIES = 8
@@ -81,6 +166,51 @@ _WORKER_CACHE_ENTRIES = 8
 #: Per-process factor cache (created lazily, or by the pool initializer
 #: in process-backend workers).  One per OS process by construction.
 _WORKER_CACHE = None
+
+
+class SweepItemTimeout(TimeoutError):
+    """A sweep item exceeded its per-item deadline.
+
+    ``enforced`` records the mechanism that caught it — ``"signal"``
+    (``SIGALRM`` interrupted the item mid-flight), ``"posthoc"`` (the
+    item finished but over budget; its result is discarded for
+    determinism), ``"abandoned"`` (thread backend: the worker thread
+    was abandoned and leaks until its item returns) or ``"kill"``
+    (process backend: the worker ignored its in-worker alarm and the
+    whole pool was replaced).
+
+    All constructor arguments ride through ``args`` so instances
+    pickle across process boundaries intact.
+    """
+
+    def __init__(self, index: int, deadline: float, enforced: str = "signal"):
+        super().__init__(index, deadline, enforced)
+        self.index = index
+        self.deadline = deadline
+        self.enforced = enforced
+
+    def __str__(self):
+        return (
+            f"sweep item {self.index} exceeded its {self.deadline:.6g} s "
+            f"deadline (enforced: {self.enforced})"
+        )
+
+
+class SweepWorkerCrash(RuntimeError):
+    """A worker process died while (probably) executing a sweep item.
+
+    Raised against the item whose in-flight breadcrumb survived the
+    crash once its isolated replay budget is exhausted — i.e. the item
+    keeps killing workers and is presumed poisonous.
+    """
+
+    def __init__(self, index: int, detail: str = "worker process died"):
+        super().__init__(index, detail)
+        self.index = index
+        self.detail = detail
+
+    def __str__(self):
+        return f"sweep item {self.index}: {self.detail}"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -129,6 +259,96 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     return backend
 
 
+def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Effective per-item deadline: explicit arg, else env var, else None."""
+    if timeout is None:
+        raw = os.environ.get(TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TIMEOUT_ENV}={raw!r} is not a number of seconds"
+            ) from None
+    timeout = float(timeout)
+    if not math.isfinite(timeout) or timeout <= 0:
+        raise ValueError(f"timeout must be a finite number > 0, got {timeout!r}")
+    return timeout
+
+
+def resolve_retries(
+    retries: Optional[int] = None, on_item_failure: str = "raise"
+) -> int:
+    """Effective retry budget: explicit arg, else env var, else a
+    policy-dependent default (1 under ``"retry"``, 0 otherwise)."""
+    if retries is None:
+        raw = os.environ.get(RETRIES_ENV, "").strip()
+        if not raw:
+            return 1 if on_item_failure == "retry" else 0
+        try:
+            retries = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{RETRIES_ENV}={raw!r} is not an integer retry count"
+            ) from None
+    if isinstance(retries, bool) or not hasattr(type(retries), "__index__"):
+        raise ValueError(f"retries must be an integer >= 0, got {retries!r}")
+    retries = int(retries)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_checkpoint(checkpoint=None) -> Optional[str]:
+    """Effective checkpoint path: explicit arg, else env var, else None."""
+    if checkpoint is None:
+        raw = os.environ.get(CHECKPOINT_ENV, "").strip()
+        return raw or None
+    return os.fspath(checkpoint)
+
+
+def _resolve_on_item_failure(mode: Optional[str]) -> str:
+    if mode is None:
+        return "raise"
+    mode = str(mode).lower()
+    if mode not in ON_ITEM_FAILURE_MODES:
+        raise ValueError(
+            f"unknown on_item_failure mode {mode!r}; "
+            f"expected one of {ON_ITEM_FAILURE_MODES}"
+        )
+    return mode
+
+
+def _resolve_retry_on(retry_on) -> tuple:
+    if retry_on is None:
+        return (Exception,)
+    if isinstance(retry_on, type):
+        retry_on = (retry_on,)
+    retry_on = tuple(retry_on)
+    for t in retry_on:
+        if not (isinstance(t, type) and issubclass(t, Exception)):
+            raise ValueError(
+                f"retry_on entries must be Exception subclasses, got {t!r}"
+            )
+    return retry_on
+
+
+def backoff_seconds(index: int, attempt: int, base: float = _DEFAULT_BACKOFF) -> float:
+    """Deterministic jittered exponential backoff before retrying an item.
+
+    ``base * 2**(attempt-1)`` scaled by a jitter factor in ``[0.5, 1.5)``
+    derived from ``sha256(f"{index}:{attempt}")`` — no RNG state, so a
+    re-run of the same sweep sleeps identically, and simultaneous
+    retries of different items decorrelate.
+    """
+    if attempt <= 0 or base <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{index}:{attempt}".encode("ascii")).digest()
+    frac = int.from_bytes(digest[:4], "big") / 2.0**32
+    return base * (2.0 ** (attempt - 1)) * (0.5 + frac)
+
+
 def worker_factor_cache():
     """The per-process :class:`FactorCache` for sweep tasks.
 
@@ -158,6 +378,260 @@ def _process_worker_init(trace_enabled: bool, cache_entries: int) -> None:
         # in-memory child tracer: spans are aggregated and shipped back
         # to the parent with each chunk result (no JSONL file of its own)
         _trace.enable(None)
+
+
+def _active_chaos():
+    """The installed chaos harness, if any (lazy import: no cycle)."""
+    try:
+        from ..robust.faultinject import active_sweep_chaos
+    except Exception:  # pragma: no cover - degenerate import environment
+        return None
+    return active_sweep_chaos()
+
+
+def _can_alarm() -> bool:
+    """True when a SIGALRM deadline can be armed right here (POSIX +
+    main thread — signal handlers only fire on the main thread)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _guarded_call(fn: Callable, item, index: int, timeout: Optional[float], chaos):
+    """Run chaos injection + ``fn(item)``, under a SIGALRM deadline when
+    the platform and thread allow hard enforcement.
+
+    The chaos ``before_item`` hook runs *inside* the alarm window so an
+    injected hang is interrupted exactly like a genuinely stuck solve.
+    """
+
+    def _body():
+        if chaos is not None:
+            chaos.before_item(index)
+        return fn(item)
+
+    if timeout is None or not _can_alarm():
+        return _body()
+
+    def _on_alarm(signum, frame):
+        raise SweepItemTimeout(index, timeout, "signal")
+
+    prev = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _body()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev)
+
+
+# -- crash breadcrumbs --------------------------------------------------
+#
+# Process-backend workers touch ``inflight_<index>`` in a parent-owned
+# scratch directory as an item starts and remove it in a ``finally``.
+# A hard crash (os._exit, OOM kill, segfault) skips the ``finally``, so
+# after a BrokenProcessPool the surviving files name exactly the items
+# that were executing when the pool died — the crash *suspects*.  Items
+# with no breadcrumb never started and are resubmitted for free.
+
+
+def _inflight_path(scratch: str, index: int) -> str:
+    return os.path.join(scratch, f"inflight_{int(index)}")
+
+
+def _mark_inflight(scratch: str, index: int) -> None:
+    try:
+        with open(_inflight_path(scratch, index), "wb"):
+            pass
+    except OSError:  # pragma: no cover - scratch dir raced away
+        pass
+
+
+def _clear_inflight(scratch: str, index: int) -> None:
+    try:
+        os.remove(_inflight_path(scratch, index))
+    except OSError:
+        pass
+
+
+class _ItemCall:
+    """Picklable unit of resilient process-backend work: one item, one
+    attempt, with its deadline armed inside the worker.
+
+    Failures are returned in-band — ``(result, failure, wall, summary,
+    cache_delta)`` — so the parent gets the attempt's wall time and
+    trace aggregate even when the item failed.  Only a hard worker
+    death surfaces as a broken future.
+    """
+
+    __slots__ = ("fn", "item", "index", "attempt", "timeout", "chaos", "scratch")
+
+    def __init__(self, fn, item, index, attempt, timeout, chaos, scratch):
+        self.fn = fn
+        self.item = item
+        self.index = index
+        self.attempt = attempt
+        self.timeout = timeout
+        self.chaos = chaos
+        self.scratch = scratch
+
+    def __call__(self):
+        tr = get_tracer()
+        mark = tr.mark() if tr.enabled else None
+        cache = worker_factor_cache()
+        h0, m0 = cache.hits, cache.misses
+        _mark_inflight(self.scratch, self.index)
+        result = None
+        failure = None
+        t0 = time.perf_counter()
+        try:
+            if tr.enabled:
+                with tr.span("sweep.task", index=self.index, attempt=self.attempt):
+                    result = _guarded_call(
+                        self.fn, self.item, self.index, self.timeout, self.chaos
+                    )
+            else:
+                result = _guarded_call(
+                    self.fn, self.item, self.index, self.timeout, self.chaos
+                )
+        except Exception as exc:
+            failure = exc
+        finally:
+            _clear_inflight(self.scratch, self.index)
+        wall = time.perf_counter() - t0
+        summary = None
+        if tr.enabled:
+            summary = tr.summary_since(mark)
+            summary.pop("file", None)
+        if failure is not None:
+            try:
+                pickle.loads(pickle.dumps(failure))
+            except Exception:
+                failure = RuntimeError(f"{type(failure).__name__}: {failure}")
+        return result, failure, wall, summary, (cache.hits - h0, cache.misses - m0)
+
+
+# -- checkpoint store ---------------------------------------------------
+
+
+def _fn_fingerprint(fn: Callable, tag=None) -> str:
+    """Content fingerprint of the task callable for checkpoint keys.
+
+    ``tag`` (from ``checkpoint_tag=``) pins it explicitly; otherwise the
+    pickle of ``fn`` is hashed, falling back to module/qualname/bytecode
+    for unpicklable callables.
+    """
+    if tag is not None:
+        return str(tag)
+    try:
+        blob = pickle.dumps(fn)
+    except Exception:
+        code = getattr(fn, "__code__", None)
+        parts = [
+            getattr(fn, "__module__", "") or "",
+            getattr(fn, "__qualname__", "") or repr(fn),
+        ]
+        if code is not None:
+            parts.append(repr(code.co_code))
+        blob = "|".join(parts).encode("utf-8", "replace")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _item_key(fingerprint: str, item) -> str:
+    try:
+        blob = pickle.dumps(item)
+    except Exception:
+        blob = repr(item).encode("utf-8", "replace")
+    return fingerprint + ":" + hashlib.sha256(blob).hexdigest()[:32]
+
+
+class _CheckpointStore:
+    """Append-only JSONL store of completed sweep items.
+
+    One line per completed item: ``{"fp", "key", "index", "result"}``
+    with the result pickled and base64'd.  Lines whose fingerprint does
+    not match the current sweep's are ignored (several sweeps may share
+    a file), as are truncated/corrupt lines from an interrupted write —
+    resume is best-effort by construction, never worse than recomputing.
+    """
+
+    def __init__(self, path, fingerprint: str):
+        self.path = os.fspath(path)
+        self.fingerprint = fingerprint
+        self.saved = 0
+        self._results = {}
+        try:
+            fh = open(self.path, "r", encoding="utf-8")
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if rec.get("fp") != fingerprint:
+                    continue
+                try:
+                    result = pickle.loads(base64.b64decode(rec["result"]))
+                except Exception:
+                    continue
+                self._results[rec["key"]] = result
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def load(self, key: str):
+        return self._results[key]
+
+    def put(self, key: str, index: int, result) -> None:
+        try:
+            blob = base64.b64encode(pickle.dumps(result)).decode("ascii")
+        except Exception:
+            return  # unpicklable results simply are not checkpointable
+        line = json.dumps(
+            {"fp": self.fingerprint, "key": key, "index": index, "result": blob}
+        )
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:  # pragma: no cover - read-only checkpoint dir
+            return
+        self._results[key] = result
+        self.saved += 1
+
+
+def _abort_pool(pool) -> None:
+    """Shut a process pool down *hard*: cancel queued work, terminate
+    worker processes, and reap them — no orphans left behind when the
+    sweep is interrupted or fails."""
+    if pool is None:
+        return
+    # snapshot the worker handles first: shutdown() drops the executor's
+    # _processes reference even with wait=False
+    procs = getattr(pool, "_processes", None)
+    workers = list(procs.values()) if procs else []
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - already broken
+        pass
+    for p in workers:
+        try:
+            p.terminate()
+        except Exception:  # pragma: no cover
+            pass
+    for p in workers:
+        try:
+            p.join(timeout=2.0)
+        except Exception:  # pragma: no cover
+            pass
+
+
+# -- legacy fast paths (no fault-tolerance knobs engaged) ---------------
 
 
 class _ChunkTask:
@@ -210,110 +684,6 @@ def _serial_run(task: Callable, items: List, counter: List[int]) -> List:
     return results
 
 
-def sweep_map(
-    fn: Callable,
-    items: Iterable,
-    workers: Optional[int] = None,
-    stats: Optional[dict] = None,
-    backend: Optional[str] = None,
-    chunksize: Optional[int] = None,
-) -> List:
-    """Map ``fn`` over ``items`` preserving order; parallel when asked.
-
-    Parameters
-    ----------
-    fn / items:
-        The per-point work and the sweep points.  ``fn`` must be a pure,
-        deterministic function of its item and must not depend on
-        execution order — only result *ordering* is deterministic.  For
-        the process backend ``fn``, the items and the results must all
-        be picklable; an unpicklable ``fn`` silently degrades to the
-        thread backend (recorded in ``stats``).
-    workers:
-        Worker count; ``None`` consults :data:`WORKERS_ENV`.  Values
-        that are not integers >= 1 raise :class:`ValueError`.  A single
-        item (or ``workers=1``) runs the serial path whatever the
-        backend.
-    backend:
-        ``"serial"`` | ``"thread"`` | ``"process"``; ``None`` consults
-        :data:`BACKEND_ENV`, defaulting to ``"thread"``.
-    chunksize:
-        Process-backend items per dispatched chunk.  Defaults to
-        ``ceil(len(items) / (4 * workers))`` — large enough to amortise
-        pickling, small enough to load-balance.  Chunking never affects
-        results or their order.
-    stats:
-        Optional dict filled with ``{"workers", "tasks", "attempted",
-        "backend"}`` describing what actually ran — the benchmarks
-        record it.  The process backend adds ``"chunksize"`` and
-        ``"worker_cache"`` (per-worker factor-cache hit/miss totals).
-        ``backend`` reports the backend that *executed* (after any
-        fallback), and ``backend_requested`` appears when a fallback
-        demoted the requested backend (running serial because there is
-        nothing to parallelise — one worker or one item — is the
-        requested backend's degenerate case, not a fallback).
-        The dict is populated even when ``fn`` raises (``attempted``
-        counts the items whose execution started before the failure).
-
-    Exceptions raised by ``fn`` propagate to the caller in every
-    backend (the first failing item in item order wins under threads
-    and processes, as with ``map``).
-    """
-    items = list(items)
-    w = resolve_workers(workers)
-    requested = resolve_backend(backend)
-    effective = min(w, len(items)) if items else 1
-    degenerate = effective <= 1  # nothing to parallelise: not a fallback
-    ran_backend = requested if effective > 1 else "serial"
-    tr = get_tracer()
-    task = fn
-    if tr.enabled:
-        def task(it, _fn=fn, _tr=tr):
-            with _tr.span("sweep.task"):
-                return _fn(it)
-    attempted = [0]
-    extra_stats = {}
-    # mutable execution record: fallbacks update it *before* running
-    # tasks, so a task exception still leaves stats reporting the
-    # backend that actually executed
-    ran = {"backend": ran_backend, "workers": effective}
-    results: List
-    try:
-        if tr.enabled:
-            sweep_span = tr.span("sweep.map", tasks=len(items), backend=requested)
-            sweep_span.__enter__()
-        else:
-            sweep_span = None
-        try:
-            if effective <= 1 or requested == "serial":
-                ran["backend"], ran["workers"] = "serial", 1
-                results = _serial_run(task, items, attempted)
-            elif requested == "process":
-                results = _process_map(
-                    fn, task, items, effective, chunksize, attempted,
-                    extra_stats, tr, ran,
-                )
-            else:
-                results = _thread_map(task, items, effective, attempted, ran)
-        finally:
-            if sweep_span is not None:
-                sweep_span.annotate(
-                    workers=ran["workers"], attempted=attempted[0],
-                    ran=ran["backend"],
-                )
-                sweep_span.__exit__(None, None, None)
-    finally:
-        if stats is not None:
-            stats["workers"] = ran["workers"]
-            stats["tasks"] = len(items)
-            stats["attempted"] = attempted[0]
-            stats["backend"] = ran["backend"]
-            if ran["backend"] != requested and not degenerate:
-                stats["backend_requested"] = requested
-            stats.update(extra_stats)
-    return results
-
-
 def _thread_map(
     task: Callable, items: List, effective: int, attempted: List[int], ran: dict
 ):
@@ -334,9 +704,14 @@ def _thread_map(
     ran["backend"], ran["workers"] = "thread", effective
     attempted[0] = len(items)
     try:
-        return [f.result() for f in futures]
-    finally:
-        pool.shutdown(wait=True)
+        results = [f.result() for f in futures]
+    except BaseException:
+        # failing item or KeyboardInterrupt: drop queued work instead of
+        # waiting the whole sweep out (abandoned threads drain on exit)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 def _process_map(
@@ -353,9 +728,11 @@ def _process_map(
     """Process-pool dispatch: chunked, seeded, with graceful fallback.
 
     Falls back to the thread backend when the task cannot be pickled or
-    the pool cannot be created, and to a serial re-run when the pool
-    breaks mid-flight (tasks are required to be pure, so re-running is
-    safe).  ``ran`` records the backend that actually executed.
+    the pool cannot be created.  When the pool breaks mid-flight the
+    chunks that completed are harvested off their futures and only the
+    missing chunks re-run serially (tasks are pure by contract, so
+    re-running is safe).  ``ran`` records the backend that actually
+    executed.
     """
     if not _is_picklable(fn):
         if tr.enabled:
@@ -388,28 +765,794 @@ def _process_map(
     attempted[0] = len(items)
     extra_stats["chunksize"] = chunksize
     hits = misses = 0
-    results = []
+    results: List = []
     try:
-        for f in futures:
+        for k, f in enumerate(futures):
             try:
                 chunk_results, summary, cache_counts = f.result()
             except BrokenProcessPool:
-                # a worker died (OOM-killed, sandbox signal).  Tasks are
-                # pure by contract, so the deterministic recovery is a
-                # serial re-run of the whole sweep.
-                pool.shutdown(wait=True, cancel_futures=True)
+                # a worker died (OOM-killed, sandbox signal).  Harvest
+                # every chunk that still completed and re-run only the
+                # missing ones serially.
+                _abort_pool(pool)
                 if tr.enabled:
                     tr.event("sweep.process_fallback", reason="broken_pool")
-                attempted[0] = 0
                 ran["backend"], ran["workers"] = "serial", 1
-                return _serial_run(task, items, attempted)
+                attempted[0] = len(results)
+                for k2 in range(k, len(futures)):
+                    f2, chunk = futures[k2], chunks[k2]
+                    got = None
+                    if f2.done() and not f2.cancelled() and f2.exception() is None:
+                        got = f2.result()
+                    if got is not None:
+                        chunk_results, summary2, cc2 = got
+                        results.extend(chunk_results)
+                        attempted[0] += len(chunk)
+                        hits += cc2[0]
+                        misses += cc2[1]
+                        if summary2 and tr.enabled:
+                            tr.absorb(summary2)
+                    else:
+                        results.extend(_serial_run(task, chunk, attempted))
+                break
             results.extend(chunk_results)
             hits += cache_counts[0]
             misses += cache_counts[1]
             if summary and tr.enabled:
                 tr.absorb(summary)
-    finally:
+    except BaseException:
+        # failing chunk or KeyboardInterrupt: cancel queued chunks and
+        # terminate workers promptly instead of waiting the sweep out
+        _abort_pool(pool)
+        raise
+    else:
         pool.shutdown(wait=True)
     if hits or misses:
         extra_stats["worker_cache"] = {"factor_hits": hits, "factor_misses": misses}
+    return results
+
+
+# -- resilient engine ---------------------------------------------------
+
+
+class _ResilientSweep:
+    """Per-item execution engine behind the fault-tolerance knobs.
+
+    Responsibilities: checkpoint restore/persist, per-item deadline
+    enforcement, bounded deterministic retry, quarantine, crashed-worker
+    replacement with breadcrumb-guided replay, and the per-item ledger
+    (:class:`~repro.robust.report.SweepItemRecord` per item).
+    Results land positionally in ``self.results`` so ordering is
+    deterministic whatever the completion order.
+    """
+
+    def __init__(
+        self,
+        fn,
+        items,
+        effective,
+        backend,
+        mode,
+        timeout,
+        retries,
+        backoff_base,
+        retry_on,
+        checkpoint,
+        checkpoint_tag,
+        chaos,
+        tr,
+        ran,
+        attempted,
+        extra,
+    ):
+        self.fn = fn
+        self.items = items
+        self.effective = effective
+        self.backend = backend
+        self.mode = mode
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.retry_on = retry_on
+        self.chaos = chaos
+        self.tr = tr
+        self.ran = ran
+        self.attempted = attempted
+        self.extra = extra
+        n = len(items)
+        self.results: List = [None] * n
+        self.records = [SweepItemRecord(index=i) for i in range(n)]
+        self.store = None
+        self.keys: List[Optional[str]] = [None] * n
+        if checkpoint is not None:
+            fp = _fn_fingerprint(fn, checkpoint_tag)
+            self.store = _CheckpointStore(checkpoint, fp)
+            self.keys = [_item_key(fp, it) for it in items]
+        self.retried = 0
+        self.quarantined = 0
+        self.cached = 0
+        self.timeouts = 0
+        self.pool_replacements = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._pool = None
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self) -> List:
+        pending = list(range(len(self.items)))
+        if self.store is not None:
+            pending = self._restore(pending)
+        if not pending:
+            return self.results
+        if self.effective <= 1 or self.backend == "serial":
+            self.ran["backend"], self.ran["workers"] = "serial", 1
+            for i in pending:
+                self._serial_item(i)
+        elif self.backend == "process":
+            self._run_process(pending)
+        else:
+            self._run_threads(pending)
+        return self.results
+
+    def finalize_stats(self, stats: dict) -> None:
+        """Fault-mode stats keys, layered over the legacy base keys."""
+        stats["items"] = [r.as_dict() for r in self.records]
+        stats["retried"] = self.retried
+        stats["quarantined"] = self.quarantined
+        stats["cached"] = self.cached
+        stats["timeouts"] = self.timeouts
+        stats["pool_replacements"] = self.pool_replacements
+        stats["fault_policy"] = {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "on_item_failure": self.mode,
+            "backoff_base": self.backoff_base,
+        }
+        if self.store is not None:
+            stats["checkpoint"] = {
+                "path": self.store.path,
+                "restored": self.cached,
+                "saved": self.store.saved,
+            }
+        if self.cache_hits or self.cache_misses:
+            stats["worker_cache"] = {
+                "factor_hits": self.cache_hits,
+                "factor_misses": self.cache_misses,
+            }
+
+    # -- shared bookkeeping --------------------------------------------
+
+    def _restore(self, pending: List[int]) -> List[int]:
+        rest = []
+        for i in pending:
+            key = self.keys[i]
+            if key is not None and key in self.store:
+                self.results[i] = self.store.load(key)
+                self.records[i].status = "cached"
+                self.cached += 1
+                if self.tr.enabled:
+                    self.tr.event("sweep.checkpoint_restore", index=i)
+            else:
+                rest.append(i)
+        return rest
+
+    def _complete(self, i: int, result, wall: float) -> None:
+        rec = self.records[i]
+        rec.wall_time += wall
+        rec.status = "ok"
+        self.results[i] = result
+        if self.store is not None and self.keys[i] is not None:
+            self.store.put(self.keys[i], i, result)
+
+    def _handle_failure(
+        self, i: int, exc, wall: float = 0.0, retry_at=None, allow_retry=True
+    ) -> bool:
+        """Dispose of a failed attempt per policy.  Returns True when a
+        retry was scheduled (``retry_at`` list) or should run now
+        (``retry_at is None`` — backoff already slept)."""
+        rec = self.records[i]
+        rec.wall_time += wall
+        rec.failure_cause = f"{type(exc).__name__}: {exc}"
+        tr = self.tr
+        if isinstance(exc, SweepItemTimeout):
+            self.timeouts += 1
+            if tr.enabled:
+                tr.event(
+                    "sweep.timeout",
+                    index=i,
+                    deadline=self.timeout,
+                    enforced=exc.enforced,
+                )
+        if allow_retry and isinstance(exc, self.retry_on) and rec.attempts <= self.retries:
+            delay = backoff_seconds(i, rec.attempts, self.backoff_base)
+            rec.backoff_time += delay
+            self.retried += 1
+            if tr.enabled:
+                tr.event(
+                    "sweep.retry", index=i, attempt=rec.attempts, delay=round(delay, 6)
+                )
+            if retry_at is None:
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                retry_at.append([time.monotonic() + delay, i])
+            return True
+        if self.mode == "skip":
+            rec.status = "skipped"
+            self.quarantined += 1
+            self.results[i] = None
+            if tr.enabled:
+                tr.event("sweep.quarantine", index=i, cause=rec.failure_cause)
+            return False
+        rec.status = "failed"
+        raise exc
+
+    def _handle_out(self, i: int, out, retry_at=None) -> bool:
+        """Unpack an ``_ItemCall`` return.  True when the item is done
+        (completed or quarantined), False when a retry is scheduled."""
+        result, failure, wall, summary, cache_delta = out
+        if summary and self.tr.enabled:
+            self.tr.absorb(summary)
+        self.cache_hits += cache_delta[0]
+        self.cache_misses += cache_delta[1]
+        if failure is None:
+            self._complete(i, result, wall)
+            return True
+        return not self._handle_failure(i, failure, wall=wall, retry_at=retry_at)
+
+    # -- serial --------------------------------------------------------
+
+    def _serial_item(self, i: int) -> None:
+        tr = self.tr
+        while True:
+            rec = self.records[i]
+            rec.attempts += 1
+            self.attempted[0] += 1
+            t0 = time.perf_counter()
+            try:
+                if tr.enabled:
+                    with tr.span("sweep.task", index=i, attempt=rec.attempts):
+                        result = _guarded_call(
+                            self.fn, self.items[i], i, self.timeout, self.chaos
+                        )
+                else:
+                    result = _guarded_call(
+                        self.fn, self.items[i], i, self.timeout, self.chaos
+                    )
+                wall = time.perf_counter() - t0
+                if (
+                    self.timeout is not None
+                    and wall > self.timeout
+                    and not _can_alarm()
+                ):
+                    # alarm unavailable (non-main thread): post-hoc
+                    # enforcement — over-budget results are discarded so
+                    # the deadline contract holds on every platform
+                    raise SweepItemTimeout(i, self.timeout, "posthoc")
+                self._complete(i, result, wall)
+                return
+            except Exception as exc:
+                wall = time.perf_counter() - t0
+                if not self._handle_failure(i, exc, wall=wall, retry_at=None):
+                    return
+
+    # -- threads -------------------------------------------------------
+
+    def _thread_attempt(self, i: int, attempt: int, started: dict):
+        tr = self.tr
+        started[i] = time.perf_counter()
+        if tr.enabled:
+            with tr.span("sweep.task", index=i, attempt=attempt):
+                result = _guarded_call(
+                    self.fn, self.items[i], i, self.timeout, self.chaos
+                )
+        else:
+            result = _guarded_call(self.fn, self.items[i], i, self.timeout, self.chaos)
+        return result, time.perf_counter() - started[i]
+
+    def _thread_wait(self, fut, i: int, started: dict, abandoned: List[int]):
+        if self.timeout is None:
+            return fut.result()
+        grace = max(0.25, 0.1 * self.timeout)
+        qt0 = time.perf_counter()
+        while True:
+            try:
+                return fut.result(timeout=0.05)
+            except SweepItemTimeout:
+                raise
+            except _FuturesTimeout:
+                t0 = started.get(i)
+                now = time.perf_counter()
+                if t0 is not None:
+                    if now - t0 > self.timeout + grace:
+                        fut.cancel()
+                        abandoned[0] += 1
+                        raise SweepItemTimeout(i, self.timeout, "abandoned") from None
+                elif now - qt0 > (self.timeout + grace) * (abandoned[0] + 2):
+                    # never started: every worker thread is abandoned
+                    # and the queue is starved — fail the wait rather
+                    # than hang the sweep
+                    fut.cancel()
+                    abandoned[0] += 1
+                    raise SweepItemTimeout(i, self.timeout, "abandoned") from None
+
+    def _run_threads(self, pending: List[int]) -> None:
+        try:
+            pool = ThreadPoolExecutor(max_workers=self.effective)
+        except (OSError, RuntimeError):
+            self.ran["backend"], self.ran["workers"] = "serial", 1
+            for i in pending:
+                self._serial_item(i)
+            return
+        self.ran["backend"], self.ran["workers"] = "thread", self.effective
+        started: dict = {}
+        abandoned = [0]
+        clean = False
+        try:
+            round_items = list(pending)
+            while round_items:
+                futures = {}
+                for i in round_items:
+                    rec = self.records[i]
+                    rec.attempts += 1
+                    self.attempted[0] += 1
+                    started.pop(i, None)
+                    futures[i] = pool.submit(self._thread_attempt, i, rec.attempts, started)
+                next_round = []
+                for i in round_items:
+                    try:
+                        result, wall = self._thread_wait(
+                            futures[i], i, started, abandoned
+                        )
+                        self._complete(i, result, wall)
+                    except Exception as exc:
+                        t0 = started.get(i)
+                        wall = (time.perf_counter() - t0) if t0 is not None else 0.0
+                        if self._handle_failure(i, exc, wall=wall, retry_at=None):
+                            next_round.append(i)
+                round_items = next_round
+            clean = True
+        finally:
+            # an abandoned (hung) thread would make wait=True block for
+            # its full run time; leaked threads drain at interpreter exit
+            pool.shutdown(wait=clean and not abandoned[0], cancel_futures=True)
+
+    # -- processes -----------------------------------------------------
+
+    def _make_pool(self, n: int):
+        try:
+            return ProcessPoolExecutor(
+                max_workers=n,
+                initializer=_process_worker_init,
+                initargs=(bool(self.tr.enabled), _WORKER_CACHE_ENTRIES),
+            )
+        except (OSError, RuntimeError, pickle.PicklingError):
+            return None
+
+    def _run_process(self, pending: List[int]) -> None:
+        tr = self.tr
+        if not _is_picklable(self.fn):
+            if tr.enabled:
+                tr.event("sweep.process_fallback", reason="unpicklable")
+            return self._run_threads(pending)
+        self._pool = self._make_pool(self.effective)
+        if self._pool is None:
+            if tr.enabled:
+                tr.event("sweep.process_fallback", reason="pool_unavailable")
+            return self._run_threads(pending)
+        self.ran["backend"], self.ran["workers"] = "process", self.effective
+        self.extra["chunksize"] = 1  # per-item dispatch: deadline/crash granularity
+        scratch = tempfile.mkdtemp(prefix="repro-sweep-")
+        clean = False
+        try:
+            self._process_loop(pending, scratch)
+            clean = True
+        finally:
+            if clean:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+            else:
+                _abort_pool(self._pool)
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _submit(self, i: int, scratch: str):
+        rec = self.records[i]
+        rec.attempts += 1
+        self.attempted[0] += 1
+        return self._pool.submit(
+            _ItemCall(
+                self.fn,
+                self.items[i],
+                i,
+                rec.attempts,
+                self.timeout,
+                self.chaos,
+                scratch,
+            )
+        )
+
+    def _process_loop(self, pending: List[int], scratch: str) -> None:
+        todo = deque(pending)
+        retry_at: List[List] = []  # [ready_monotonic, index]
+        inflight: dict = {}  # future -> index
+        submitted_at: dict = {}  # index -> monotonic
+        allowance = None if self.timeout is None else self.timeout * 2.0 + 1.0
+        while todo or retry_at or inflight:
+            if self._pool is None:
+                # pool permanently unavailable: finish what is left
+                # serially (inflight is empty by construction here)
+                if self.tr.enabled:
+                    self.tr.event("sweep.process_fallback", reason="pool_unavailable")
+                self.ran["backend"], self.ran["workers"] = "serial", 1
+                rest = sorted(set(list(todo) + [e[1] for e in retry_at]))
+                for i in rest:
+                    self._serial_item(i)
+                return
+            now = time.monotonic()
+            for entry in [e for e in retry_at if e[0] <= now]:
+                retry_at.remove(entry)
+                todo.append(entry[1])
+            while todo:
+                i = todo.popleft()
+                try:
+                    fut = self._submit(i, scratch)
+                except BrokenProcessPool:
+                    self.records[i].attempts -= 1
+                    self.attempted[0] -= 1
+                    todo.appendleft(i)
+                    self._recover(inflight, scratch, todo, retry_at)
+                    inflight = {}
+                    break
+                inflight[fut] = i
+                submitted_at[i] = time.monotonic()
+            if not inflight:
+                if retry_at:
+                    nxt = min(e[0] for e in retry_at)
+                    time.sleep(min(max(nxt - time.monotonic(), 0.01), 0.25))
+                continue
+            done, _ = _futures_wait(
+                list(inflight), timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            broke = False
+            for fut in done:
+                i = inflight.pop(fut)
+                try:
+                    out = fut.result()
+                except BrokenProcessPool:
+                    inflight[fut] = i  # recovery classifies it with the rest
+                    self._recover(inflight, scratch, todo, retry_at)
+                    inflight = {}
+                    broke = True
+                    break
+                except Exception as exc:
+                    # dispatch-side failure (e.g. the item would not
+                    # pickle): no worker wall time to account
+                    self._handle_failure(i, exc, retry_at=retry_at)
+                    continue
+                self._handle_out(i, out, retry_at)
+            if broke:
+                continue
+            if allowance is not None and inflight:
+                overdue = {
+                    i
+                    for fut, i in inflight.items()
+                    if time.monotonic() - submitted_at[i] > allowance
+                }
+                if overdue:
+                    self._hard_kill(overdue, inflight, scratch, todo, retry_at)
+                    inflight = {}
+
+    def _recover(self, inflight: dict, scratch: str, todo, retry_at) -> None:
+        """BrokenProcessPool recovery: harvest finished futures, replay
+        breadcrumbed crash suspects in isolation, resubmit never-started
+        items for free, and stand up a replacement pool."""
+        self.pool_replacements += 1
+        if self.tr.enabled:
+            self.tr.event("sweep.pool_replaced", reason="broken_pool")
+        _abort_pool(self._pool)
+        self._pool = None
+        suspects = []
+        for fut, i in list(inflight.items()):
+            if fut.done() and not fut.cancelled():
+                exc = fut.exception()
+                if exc is None:
+                    self._handle_out(i, fut.result(), retry_at)
+                    continue
+                if not isinstance(exc, BrokenProcessPool):
+                    self._handle_failure(i, exc, retry_at=retry_at)
+                    continue
+            if os.path.exists(_inflight_path(scratch, i)):
+                _clear_inflight(scratch, i)
+                suspects.append(i)
+            else:
+                # never started executing: refund the charged attempt
+                # and resubmit for free
+                self.records[i].attempts -= 1
+                self.attempted[0] -= 1
+                todo.append(i)
+        self._pool = self._make_pool(self.effective)
+        if self._pool is None:
+            # cannot rebuild: hand suspects to the serial drain too
+            for i in suspects:
+                todo.append(i)
+            return
+        for i in sorted(suspects):
+            self._replay_suspect(i, scratch, todo, retry_at)
+
+    def _replay_suspect(self, i: int, scratch: str, todo, retry_at) -> None:
+        """Replay a crash suspect in an isolated single-worker pool so a
+        genuinely poisonous item can only kill its own sandbox.  Budget:
+        ``max(1, retries)`` replays — even ``retries=0`` gets one, since
+        a crash consumed the original attempt without a verdict."""
+        budget = max(1, self.retries)
+        last_crash = None
+        while budget > 0:
+            budget -= 1
+            rec = self.records[i]
+            rec.attempts += 1
+            self.attempted[0] += 1
+            iso = self._make_pool(1)
+            if iso is None:
+                last_crash = SweepWorkerCrash(i, "isolation pool unavailable")
+                break
+            ok = False
+            t0 = time.perf_counter()
+            try:
+                fut = iso.submit(
+                    _ItemCall(
+                        self.fn,
+                        self.items[i],
+                        i,
+                        rec.attempts,
+                        self.timeout,
+                        self.chaos,
+                        scratch,
+                    )
+                )
+                allowance = None if self.timeout is None else self.timeout * 2.0 + 1.0
+                try:
+                    out = fut.result(timeout=allowance)
+                    ok = True
+                except BrokenProcessPool:
+                    _clear_inflight(scratch, i)
+                    last_crash = SweepWorkerCrash(
+                        i, "worker process died while executing this item"
+                    )
+                    continue
+                except _FuturesTimeout:
+                    _clear_inflight(scratch, i)
+                    self._handle_failure(
+                        i,
+                        SweepItemTimeout(i, self.timeout, "kill"),
+                        wall=time.perf_counter() - t0,
+                        retry_at=retry_at,
+                    )
+                    return
+            finally:
+                if ok:
+                    iso.shutdown(wait=True)
+                else:
+                    _abort_pool(iso)
+            self._handle_out(i, out, retry_at)
+            return
+        if last_crash is None:  # pragma: no cover - defensive
+            last_crash = SweepWorkerCrash(i)
+        self._handle_failure(i, last_crash, retry_at=retry_at, allow_retry=False)
+
+    def _hard_kill(self, overdue, inflight: dict, scratch: str, todo, retry_at) -> None:
+        """A worker blew through its in-worker alarm *and* the parent's
+        allowance (stuck in C code with signals blocked): replace the
+        pool, time out the overdue items, resubmit the rest for free."""
+        self.pool_replacements += 1
+        if self.tr.enabled:
+            self.tr.event("sweep.pool_replaced", reason="deadline")
+        _abort_pool(self._pool)
+        self._pool = None
+        for fut, i in list(inflight.items()):
+            if fut.done() and not fut.cancelled():
+                exc = fut.exception()
+                if exc is None:
+                    self._handle_out(i, fut.result(), retry_at)
+                    continue
+                if not isinstance(exc, BrokenProcessPool):
+                    self._handle_failure(i, exc, retry_at=retry_at)
+                    continue
+            _clear_inflight(scratch, i)
+            if i in overdue:
+                self._handle_failure(
+                    i,
+                    SweepItemTimeout(i, self.timeout, "kill"),
+                    wall=self.timeout * 2.0 + 1.0,
+                    retry_at=retry_at,
+                )
+            else:
+                self.records[i].attempts -= 1
+                self.attempted[0] -= 1
+                todo.append(i)
+        self._pool = self._make_pool(self.effective)
+
+
+def sweep_map(
+    fn: Callable,
+    items: Iterable,
+    workers: Optional[int] = None,
+    stats: Optional[dict] = None,
+    backend: Optional[str] = None,
+    chunksize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+    retry_on=None,
+    on_item_failure: Optional[str] = None,
+    checkpoint=None,
+    checkpoint_tag=None,
+) -> List:
+    """Map ``fn`` over ``items`` preserving order; parallel when asked.
+
+    Parameters
+    ----------
+    fn / items:
+        The per-point work and the sweep points.  ``fn`` must be a pure,
+        deterministic function of its item and must not depend on
+        execution order — only result *ordering* is deterministic.  For
+        the process backend ``fn``, the items and the results must all
+        be picklable; an unpicklable ``fn`` silently degrades to the
+        thread backend (recorded in ``stats``).
+    workers:
+        Worker count; ``None`` consults :data:`WORKERS_ENV`.  Values
+        that are not integers >= 1 raise :class:`ValueError`.  A single
+        item (or ``workers=1``) runs the serial path whatever the
+        backend.
+    backend:
+        ``"serial"`` | ``"thread"`` | ``"process"``; ``None`` consults
+        :data:`BACKEND_ENV`, defaulting to ``"thread"``.
+    chunksize:
+        Process-backend items per dispatched chunk.  Defaults to
+        ``ceil(len(items) / (4 * workers))`` — large enough to amortise
+        pickling, small enough to load-balance.  Chunking never affects
+        results or their order.  Ignored (forced to 1) when any
+        fault-tolerance knob is engaged: deadlines and crash recovery
+        need per-item dispatch.
+    timeout:
+        Per-item deadline in seconds; ``None`` consults
+        :data:`TIMEOUT_ENV`.  See the module docstring for per-backend
+        enforcement strength.  A timed-out attempt raises (or retries
+        as) :class:`SweepItemTimeout`.
+    retries / retry_backoff / retry_on:
+        Retry budget per item beyond the first attempt (``None``
+        consults :data:`RETRIES_ENV`; defaults to 1 when
+        ``on_item_failure="retry"``, else 0), the base seconds of the
+        deterministic jittered exponential backoff
+        (:func:`backoff_seconds`), and the exception types considered
+        transient (default: any ``Exception``).
+    on_item_failure:
+        ``"raise"`` (default) — first exhausted item fails the sweep;
+        ``"retry"`` — like raise but with a default retry budget of 1;
+        ``"skip"`` — exhausted items are quarantined: their result slot
+        is ``None``, the sweep completes, and ``stats["items"]`` tells
+        the story per item.
+    checkpoint / checkpoint_tag:
+        JSONL checkpoint path (``None`` consults :data:`CHECKPOINT_ENV`)
+        and an optional explicit fingerprint overriding the hash of
+        ``fn`` for resume matching.
+    stats:
+        Optional dict filled with ``{"workers", "tasks", "attempted",
+        "backend"}`` describing what actually ran — the benchmarks
+        record it.  The process backend adds ``"chunksize"`` and
+        ``"worker_cache"`` (per-worker factor-cache hit/miss totals).
+        ``backend`` reports the backend that *executed* (after any
+        fallback), and ``backend_requested`` appears when a fallback
+        demoted the requested backend (running serial because there is
+        nothing to parallelise — one worker or one item — is the
+        requested backend's degenerate case, not a fallback).
+        The dict is populated even when ``fn`` raises (``attempted``
+        counts the executions started — retries included — before the
+        failure).  When fault-tolerance is engaged the dict also gains
+        ``"items"`` (the per-item ledger), ``"retried"``,
+        ``"quarantined"``, ``"cached"``, ``"timeouts"``,
+        ``"pool_replacements"``, ``"fault_policy"`` and (with a
+        checkpoint) ``"checkpoint"``.
+
+    Exceptions raised by ``fn`` propagate to the caller in every
+    backend (the first failing item in item order wins under threads
+    and legacy-path processes; the resilient engine fails fast on the
+    first *exhausted* item in completion order).
+    """
+    items = list(items)
+    w = resolve_workers(workers)
+    requested = resolve_backend(backend)
+    mode = _resolve_on_item_failure(on_item_failure)
+    eff_timeout = resolve_timeout(timeout)
+    eff_retries = resolve_retries(retries, mode)
+    ckpt_path = resolve_checkpoint(checkpoint)
+    eff_retry_on = _resolve_retry_on(retry_on)
+    if retry_backoff is None:
+        backoff_base = _DEFAULT_BACKOFF
+    else:
+        backoff_base = float(retry_backoff)
+        if backoff_base < 0 or not math.isfinite(backoff_base):
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff!r}")
+    chaos = _active_chaos()
+    fault_mode = (
+        eff_timeout is not None
+        or ckpt_path is not None
+        or mode != "raise"
+        or eff_retries > 0
+        or chaos is not None
+    )
+
+    effective = min(w, len(items)) if items else 1
+    degenerate = effective <= 1  # nothing to parallelise: not a fallback
+    ran_backend = requested if effective > 1 else "serial"
+    tr = get_tracer()
+    task = fn
+    if tr.enabled:
+        def task(it, _fn=fn, _tr=tr):
+            with _tr.span("sweep.task"):
+                return _fn(it)
+    attempted = [0]
+    extra_stats = {}
+    # mutable execution record: fallbacks update it *before* running
+    # tasks, so a task exception still leaves stats reporting the
+    # backend that actually executed
+    ran = {"backend": ran_backend, "workers": effective if effective > 1 else 1}
+    engine = None
+    if fault_mode:
+        engine = _ResilientSweep(
+            fn,
+            items,
+            effective,
+            requested,
+            mode,
+            eff_timeout,
+            eff_retries,
+            backoff_base,
+            eff_retry_on,
+            ckpt_path,
+            checkpoint_tag,
+            chaos,
+            tr,
+            ran,
+            attempted,
+            extra_stats,
+        )
+    results: List
+    try:
+        if tr.enabled:
+            sweep_span = tr.span("sweep.map", tasks=len(items), backend=requested)
+            sweep_span.__enter__()
+        else:
+            sweep_span = None
+        try:
+            if engine is not None:
+                results = engine.run()
+            elif effective <= 1 or requested == "serial":
+                ran["backend"], ran["workers"] = "serial", 1
+                results = _serial_run(task, items, attempted)
+            elif requested == "process":
+                results = _process_map(
+                    fn, task, items, effective, chunksize, attempted,
+                    extra_stats, tr, ran,
+                )
+            else:
+                results = _thread_map(task, items, effective, attempted, ran)
+        finally:
+            if sweep_span is not None:
+                sweep_span.annotate(
+                    workers=ran["workers"], attempted=attempted[0],
+                    ran=ran["backend"],
+                )
+                sweep_span.__exit__(None, None, None)
+    finally:
+        if stats is not None:
+            stats["workers"] = ran["workers"]
+            stats["tasks"] = len(items)
+            stats["attempted"] = attempted[0]
+            stats["backend"] = ran["backend"]
+            if ran["backend"] != requested and not degenerate:
+                stats["backend_requested"] = requested
+            stats.update(extra_stats)
+            if engine is not None:
+                engine.finalize_stats(stats)
     return results

@@ -89,6 +89,7 @@ def simulate_sde_ensemble(
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sweep_options: Optional[dict] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Euler-Maruyama ensemble; records one state across all paths.
 
@@ -105,7 +106,10 @@ def simulate_sde_ensemble(
     through :func:`repro.perf.sweep_map` and the ensemble is
     **bit-identical for any** ``workers`` and ``backend`` (process
     workers need a picklable ``system``; unpicklable systems degrade to
-    threads transparently).
+    threads transparently).  ``sweep_options`` forwards extra
+    :func:`~repro.perf.sweep_map` keywords — the fault-tolerance knobs
+    (``timeout``, ``retries``, ``on_item_failure``, ``checkpoint``, ...)
+    and ``stats``.
     """
     x0 = np.asarray(x0, dtype=float)
     h = t_stop / steps
@@ -130,7 +134,9 @@ def simulate_sde_ensemble(
     ]
 
     run_block = _SDEBlock(system, x0, B, h, sqh, steps, seed, record_state, p)
-    blocks = sweep_map(run_block, spans, workers=workers, backend=backend)
+    blocks = sweep_map(
+        run_block, spans, workers=workers, backend=backend, **(sweep_options or {})
+    )
     if not blocks:
         return t, np.empty((steps + 1, 0))
     return t, np.concatenate(blocks, axis=1)

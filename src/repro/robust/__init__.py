@@ -17,12 +17,18 @@ from repro.robust.diagnostics import (
     enforce,
 )
 from repro.robust.faultinject import (
+    ChaosSpec,
     FaultClock,
     FaultyMNASystem,
+    SweepChaos,
+    TransientFault,
+    active_sweep_chaos,
+    chaos_sweeps,
     inject_error,
     inject_nan,
     inject_perturb,
     inject_singular,
+    install_sweep_chaos,
 )
 from repro.robust.krylov import DirectSolveResult, robust_direct_solve, robust_gmres
 from repro.robust.policy import (
@@ -32,13 +38,14 @@ from repro.robust.policy import (
     SolveFailure,
     run_ladder,
 )
-from repro.robust.report import AttemptRecord, SolveReport
+from repro.robust.report import AttemptRecord, SolveReport, SweepItemRecord
 
 __all__ = [
     "ON_FAILURE_MODES",
     "ON_INVALID_MODES",
     "SEVERITIES",
     "AttemptRecord",
+    "ChaosSpec",
     "Diagnostic",
     "DirectSolveResult",
     "EscalationPolicy",
@@ -47,13 +54,19 @@ __all__ = [
     "RungOutcome",
     "SolveFailure",
     "SolveReport",
+    "SweepChaos",
+    "SweepItemRecord",
+    "TransientFault",
     "ValidationError",
     "ValidationReport",
+    "active_sweep_chaos",
+    "chaos_sweeps",
     "enforce",
     "inject_error",
     "inject_nan",
     "inject_perturb",
     "inject_singular",
+    "install_sweep_chaos",
     "robust_direct_solve",
     "robust_gmres",
     "run_ladder",

@@ -19,12 +19,25 @@ calls:
 Faults are scheduled by a :class:`FaultClock` counting calls, so a test
 can make exactly the first ``k`` evaluations fail and then observe the
 ladder recover.  All wrappers leave argument/return conventions intact.
+
+Beyond the solver-callable wrappers, this module also hosts the **sweep
+chaos harness** (:class:`SweepChaos` + :func:`chaos_sweeps`): scheduled
+per-item faults — transient errors, hangs, and hard worker crashes via
+``os._exit`` — injected into :func:`repro.perf.sweep_map` tasks, in
+whatever process the task executes.  Attempt counters live in files so a
+schedule like "crash the first execution of item 3, succeed afterwards"
+holds across worker processes, retries and pool replacements; that is
+what makes the sweep executor's recovery paths *testable* instead of
+merely written.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -32,13 +45,27 @@ import scipy.sparse as sp
 from repro.linalg.newton import ConvergenceError
 
 __all__ = [
+    "ChaosSpec",
     "FaultClock",
     "FaultyMNASystem",
+    "SweepChaos",
+    "TransientFault",
+    "active_sweep_chaos",
+    "chaos_sweeps",
     "inject_error",
     "inject_nan",
     "inject_perturb",
     "inject_singular",
+    "install_sweep_chaos",
 ]
+
+
+class TransientFault(RuntimeError):
+    """Marker for injected transient failures.
+
+    Raised by the chaos harness's ``"error"`` fault kind; retry policies
+    in tests key on it to mean "would succeed if tried again".
+    """
 
 
 @dataclasses.dataclass
@@ -142,6 +169,151 @@ def inject_error(
         return fn(*args, **kwargs)
 
     return wrapped
+
+
+_CHAOS_KINDS = ("error", "hang", "crash")
+
+
+@dataclasses.dataclass
+class ChaosSpec:
+    """One scheduled fault for a single sweep item.
+
+    Attributes
+    ----------
+    kind:
+        ``"error"`` — raise ``exc_type(message)`` (a transient fault);
+        ``"hang"`` — sleep ``duration`` seconds before running (models a
+        stuck solve; a sweep deadline interrupts the sleep);
+        ``"crash"`` — ``os._exit(exit_code)``, killing the worker
+        process without cleanup (models OOM kills / segfaults).  Never
+        schedule a crash for a task that executes in the parent process
+        (serial/thread backends) unless losing the parent is the point.
+    times:
+        Executions 1..times of the item fault; later executions run
+        clean — so ``times=1`` models a transient fault that a single
+        retry survives, and a large ``times`` models a poison item.
+    duration / exit_code / exc_type / message:
+        Kind-specific knobs.  ``exc_type`` must be a module-level
+        exception class so the spec stays picklable.
+    """
+
+    kind: str = "error"
+    times: int = 1
+    duration: float = 30.0
+    exit_code: int = 87
+    exc_type: type = TransientFault
+    message: str = "chaos: injected transient fault"
+
+    def __post_init__(self):
+        if self.kind not in _CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; expected one of {_CHAOS_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+class SweepChaos:
+    """Deterministic per-item fault injection for sweep executor tasks.
+
+    ``faults`` maps **item index** (the position in the sweep's item
+    list) to a :class:`ChaosSpec`.  The harness is picklable, so it
+    rides into process-backend workers with the task itself; attempt
+    counters are one file per item under ``state_dir`` (a byte appended
+    per execution), which makes schedules hold across worker processes,
+    retries, pool replacements, and the parent's own serial fallbacks.
+
+    Install it around a block of sweeps with :func:`chaos_sweeps`::
+
+        chaos = SweepChaos({3: ChaosSpec(kind="crash")}, tmp_path)
+        with chaos_sweeps(chaos):
+            ac_analysis(system, "V1", freqs, backend="process",
+                        sweep_options={"on_item_failure": "retry"})
+        assert chaos.attempts(3) == 2   # crashed once, replayed once
+    """
+
+    def __init__(self, faults: Dict[int, ChaosSpec], state_dir):
+        self.faults = {int(k): v for k, v in faults.items()}
+        for spec in self.faults.values():
+            if not isinstance(spec, ChaosSpec):
+                raise TypeError(f"fault values must be ChaosSpec, got {spec!r}")
+        self.state_dir = os.fspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+
+    # -- attempt bookkeeping (file-based: shared across processes) -----
+    def _counter_path(self, index: int) -> str:
+        return os.path.join(self.state_dir, f"item_{int(index)}.attempts")
+
+    def attempts(self, index: int) -> int:
+        """How many times item ``index`` started executing so far."""
+        try:
+            return os.path.getsize(self._counter_path(index))
+        except OSError:
+            return 0
+
+    def reset(self) -> None:
+        """Forget all attempt counters (fresh schedule)."""
+        for index in self.faults:
+            try:
+                os.remove(self._counter_path(index))
+            except OSError:
+                pass
+
+    # -- the injection point consumed by repro.perf.sweep --------------
+    def before_item(self, index: int) -> None:
+        """Called by the sweep executor as item ``index`` starts.
+
+        Counts the execution, then applies the scheduled fault (if any
+        remain for this item).  Runs in whatever process executes the
+        item, which is exactly where a real fault would strike.
+        """
+        spec = self.faults.get(int(index))
+        if spec is None:
+            return
+        with open(self._counter_path(index), "ab") as fh:
+            fh.write(b".")
+            fh.flush()
+            n = fh.tell()
+        if n > spec.times:
+            return
+        if spec.kind == "crash":
+            os._exit(spec.exit_code)
+        if spec.kind == "hang":
+            time.sleep(spec.duration)
+            return
+        raise spec.exc_type(f"{spec.message} (item {index}, attempt {n})")
+
+
+#: Process-global chaos harness consumed by repro.perf.sweep (parent
+#: side — the harness is then shipped to workers with each task).
+_SWEEP_CHAOS: Optional[SweepChaos] = None
+
+
+def install_sweep_chaos(chaos: Optional[SweepChaos]) -> Optional[SweepChaos]:
+    """Install (or clear, with ``None``) the active sweep chaos harness.
+
+    Returns the previously installed harness so callers can restore it.
+    """
+    global _SWEEP_CHAOS
+    prev = _SWEEP_CHAOS
+    _SWEEP_CHAOS = chaos
+    return prev
+
+
+def active_sweep_chaos() -> Optional[SweepChaos]:
+    """The harness :func:`repro.perf.sweep_map` will inject, if any."""
+    return _SWEEP_CHAOS
+
+
+@contextmanager
+def chaos_sweeps(chaos: SweepChaos):
+    """Scope ``chaos`` over a block: every ``sweep_map`` inside it runs
+    with the harness's scheduled faults, whatever backend executes."""
+    prev = install_sweep_chaos(chaos)
+    try:
+        yield chaos
+    finally:
+        install_sweep_chaos(prev)
 
 
 class FaultyMNASystem:

@@ -22,7 +22,57 @@ import dataclasses
 import math
 from typing import Dict, List, Optional
 
-__all__ = ["AttemptRecord", "SolveReport"]
+__all__ = ["AttemptRecord", "SolveReport", "SweepItemRecord"]
+
+
+@dataclasses.dataclass
+class SweepItemRecord:
+    """Per-item ledger entry for one :func:`repro.perf.sweep_map` item.
+
+    The sweep executor fills one of these per sweep point and publishes
+    the list through ``stats["items"]`` — the sweep-level analogue of
+    the per-attempt :class:`AttemptRecord` a solver ladder produces.
+
+    Attributes
+    ----------
+    index:
+        The item's position in the sweep (result ordering position).
+    status:
+        ``"pending"`` (never finished — the sweep aborted first),
+        ``"ok"``, ``"cached"`` (restored from a checkpoint without
+        executing), ``"skipped"`` (quarantined after exhausting its
+        failure policy) or ``"failed"`` (the failure that aborted the
+        sweep).
+    attempts:
+        Executions started for this item (1 for a clean first-try run;
+        retries and post-crash replays each add one).
+    wall_time:
+        Total seconds spent executing this item across all attempts.
+    backoff_time:
+        Total seconds of retry backoff charged to this item.
+    failure_cause:
+        ``"ExcType: message"`` of the most recent failure — kept even
+        when a later attempt succeeded, so transient faults stay
+        visible in the ledger.
+    """
+
+    index: int
+    status: str = "pending"
+    attempts: int = 0
+    wall_time: float = 0.0
+    backoff_time: float = 0.0
+    failure_cause: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-builtin form (JSON-safe) used by ``stats["items"]``."""
+        out = dataclasses.asdict(self)
+        out["retries"] = self.retries
+        return out
 
 
 @dataclasses.dataclass

@@ -78,6 +78,7 @@ class DescriptorSystem:
         report: Optional[SolveReport] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        sweep_options: Optional[dict] = None,
     ) -> np.ndarray:
         """H(s) over an array of complex frequencies -> (len(s), m, p).
 
@@ -90,7 +91,10 @@ class DescriptorSystem:
         under a parallel sweep), and ``workers``/``backend`` to dispatch
         the independent frequency points through the
         :func:`repro.perf.sweep_map` executor — serial, threaded and
-        process runs are bit-identical.
+        process runs are bit-identical.  ``sweep_options`` forwards
+        extra ``sweep_map`` keywords — the fault-tolerance knobs
+        (``timeout``, ``retries``, ``on_item_failure``, ``checkpoint``,
+        ...) and ``stats``.
         """
         s_values = np.asarray(list(s_values), dtype=complex)
         out = np.empty((s_values.size, self.num_outputs, self.num_inputs), dtype=complex)
@@ -100,6 +104,7 @@ class DescriptorSystem:
             s_values,
             workers=workers,
             backend=backend,
+            **(sweep_options or {}),
         )
         for k, (s, res) in enumerate(zip(s_values, results)):
             if report is not None:

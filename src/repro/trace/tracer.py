@@ -53,6 +53,11 @@ __all__ = [
 
 TRACE_ENV = "REPRO_TRACE"
 
+#: Per-span-name cap on retained duration samples.  Bounds tracer
+#: memory on million-span runs; percentile rollups then describe the
+#: first ``_SAMPLE_CAP`` occurrences of each span name.
+_SAMPLE_CAP = 512
+
 
 def _json_default(obj):
     """Serialise numpy scalars/arrays (and anything else) best-effort."""
@@ -170,8 +175,12 @@ class Tracer:
         self._ids = itertools.count(1)
         self._tids = {}
         self._fh = open(self.path, "w") if self.path else None
-        # name -> [count, total_seconds, sorted-ish durations capped]
+        # name -> [count, total_seconds]
         self._span_stats = {}
+        # name -> list of per-span durations, capped at _SAMPLE_CAP per
+        # name; feeds p50/p95 rollups (``summary_since`` deltas and the
+        # synthetic records ``absorb`` writes for worker-process spans)
+        self._span_samples = {}
         self._event_counts = {}
         self._seq = 0
 
@@ -222,6 +231,9 @@ class Tracer:
             stat = self._span_stats.setdefault(sp.name, [0, 0.0])
             stat[0] += 1
             stat[1] += dur
+            samples = self._span_samples.setdefault(sp.name, [])
+            if len(samples) < _SAMPLE_CAP:
+                samples.append(dur)
         self._write(
             {
                 "type": "span",
@@ -257,6 +269,7 @@ class Tracer:
             return {
                 "spans": {k: tuple(v) for k, v in self._span_stats.items()},
                 "events": dict(self._event_counts),
+                "samples": {k: len(v) for k, v in self._span_samples.items()},
             }
 
     def summary_since(self, mark=None):
@@ -268,13 +281,19 @@ class Tracer:
         """
         base_spans = (mark or {}).get("spans", {})
         base_events = (mark or {}).get("events", {})
+        base_samples = (mark or {}).get("samples", {})
         with self._lock:
             spans = {}
             for name, (count, total) in self._span_stats.items():
                 b = base_spans.get(name, (0, 0.0))
                 dc, dt = count - b[0], total - b[1]
                 if dc > 0:
-                    spans[name] = {"count": dc, "seconds": round(dt, 9)}
+                    fresh = self._span_samples.get(name, [])[base_samples.get(name, 0):]
+                    spans[name] = {
+                        "count": dc,
+                        "seconds": round(dt, 9),
+                        "samples": [round(d, 9) for d in fresh],
+                    }
             events = {}
             for name, count in self._event_counts.items():
                 dc = count - base_events.get(name, 0)
@@ -289,18 +308,44 @@ class Tracer:
         aggregate their spans in-memory and ship the summary back with
         each chunk; absorbing it here makes child work visible to
         ``summary_since``/``publish`` (and hence
-        ``SolveReport.perf["trace"]``).  No JSONL records are written —
-        only the aggregate statistics move.
+        ``SolveReport.perf["trace"]``).  When the child summary carries
+        per-span duration samples and this tracer writes a JSONL file,
+        a synthetic span record (``attrs: {"absorbed": true}``, zero
+        ``t0``, no parent) is written per sample so the ``summarize``
+        CLI's p50/p95 and flame rollups include worker-process work.
         """
         if not summary:
             return None
+        synthetic = []
         with self._lock:
             for name, rec in (summary.get("spans") or {}).items():
                 stat = self._span_stats.setdefault(name, [0, 0.0])
                 stat[0] += int(rec.get("count", 0))
                 stat[1] += float(rec.get("seconds", 0.0))
+                child_samples = rec.get("samples") or []
+                samples = self._span_samples.setdefault(name, [])
+                for d in child_samples:
+                    if len(samples) < _SAMPLE_CAP:
+                        samples.append(float(d))
+                if self._fh is not None:
+                    synthetic.extend((name, float(d)) for d in child_samples)
             for name, count in (summary.get("events") or {}).items():
                 self._event_counts[name] = self._event_counts.get(name, 0) + int(count)
+        # write outside the lock: _write locks on its own
+        tid = self._tid()
+        for name, dur in synthetic:
+            self._write(
+                {
+                    "type": "span",
+                    "name": name,
+                    "id": next(self._ids),
+                    "parent": None,
+                    "tid": tid,
+                    "t0": 0.0,
+                    "dur": round(dur, 9),
+                    "attrs": {"absorbed": True},
+                }
+            )
         return None
 
     def publish(self, report, mark=None):

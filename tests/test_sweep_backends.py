@@ -320,6 +320,33 @@ class TestProcessBackend:
 
 
 # ---------------------------------------------------------------------------
+# fault-tolerance knobs must not perturb results (engine vs legacy paths)
+# ---------------------------------------------------------------------------
+class TestFaultModeEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_fault_knobs_do_not_change_results(self, backend, workers):
+        # engaging the resilient per-item engine (deadline + retry budget)
+        # must be invisible in the results: same values, same order
+        items = [0.5, 1.0, 1.5, 2.0]
+        reference = [_spectrum(x) for x in items]
+        stats = {}
+        got = sweep_map(
+            _spectrum,
+            items,
+            workers=workers,
+            backend=backend,
+            timeout=60.0,
+            on_item_failure="retry",
+            stats=stats,
+        )
+        for r, g in zip(reference, got):
+            np.testing.assert_array_equal(r, g)
+        assert [r["status"] for r in stats["items"]] == ["ok"] * len(items)
+        assert stats["retried"] == 0 and stats["timeouts"] == 0
+
+
+# ---------------------------------------------------------------------------
 # env-driven backend selection (what the CI sweep-backends job exercises)
 # ---------------------------------------------------------------------------
 class TestEnvSelection:

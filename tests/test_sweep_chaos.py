@@ -1,0 +1,679 @@
+"""Fault-tolerant sweep execution under injected chaos.
+
+Exercises the resilient engine behind ``repro.perf.sweep_map`` — per-item
+deadlines, bounded deterministic retry, quarantine, checkpoint/resume,
+crashed-worker replacement — against the :class:`~repro.robust.SweepChaos`
+harness, which injects transient errors, hangs, and hard ``os._exit``
+worker crashes on a deterministic per-item schedule.  Also locks down the
+two headline guarantees:
+
+* a sweep that loses a worker process mid-flight completes **bit-identical**
+  to a fault-free serial run;
+* a checkpointed sweep interrupted at item *k* resumes executing only the
+  remaining items (verified by call counting).
+
+The CI ``chaos-smoke`` job runs this file on the process backend.
+"""
+
+import io
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis
+from repro.perf import (
+    ON_ITEM_FAILURE_MODES,
+    SweepItemTimeout,
+    SweepWorkerCrash,
+    backoff_seconds,
+    resolve_checkpoint,
+    resolve_retries,
+    resolve_timeout,
+    sweep_map,
+)
+from repro.perf.sweep import CHECKPOINT_ENV, RETRIES_ENV, TIMEOUT_ENV
+from repro.robust import ChaosSpec, SweepChaos, TransientFault, chaos_sweeps
+
+
+# --- module-level tasks (picklable, unlike closures/lambdas) ---------------
+def _square(x):
+    return x * x
+
+
+def _cube(x):
+    return x * x * x
+
+
+def _boom(x):
+    if x == 2:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def _spectrum(x):
+    """Array-returning task: exercises result pickling and FP identity."""
+    t = np.linspace(0.0, 1.0, 64)
+    return np.sin(2.0 * np.pi * x * t) * np.exp(-0.5 * x * t)
+
+
+def _sleepy(x):
+    time.sleep(30.0)
+    return x
+
+
+class _Counted:
+    """Task that counts every execution in a file (workers included)."""
+
+    def __init__(self, marker):
+        self.marker = marker
+
+    def __call__(self, x):
+        with open(self.marker, "ab") as fh:
+            fh.write(b".")
+        return x * x
+
+
+class _CrashOnceAt:
+    """Kills its worker process the first time it sees ``bad``.
+
+    The marker file makes the crash once-only, so the executor's serial
+    re-run of the lost chunk (legacy path) succeeds in the parent.
+    """
+
+    def __init__(self, marker, bad):
+        self.marker = marker
+        self.bad = bad
+
+    def __call__(self, x):
+        if x == self.bad and not os.path.exists(self.marker):
+            open(self.marker, "w").close()
+            os._exit(3)
+        return x * x
+
+
+def _calls(marker) -> int:
+    try:
+        return os.path.getsize(marker)
+    except OSError:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# knob resolution + primitives
+# ---------------------------------------------------------------------------
+class TestKnobResolution:
+    def test_timeout_env(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        assert resolve_timeout(None) is None
+        monkeypatch.setenv(TIMEOUT_ENV, "2.5")
+        assert resolve_timeout(None) == 2.5
+        assert resolve_timeout(1.0) == 1.0  # arg wins over env
+        for junk in ("soon", "-1", "0", "inf"):
+            monkeypatch.setenv(TIMEOUT_ENV, junk)
+            with pytest.raises(ValueError):
+                resolve_timeout(None)
+
+    def test_retries_env_and_mode_default(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        assert resolve_retries(None, "raise") == 0
+        assert resolve_retries(None, "skip") == 0
+        assert resolve_retries(None, "retry") == 1
+        monkeypatch.setenv(RETRIES_ENV, "3")
+        assert resolve_retries(None, "raise") == 3
+        monkeypatch.setenv(RETRIES_ENV, "-2")
+        with pytest.raises(ValueError):
+            resolve_retries(None, "raise")
+
+    def test_checkpoint_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CHECKPOINT_ENV, raising=False)
+        assert resolve_checkpoint(None) is None
+        target = str(tmp_path / "ck.jsonl")
+        monkeypatch.setenv(CHECKPOINT_ENV, target)
+        assert resolve_checkpoint(None) == target
+
+    def test_unknown_failure_mode_rejected(self):
+        assert set(ON_ITEM_FAILURE_MODES) == {"raise", "retry", "skip"}
+        with pytest.raises(ValueError, match="on_item_failure"):
+            sweep_map(_square, [1], on_item_failure="explode")
+
+    def test_env_timeout_engages_ledger(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "30")
+        stats = {}
+        assert sweep_map(_square, [1, 2, 3], stats=stats) == [1, 4, 9]
+        assert stats["fault_policy"]["timeout"] == 30.0
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert all(ledger[i]["status"] == "ok" for i in range(3))
+        assert all(ledger[i]["attempts"] == 1 for i in range(3))
+        assert all(ledger[i]["wall_time"] >= 0.0 for i in range(3))
+
+    def test_backoff_deterministic_and_bounded(self):
+        assert backoff_seconds(3, 1) == backoff_seconds(3, 1)
+        for attempt in (1, 2, 3):
+            d = backoff_seconds(5, attempt, base=0.1)
+            lo = 0.1 * 2 ** (attempt - 1) * 0.5
+            assert lo <= d < 3 * lo
+        # jitter decorrelates neighbouring items
+        assert len({backoff_seconds(i, 1) for i in range(8)}) > 1
+
+    def test_fault_exceptions_pickle_roundtrip(self):
+        for exc in (SweepItemTimeout(3, 0.5, "kill"), SweepWorkerCrash(7, "gone")):
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert clone.index == exc.index
+            assert str(clone) == str(exc)
+
+    def test_chaos_spec_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec(kind="meteor")
+        with pytest.raises(ValueError, match="times"):
+            ChaosSpec(times=0)
+        with pytest.raises(TypeError):
+            SweepChaos({0: "crash"}, tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# failure policies: raise / retry / skip
+# ---------------------------------------------------------------------------
+class TestFailurePolicies:
+    def test_skip_returns_partial_with_ledger(self):
+        stats = {}
+        out = sweep_map(_boom, [1, 2, 3], on_item_failure="skip", stats=stats)
+        assert out == [1, None, 3]
+        assert stats["quarantined"] == 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["status"] == "skipped"
+        assert ledger[1]["attempts"] == 1
+        assert "ValueError: boom at 2" in ledger[1]["failure_cause"]
+        assert ledger[0]["status"] == ledger[2]["status"] == "ok"
+
+    def test_retry_recovers_transient(self, tmp_path):
+        chaos = SweepChaos({1: ChaosSpec(kind="error")}, tmp_path)
+        stats = {}
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square, [1, 2, 3], on_item_failure="retry", stats=stats
+            )
+        assert out == [1, 4, 9]
+        assert chaos.attempts(1) == 2
+        assert stats["retried"] == 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["status"] == "ok"
+        assert ledger[1]["attempts"] == 2
+        assert ledger[1]["retries"] == 1
+        assert ledger[1]["backoff_time"] > 0.0
+        # the transient stays visible even though a later attempt won
+        assert "TransientFault" in ledger[1]["failure_cause"]
+
+    def test_retry_exhausted_raises_transient(self, tmp_path):
+        chaos = SweepChaos({1: ChaosSpec(kind="error", times=5)}, tmp_path)
+        stats = {}
+        with chaos_sweeps(chaos):
+            with pytest.raises(TransientFault):
+                sweep_map(_square, [1, 2, 3], on_item_failure="retry", stats=stats)
+        assert chaos.attempts(1) == 2  # first try + the single default retry
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["status"] == "failed"
+
+    def test_retry_on_filters_exception_types(self):
+        stats = {}
+        out = sweep_map(
+            _boom,
+            [1, 2, 3],
+            on_item_failure="skip",
+            retries=3,
+            retry_on=(TransientFault,),
+            stats=stats,
+        )
+        assert out == [1, None, 3]
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["attempts"] == 1  # ValueError is not retryable here
+        assert stats["retried"] == 0
+
+    def test_raise_mode_with_chaos_propagates(self, tmp_path):
+        chaos = SweepChaos({0: ChaosSpec(kind="error", times=99)}, tmp_path)
+        with chaos_sweeps(chaos):
+            with pytest.raises(TransientFault):
+                sweep_map(_square, [1, 2, 3])
+
+    def test_quarantined_poison_item(self, tmp_path):
+        chaos = SweepChaos({2: ChaosSpec(kind="error", times=99)}, tmp_path)
+        stats = {}
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square, [1, 2, 3, 4], on_item_failure="skip", retries=2, stats=stats
+            )
+        assert out == [1, 4, None, 16]
+        assert chaos.attempts(2) == 3  # first try + two retries
+        assert stats["quarantined"] == 1
+        assert stats["retried"] == 2
+
+
+# ---------------------------------------------------------------------------
+# per-item deadlines, per backend
+# ---------------------------------------------------------------------------
+class TestDeadlines:
+    def test_serial_signal_enforced(self, tmp_path):
+        chaos = SweepChaos({1: ChaosSpec(kind="hang", duration=5.0)}, tmp_path)
+        stats = {}
+        t0 = time.monotonic()
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square,
+                [1, 2, 3],
+                backend="serial",
+                timeout=0.4,
+                on_item_failure="retry",
+                stats=stats,
+            )
+        assert out == [1, 4, 9]
+        assert time.monotonic() - t0 < 4.0  # SIGALRM cut the 5 s hang short
+        assert stats["timeouts"] == 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["status"] == "ok"
+        assert ledger[1]["attempts"] == 2
+        assert "signal" in ledger[1]["failure_cause"]
+
+    def test_thread_backend_abandons_stuck_item(self, tmp_path):
+        chaos = SweepChaos({0: ChaosSpec(kind="hang", duration=1.5)}, tmp_path)
+        stats = {}
+        t0 = time.monotonic()
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square,
+                [1, 2, 3, 4],
+                workers=2,
+                backend="thread",
+                timeout=0.3,
+                on_item_failure="retry",
+                stats=stats,
+            )
+        assert out == [1, 4, 9, 16]
+        assert time.monotonic() - t0 < 8.0
+        assert stats["timeouts"] >= 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[0]["status"] == "ok"
+        assert "abandoned" in ledger[0]["failure_cause"]
+
+    def test_process_backend_worker_alarm(self, tmp_path):
+        chaos = SweepChaos({2: ChaosSpec(kind="hang", duration=30.0)}, tmp_path)
+        stats = {}
+        t0 = time.monotonic()
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square,
+                [1, 2, 3, 4],
+                workers=2,
+                backend="process",
+                timeout=0.5,
+                on_item_failure="retry",
+                stats=stats,
+            )
+        assert out == [1, 4, 9, 16]
+        assert time.monotonic() - t0 < 25.0  # the in-worker SIGALRM fired
+        assert stats["timeouts"] == 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[2]["status"] == "ok"
+        assert "signal" in ledger[2]["failure_cause"]
+
+    def test_timeout_without_retry_raises(self, tmp_path):
+        chaos = SweepChaos({1: ChaosSpec(kind="hang", duration=5.0)}, tmp_path)
+        with chaos_sweeps(chaos):
+            with pytest.raises(SweepItemTimeout) as exc_info:
+                sweep_map(_square, [1, 2, 3], backend="serial", timeout=0.3)
+        assert exc_info.value.index == 1
+        assert exc_info.value.deadline == 0.3
+
+
+# ---------------------------------------------------------------------------
+# worker crashes: pool replacement, breadcrumb replay, bit-identity
+# ---------------------------------------------------------------------------
+class TestWorkerCrashes:
+    def test_worker_crash_mid_sweep_bit_identical(self, tmp_path):
+        """ISSUE acceptance: kill a worker mid-sweep; the sweep completes
+        bit-identical to a fault-free serial run."""
+        items = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        reference = [_spectrum(x) for x in items]
+        chaos = SweepChaos({3: ChaosSpec(kind="crash")}, tmp_path)
+        stats = {}
+        with chaos_sweeps(chaos):
+            got = sweep_map(
+                _spectrum,
+                items,
+                workers=2,
+                backend="process",
+                on_item_failure="retry",
+                stats=stats,
+            )
+        assert chaos.attempts(3) == 2  # crashed once, replayed once
+        assert stats["pool_replacements"] >= 1
+        assert len(got) == len(reference)
+        for r, g in zip(reference, got):
+            np.testing.assert_array_equal(r, g)
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert all(ledger[i]["status"] == "ok" for i in range(len(items)))
+
+    def test_persistent_crasher_is_quarantined(self, tmp_path):
+        chaos = SweepChaos({1: ChaosSpec(kind="crash", times=99)}, tmp_path)
+        stats = {}
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square,
+                [1, 2, 3, 4],
+                workers=2,
+                backend="process",
+                on_item_failure="skip",
+                retries=1,
+                stats=stats,
+            )
+        assert out == [1, None, 9, 16]
+        assert stats["quarantined"] == 1
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[1]["status"] == "skipped"
+        assert "SweepWorkerCrash" in ledger[1]["failure_cause"]
+
+    def test_legacy_broken_pool_harvests_and_reruns(self, tmp_path):
+        """No fault knobs → legacy chunked path: a broken pool harvests
+        completed chunks and re-runs only the missing ones serially."""
+        fn = _CrashOnceAt(str(tmp_path / "marker"), bad=5)
+        stats = {}
+        out = sweep_map(
+            fn, list(range(8)), workers=2, backend="process", chunksize=2, stats=stats
+        )
+        assert out == [x * x for x in range(8)]
+        assert stats["backend"] == "serial"
+        assert stats["backend_requested"] == "process"
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    def test_interrupted_sweep_resumes_only_remaining(self, tmp_path):
+        """ISSUE acceptance: interrupted at item k, the resumed sweep
+        executes only the remaining items (verified by call counting)."""
+        marker = str(tmp_path / "calls")
+        ck = str(tmp_path / "ck.jsonl")
+        fn = _Counted(marker)
+        items = list(range(6))
+
+        chaos = SweepChaos({3: ChaosSpec(kind="error", times=99)}, tmp_path / "c")
+        with chaos_sweeps(chaos):
+            with pytest.raises(TransientFault):
+                sweep_map(fn, items, backend="serial", checkpoint=ck)
+        assert _calls(marker) == 3  # items 0..2 executed before the abort
+
+        stats = {}
+        out = sweep_map(fn, items, backend="serial", checkpoint=ck, stats=stats)
+        assert out == [x * x for x in items]
+        assert _calls(marker) == 6  # only items 3..5 executed on resume
+        assert stats["cached"] == 3
+        assert stats["checkpoint"]["restored"] == 3
+        assert stats["checkpoint"]["saved"] == 3
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert all(ledger[i]["status"] == "cached" for i in range(3))
+        assert all(ledger[i]["status"] == "ok" for i in range(3, 6))
+
+    def test_checkpoint_keyed_by_fn_fingerprint(self, tmp_path):
+        ck = str(tmp_path / "ck.jsonl")
+        sweep_map(_square, [1, 2, 3], checkpoint=ck)
+        stats = {}
+        out = sweep_map(_cube, [1, 2, 3], checkpoint=ck, stats=stats)
+        assert out == [1, 8, 27]  # foreign-fingerprint entries ignored
+        assert stats["cached"] == 0
+
+    def test_checkpoint_tag_overrides_fingerprint(self, tmp_path):
+        ck = str(tmp_path / "ck.jsonl")
+        sweep_map(_square, [1, 2, 3], checkpoint=ck, checkpoint_tag="shared")
+        stats = {}
+        out = sweep_map(_cube, [1, 2, 3], checkpoint=ck, checkpoint_tag="shared", stats=stats)
+        assert out == [1, 4, 9]  # restored under the shared tag, not re-run
+        assert stats["cached"] == 3
+
+    def test_checkpoint_works_under_process_backend(self, tmp_path):
+        ck = str(tmp_path / "ck.jsonl")
+        items = [0.5, 1.5, 2.5, 3.5]
+        first = sweep_map(_spectrum, items, workers=2, backend="process", checkpoint=ck)
+        stats = {}
+        second = sweep_map(
+            _spectrum, items, workers=2, backend="process", checkpoint=ck, stats=stats
+        )
+        assert stats["cached"] == len(items)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_corrupt_checkpoint_lines_skipped(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck))
+        with open(ck, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"fp": "feedface", "key": "x"}\n')
+        stats = {}
+        out = sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert out == [1, 4, 9]
+        assert stats["cached"] == 3
+
+
+# ---------------------------------------------------------------------------
+# fallbacks under fault tolerance (process → thread, mixed outcomes)
+# ---------------------------------------------------------------------------
+class TestFaultModeFallbacks:
+    def test_unpicklable_fn_falls_back_with_ledger(self):
+        captured = 2.0
+        stats = {}
+        out = sweep_map(
+            lambda x: x * captured if x != 3 else 1 / 0,
+            [1, 2, 3, 4],
+            workers=2,
+            backend="process",
+            on_item_failure="skip",
+            stats=stats,
+        )
+        assert out == [2.0, 4.0, None, 8.0]
+        assert stats["backend"] == "thread"
+        assert stats["backend_requested"] == "process"
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert ledger[2]["status"] == "skipped"
+        assert "ZeroDivisionError" in ledger[2]["failure_cause"]
+
+    def test_thread_fallback_preserves_exception_identity(self):
+        captured = []  # makes the lambda unpicklable via closure
+
+        def fn(x):
+            captured.append(x)
+            if x == 2:
+                raise ZeroDivisionError("identity check")
+            return x
+
+        with pytest.raises(ZeroDivisionError, match="identity check"):
+            sweep_map(fn, [1, 2, 3], workers=2, backend="process", timeout=60.0)
+
+    def test_mixed_outcomes_keep_item_order(self, tmp_path):
+        chaos = SweepChaos(
+            {1: ChaosSpec(kind="error"), 3: ChaosSpec(kind="error", times=99)},
+            tmp_path,
+        )
+        stats = {}
+        with chaos_sweeps(chaos):
+            out = sweep_map(
+                _square,
+                [1, 2, 3, 4, 5],
+                workers=2,
+                backend="thread",
+                on_item_failure="skip",
+                retries=1,
+                stats=stats,
+            )
+        assert out == [1, 4, 9, None, 25]  # positional: order survives chaos
+        assert stats["retried"] >= 1
+        assert stats["quarantined"] == 1
+
+
+# ---------------------------------------------------------------------------
+# interrupt handling: no orphaned workers
+# ---------------------------------------------------------------------------
+class TestInterrupt:
+    @pytest.mark.parametrize("fault_mode", [False, True])
+    def test_keyboard_interrupt_leaves_no_orphans(self, fault_mode):
+        def raise_interrupt(signum, frame):
+            raise KeyboardInterrupt
+
+        old = signal.signal(signal.SIGALRM, raise_interrupt)
+        signal.setitimer(signal.ITIMER_REAL, 1.5)
+        try:
+            kwargs = {"timeout": 60.0} if fault_mode else {}
+            with pytest.raises(KeyboardInterrupt):
+                sweep_map(
+                    _sleepy,
+                    list(range(4)),
+                    workers=2,
+                    backend="process",
+                    chunksize=1,
+                    **kwargs,
+                )
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old)
+        # the pool must be torn down promptly — 30 s sleepers terminated,
+        # not waited out, and no worker processes left behind
+        deadline = time.monotonic() + 8.0
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.1)
+        assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# trace integration: per-item samples roll up through summarize
+# ---------------------------------------------------------------------------
+class TestTraceRollup:
+    def test_summarize_rolls_up_fault_sweep(self, tmp_path):
+        from repro.trace import disable, enable
+        from repro.trace.summarize import event_table, load_trace, span_table, summarize
+
+        path = str(tmp_path / "trace.jsonl")
+        enable(path)
+        try:
+            chaos = SweepChaos({1: ChaosSpec(kind="error")}, tmp_path / "c")
+            with chaos_sweeps(chaos):
+                out = sweep_map(
+                    _square,
+                    [1, 2, 3, 4],
+                    workers=2,
+                    backend="process",
+                    on_item_failure="retry",
+                )
+        finally:
+            disable()
+        assert out == [1, 4, 9, 16]
+        records = load_trace(path)
+        rows = {r["name"]: r for r in span_table(records)}
+        # worker-side sweep.task samples were absorbed into the parent
+        # trace, so the p50/p95 rollup covers every item execution
+        assert rows["sweep.task"]["count"] >= 4
+        assert rows["sweep.task"]["p95"] >= rows["sweep.task"]["p50"] >= 0.0
+        events = dict(event_table(records))
+        assert events.get("sweep.retry", 0) >= 1
+        buf = io.StringIO()
+        summarize(path, out=buf)
+        assert "sweep.task" in buf.getvalue()
+        assert "sweep.retry" in buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# chaos driven through every sweep consumer
+# ---------------------------------------------------------------------------
+class TestConsumersUnderChaos:
+    """Each consumer recovers from an injected transient on its first
+    sweep item and reproduces the fault-free result exactly."""
+
+    RETRY = {"on_item_failure": "retry"}
+
+    def test_ac_analysis(self, rc_lowpass, tmp_path):
+        freqs = [1e3, 1e5, 1e7]
+        clean = ac_analysis(rc_lowpass, "V1", freqs)
+        stats = {}
+        chaos = SweepChaos({0: ChaosSpec(kind="error")}, tmp_path)
+        with chaos_sweeps(chaos):
+            chaotic = ac_analysis(
+                rc_lowpass,
+                "V1",
+                freqs,
+                sweep_options={"on_item_failure": "retry", "stats": stats},
+            )
+        assert chaos.attempts(0) == 2
+        assert stats["retried"] == 1
+        np.testing.assert_array_equal(clean.X, chaotic.X)
+
+    def test_hb_sweep(self, tmp_path):
+        from repro.hb.hb_core import hb_sweep
+        from repro.netlist import Circuit, Sine
+
+        ckt = Circuit("hb")
+        ckt.vsource("V1", "in", "0", Sine(offset=0.2, amplitude=0.4, freq=1e6))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-12)
+        ckt.diode("D1", "out", "0")
+        system = ckt.compile()
+        points = [{"harmonics": [2]}, {"harmonics": [3]}]
+        clean = hb_sweep(system, points, freqs=[1e6])
+        chaos = SweepChaos({0: ChaosSpec(kind="error")}, tmp_path)
+        with chaos_sweeps(chaos):
+            chaotic = hb_sweep(
+                system, points, sweep_options=dict(self.RETRY), freqs=[1e6]
+            )
+        assert chaos.attempts(0) == 2
+        for a, b in zip(clean, chaotic):
+            np.testing.assert_array_equal(a.solution.x, b.solution.x)
+
+    def test_monte_carlo(self, tmp_path):
+        from repro.phasenoise import VanDerPol
+        from repro.phasenoise.montecarlo import simulate_sde_ensemble
+
+        vdp = VanDerPol(mu=0.2, sigma=0.05)
+        x0 = np.array([2.0, 0.0])
+        _, clean = simulate_sde_ensemble(vdp, x0, 5.0, 100, 64, seed=7)
+        chaos = SweepChaos({0: ChaosSpec(kind="error")}, tmp_path)
+        with chaos_sweeps(chaos):
+            _, chaotic = simulate_sde_ensemble(
+                vdp, x0, 5.0, 100, 64, seed=7, sweep_options=dict(self.RETRY)
+            )
+        assert chaos.attempts(0) == 2
+        np.testing.assert_array_equal(clean, chaotic)
+
+    def test_rom_transfer(self, tmp_path):
+        from repro.netlist import Circuit
+        from repro.rom import port_descriptor
+
+        ckt = Circuit("rom")
+        ckt.vsource("P1", "p", "0", 0.0)
+        ckt.resistor("R1", "p", "a", 50.0)
+        ckt.capacitor("C1", "a", "0", 1e-12)
+        ckt.inductor("L1", "a", "0", 1e-9)
+        desc = port_descriptor(ckt.compile(), ["P1"])
+        s_vals = 2j * np.pi * np.logspace(6, 9, 4)
+        clean = desc.transfer(s_vals)
+        chaos = SweepChaos({0: ChaosSpec(kind="error")}, tmp_path)
+        with chaos_sweeps(chaos):
+            chaotic = desc.transfer(s_vals, sweep_options=dict(self.RETRY))
+        assert chaos.attempts(0) == 2
+        np.testing.assert_array_equal(clean, chaotic)
+
+    def test_em_fast_extraction(self, tmp_path):
+        from repro.em import conductor_bus
+        from repro.em.mom import capacitance_matrix_fast
+
+        panels = conductor_bus(2, 2e-6, 60e-6, 6e-6, 1, 8)
+        clean = capacitance_matrix_fast(panels, leaf_size=4)
+        chaos = SweepChaos({0: ChaosSpec(kind="error")}, tmp_path)
+        with chaos_sweeps(chaos):
+            chaotic = capacitance_matrix_fast(
+                panels, leaf_size=4, sweep_options=dict(self.RETRY)
+            )
+        assert chaos.attempts(0) >= 2  # faulted once, then clean re-runs
+        np.testing.assert_array_equal(clean.cap_matrix, chaotic.cap_matrix)
