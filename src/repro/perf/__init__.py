@@ -25,6 +25,7 @@ from repro.perf.sweep import (
     BACKENDS,
     ON_ITEM_FAILURE_MODES,
     SweepItemTimeout,
+    SweepRemoteError,
     SweepWorkerCrash,
     backoff_seconds,
     resolve_backend,
@@ -42,6 +43,7 @@ __all__ = [
     "FactorCache",
     "PerfCounters",
     "SweepItemTimeout",
+    "SweepRemoteError",
     "SweepWorkerCrash",
     "backoff_seconds",
     "make_factor_solver",

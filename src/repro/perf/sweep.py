@@ -58,7 +58,11 @@ or failing transiently.  :func:`sweep_map` grows four orthogonal knobs
     Bounded re-execution of failed items with deterministic jittered
     exponential backoff (:func:`backoff_seconds` — no RNG state, so two
     runs of the same sweep back off identically).  ``retry_on`` narrows
-    which exception types are transient (default: any ``Exception``).
+    which exception types are transient (default: any ``Exception``)
+    and matches identically on every backend: a worker exception that
+    cannot be pickled back to the parent arrives as
+    :class:`SweepRemoteError`, which carries the original type's MRO
+    and matches ``retry_on`` as the original would have.
 ``on_item_failure=``
     ``"raise"`` (default) fails the sweep on the first exhausted item;
     ``"retry"`` is ``"raise"`` with a default retry budget of one;
@@ -75,6 +79,10 @@ or failing transiently.  :func:`sweep_map` grows four orthogonal knobs
     executing only the items not already on disk.  ``checkpoint_tag``
     pins the fingerprint explicitly when ``fn`` is rebuilt between runs
     (closures, functools.partial) and would not hash stably.
+    Restoring unpickles the stored results, so the checkpoint file must
+    come from a trusted writer; set ``REPRO_SWEEP_CHECKPOINT_KEY`` to
+    authenticate every line with an HMAC and have restore ignore
+    tampered or unauthenticated lines instead of unpickling them.
 
 Any of these knobs (or an installed
 :func:`repro.robust.faultinject.chaos_sweeps` harness) routes the sweep
@@ -98,6 +106,7 @@ from __future__ import annotations
 
 import base64
 import hashlib
+import hmac
 import json
 import math
 import os
@@ -128,10 +137,12 @@ __all__ = [
     "TIMEOUT_ENV",
     "RETRIES_ENV",
     "CHECKPOINT_ENV",
+    "CHECKPOINT_KEY_ENV",
     "BACKENDS",
     "ON_ITEM_FAILURE_MODES",
     "SweepItemTimeout",
     "SweepWorkerCrash",
+    "SweepRemoteError",
     "backoff_seconds",
     "resolve_workers",
     "resolve_backend",
@@ -152,6 +163,12 @@ TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
 RETRIES_ENV = "REPRO_SWEEP_RETRIES"
 #: Environment variable consulted when ``checkpoint`` is None.
 CHECKPOINT_ENV = "REPRO_SWEEP_CHECKPOINT"
+#: Optional secret for per-line checkpoint HMACs.  When set, saved
+#: lines are authenticated and unauthenticated/tampered lines are
+#: ignored on restore.  Without it the checkpoint file must be trusted:
+#: restore unpickles result blobs, and unpickling attacker-controlled
+#: data executes arbitrary code.
+CHECKPOINT_KEY_ENV = "REPRO_SWEEP_CHECKPOINT_KEY"
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
 #: Recognised ``on_item_failure`` policies.
@@ -211,6 +228,41 @@ class SweepWorkerCrash(RuntimeError):
 
     def __str__(self):
         return f"sweep item {self.index}: {self.detail}"
+
+
+class SweepRemoteError(RuntimeError):
+    """A worker-side exception that could not be pickled back to the
+    parent process.
+
+    The original object is lost at the process boundary, so this
+    wrapper records the original type's qualified name (``original``)
+    and the qualified names of its whole MRO (``mro``).  ``retry_on``
+    matching consults ``mro`` — never this wrapper's own type — so an
+    unpicklable ``MyError`` still matches ``retry_on=(MyError,)`` (and
+    any of its bases) exactly as it would on the serial and thread
+    backends.
+
+    All constructor arguments ride through ``args`` so instances
+    pickle across process boundaries intact.
+    """
+
+    def __init__(self, original: str, message: str, mro: tuple = ()):
+        mro = tuple(mro)
+        super().__init__(original, message, mro)
+        self.original = original
+        self.message = message
+        self.mro = mro
+
+    def __str__(self):
+        return (
+            f"{self.original}: {self.message} "
+            "(original exception was not picklable across the process "
+            "boundary)"
+        )
+
+
+def _qualify(tp: type) -> str:
+    return f"{getattr(tp, '__module__', '')}.{getattr(tp, '__qualname__', '')}"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -455,6 +507,18 @@ def _clear_inflight(scratch: str, index: int) -> None:
         pass
 
 
+def _inflight_started(scratch: str, index: int) -> Optional[float]:
+    """Wall-clock time at which an item started executing in a worker,
+    read off its breadcrumb file's mtime; ``None`` when the item has
+    not started yet (or already finished and cleared its breadcrumb).
+    This is what the parent's hard-kill backstop times against — queue
+    wait must never count toward an item's deadline allowance."""
+    try:
+        return os.path.getmtime(_inflight_path(scratch, index))
+    except OSError:
+        return None
+
+
 class _ItemCall:
     """Picklable unit of resilient process-backend work: one item, one
     attempt, with its deadline armed inside the worker.
@@ -508,7 +572,14 @@ class _ItemCall:
             try:
                 pickle.loads(pickle.dumps(failure))
             except Exception:
-                failure = RuntimeError(f"{type(failure).__name__}: {failure}")
+                mro = tuple(
+                    _qualify(c)
+                    for c in type(failure).__mro__
+                    if isinstance(c, type) and issubclass(c, BaseException)
+                )
+                failure = SweepRemoteError(
+                    _qualify(type(failure)), str(failure), mro
+                )
         return result, failure, wall, summary, (cache.hits - h0, cache.misses - m0)
 
 
@@ -554,6 +625,15 @@ class _CheckpointStore:
     not match the current sweep's are ignored (several sweeps may share
     a file), as are truncated/corrupt lines from an interrupted write —
     resume is best-effort by construction, never worse than recomputing.
+
+    **Trust boundary**: restore unpickles the result blobs, and
+    unpickling attacker-controlled bytes executes arbitrary code, so a
+    checkpoint file (including one named by :data:`CHECKPOINT_ENV`)
+    must only ever come from a trusted writer.  Setting
+    :data:`CHECKPOINT_KEY_ENV` adds a per-line HMAC-SHA256 over
+    ``fp|key|result``: saved lines carry a ``"mac"`` field, and restore
+    ignores any line whose MAC is missing or wrong — tampered or
+    foreign lines are recomputed instead of unpickled.
     """
 
     def __init__(self, path, fingerprint: str):
@@ -561,6 +641,8 @@ class _CheckpointStore:
         self.fingerprint = fingerprint
         self.saved = 0
         self._results = {}
+        raw_key = os.environ.get(CHECKPOINT_KEY_ENV, "")
+        self._key = raw_key.encode("utf-8") if raw_key else None
         try:
             fh = open(self.path, "r", encoding="utf-8")
         except OSError:
@@ -576,11 +658,23 @@ class _CheckpointStore:
                     continue
                 if rec.get("fp") != fingerprint:
                     continue
+                if self._key is not None and not self._authentic(rec):
+                    continue
                 try:
                     result = pickle.loads(base64.b64decode(rec["result"]))
                 except Exception:
                     continue
                 self._results[rec["key"]] = result
+
+    def _mac(self, rec: dict) -> str:
+        payload = "|".join(
+            (str(rec.get("fp", "")), str(rec.get("key", "")), str(rec.get("result", "")))
+        ).encode("utf-8")
+        return hmac.new(self._key, payload, hashlib.sha256).hexdigest()
+
+    def _authentic(self, rec: dict) -> bool:
+        mac = rec.get("mac")
+        return isinstance(mac, str) and hmac.compare_digest(mac, self._mac(rec))
 
     def __contains__(self, key: str) -> bool:
         return key in self._results
@@ -593,9 +687,10 @@ class _CheckpointStore:
             blob = base64.b64encode(pickle.dumps(result)).decode("ascii")
         except Exception:
             return  # unpicklable results simply are not checkpointable
-        line = json.dumps(
-            {"fp": self.fingerprint, "key": key, "index": index, "result": blob}
-        )
+        rec = {"fp": self.fingerprint, "key": key, "index": index, "result": blob}
+        if self._key is not None:
+            rec["mac"] = self._mac(rec)
+        line = json.dumps(rec)
         try:
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
@@ -873,6 +968,12 @@ class _ResilientSweep:
         self.cached = 0
         self.timeouts = 0
         self.pool_replacements = 0
+        # Backstop against pathological pool churn (e.g. the worker
+        # initializer itself crashes, so every replacement pool breaks
+        # on first submit with no breadcrumbs): once the budget is
+        # spent, the pool stays down and the serial drain finishes the
+        # sweep instead of replacing pools forever.
+        self.max_pool_replacements = max(4, 2 * n)
         self.cache_hits = 0
         self.cache_misses = 0
         self._pool = None
@@ -945,6 +1046,17 @@ class _ResilientSweep:
         if self.store is not None and self.keys[i] is not None:
             self.store.put(self.keys[i], i, result)
 
+    def _retryable(self, exc) -> bool:
+        """``retry_on`` match that survives the process boundary: a
+        :class:`SweepRemoteError` stands in for an unpicklable worker
+        exception, so it matches on the *original* type's MRO — never
+        on the wrapper's own type — keeping retry/quarantine decisions
+        identical across the serial, thread and process backends."""
+        if isinstance(exc, SweepRemoteError):
+            names = set(exc.mro)
+            return any(_qualify(t) in names for t in self.retry_on)
+        return isinstance(exc, self.retry_on)
+
     def _handle_failure(
         self, i: int, exc, wall: float = 0.0, retry_at=None, allow_retry=True
     ) -> bool:
@@ -964,7 +1076,7 @@ class _ResilientSweep:
                     deadline=self.timeout,
                     enforced=exc.enforced,
                 )
-        if allow_retry and isinstance(exc, self.retry_on) and rec.attempts <= self.retries:
+        if allow_retry and self._retryable(exc) and rec.attempts <= self.retries:
             delay = backoff_seconds(i, rec.attempts, self.backoff_base)
             rec.backoff_time += delay
             self.retried += 1
@@ -1193,7 +1305,11 @@ class _ResilientSweep:
             for entry in [e for e in retry_at if e[0] <= now]:
                 retry_at.remove(entry)
                 todo.append(entry[1])
-            while todo:
+            # Cap outstanding submissions at the worker count: an item
+            # only enters the executor when a worker is free to take
+            # it, so submission time approximates execution start and
+            # queue wait never accrues against any deadline allowance.
+            while todo and len(inflight) < self.effective:
                 i = todo.popleft()
                 try:
                     fut = self._submit(i, scratch)
@@ -1234,11 +1350,26 @@ class _ResilientSweep:
             if broke:
                 continue
             if allowance is not None and inflight:
-                overdue = {
-                    i
-                    for fut, i in inflight.items()
-                    if time.monotonic() - submitted_at[i] > allowance
-                }
+                # An item is overdue only once it has *executed* past
+                # the allowance: its breadcrumb mtime is the start
+                # time.  No breadcrumb means the worker never reached
+                # the item body, so fall back to submission time —
+                # accurate to a scheduling tick because submissions
+                # are capped at the worker count above.  Futures that
+                # completed since the wait are harvested next pass,
+                # never killed.
+                now_wall = time.time()
+                now_mono = time.monotonic()
+                overdue = set()
+                for fut, i in inflight.items():
+                    if fut.done():
+                        continue
+                    started = _inflight_started(scratch, i)
+                    if started is not None:
+                        if now_wall - started > allowance:
+                            overdue.add(i)
+                    elif now_mono - submitted_at[i] > allowance:
+                        overdue.add(i)
                 if overdue:
                     self._hard_kill(overdue, inflight, scratch, todo, retry_at)
                     inflight = {}
@@ -1271,6 +1402,18 @@ class _ResilientSweep:
                 self.records[i].attempts -= 1
                 self.attempted[0] -= 1
                 todo.append(i)
+        if self.pool_replacements >= self.max_pool_replacements:
+            # replacement budget spent: pools keep breaking (broken
+            # initializer, broken fork/spawn) — stay down and let the
+            # serial drain finish rather than churn pools forever
+            if self.tr.enabled:
+                self.tr.event(
+                    "sweep.pool_budget_exhausted",
+                    replacements=self.pool_replacements,
+                )
+            for i in suspects:
+                todo.append(i)
+            return
         self._pool = self._make_pool(self.effective)
         if self._pool is None:
             # cannot rebuild: hand suspects to the serial drain too
@@ -1370,6 +1513,13 @@ class _ResilientSweep:
                 self.records[i].attempts -= 1
                 self.attempted[0] -= 1
                 todo.append(i)
+        if self.pool_replacements >= self.max_pool_replacements:
+            if self.tr.enabled:
+                self.tr.event(
+                    "sweep.pool_budget_exhausted",
+                    replacements=self.pool_replacements,
+                )
+            return  # pool stays down: the serial drain takes over
         self._pool = self._make_pool(self.effective)
 
 
@@ -1425,7 +1575,10 @@ def sweep_map(
         ``on_item_failure="retry"``, else 0), the base seconds of the
         deterministic jittered exponential backoff
         (:func:`backoff_seconds`), and the exception types considered
-        transient (default: any ``Exception``).
+        transient (default: any ``Exception``).  ``retry_on`` matching
+        is backend-independent: worker exceptions that cannot be
+        pickled back surface as :class:`SweepRemoteError` and match by
+        the original type's MRO.
     on_item_failure:
         ``"raise"`` (default) — first exhausted item fails the sweep;
         ``"retry"`` — like raise but with a default retry budget of 1;
@@ -1435,7 +1588,9 @@ def sweep_map(
     checkpoint / checkpoint_tag:
         JSONL checkpoint path (``None`` consults :data:`CHECKPOINT_ENV`)
         and an optional explicit fingerprint overriding the hash of
-        ``fn`` for resume matching.
+        ``fn`` for resume matching.  Restore unpickles stored results:
+        only point this at files written by a trusted sweep, or set
+        :data:`CHECKPOINT_KEY_ENV` to HMAC-authenticate lines.
     stats:
         Optional dict filled with ``{"workers", "tasks", "attempted",
         "backend"}`` describing what actually ran — the benchmarks

@@ -15,12 +15,15 @@ two headline guarantees:
 The CI ``chaos-smoke`` job runs this file on the process backend.
 """
 
+import base64
 import io
+import json
 import multiprocessing
 import os
 import pickle
 import signal
 import time
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
@@ -29,6 +32,7 @@ from repro.analysis import ac_analysis
 from repro.perf import (
     ON_ITEM_FAILURE_MODES,
     SweepItemTimeout,
+    SweepRemoteError,
     SweepWorkerCrash,
     backoff_seconds,
     resolve_checkpoint,
@@ -36,7 +40,12 @@ from repro.perf import (
     resolve_timeout,
     sweep_map,
 )
-from repro.perf.sweep import CHECKPOINT_ENV, RETRIES_ENV, TIMEOUT_ENV
+from repro.perf.sweep import (
+    CHECKPOINT_ENV,
+    CHECKPOINT_KEY_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+)
 from repro.robust import ChaosSpec, SweepChaos, TransientFault, chaos_sweeps
 
 
@@ -101,6 +110,36 @@ def _calls(marker) -> int:
         return os.path.getsize(marker)
     except OSError:
         return 0
+
+
+def _nap(x):
+    time.sleep(0.3)
+    return x
+
+
+class _UnpicklableError(Exception):
+    """Survives ``pickle.dumps`` but not ``pickle.loads`` (the second
+    required argument is missing from ``args``) — the classic shape of
+    a worker exception that cannot cross the process boundary."""
+
+    def __init__(self, detail, extra):
+        super().__init__(detail)
+        self.extra = extra
+
+
+class _FlakyUnpicklable:
+    """Raises :class:`_UnpicklableError` on each item's first execution
+    (file-marker attempt counter, so it holds across worker processes)."""
+
+    def __init__(self, marker):
+        self.marker = marker
+
+    def __call__(self, x):
+        seen = f"{self.marker}.{x}"
+        if not os.path.exists(seen):
+            open(seen, "w").close()
+            raise _UnpicklableError(f"flaky at {x}", x)
+        return x * 10
 
 
 # ---------------------------------------------------------------------------
@@ -456,6 +495,136 @@ class TestCheckpoint:
         out = sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
         assert out == [1, 4, 9]
         assert stats["cached"] == 3
+
+
+class TestCheckpointAuth:
+    def test_hmac_rejects_tampered_lines(self, monkeypatch, tmp_path):
+        """With a key set, a tampered result blob fails its MAC and is
+        recomputed instead of being unpickled and trusted."""
+        monkeypatch.setenv(CHECKPOINT_KEY_ENV, "sweep-secret")
+        marker = str(tmp_path / "calls")
+        ck = tmp_path / "ck.jsonl"
+        fn = _Counted(marker)
+        sweep_map(fn, [1, 2, 3], checkpoint=str(ck))
+        assert _calls(marker) == 3
+        lines = ck.read_text().splitlines()
+        assert all('"mac"' in ln for ln in lines)
+        rec = json.loads(lines[0])
+        rec["result"] = base64.b64encode(pickle.dumps(999)).decode("ascii")
+        lines[0] = json.dumps(rec)
+        ck.write_text("\n".join(lines) + "\n")
+        stats = {}
+        out = sweep_map(fn, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert out == [1, 4, 9]  # tampered entry recomputed, not restored
+        assert stats["cached"] == 2
+        assert _calls(marker) == 4
+
+    def test_unauthenticated_lines_ignored_once_key_set(
+        self, monkeypatch, tmp_path
+    ):
+        """Lines saved without a key are never unpickled under a key —
+        restore only trusts blobs it can authenticate."""
+        ck = tmp_path / "ck.jsonl"
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck))
+        monkeypatch.setenv(CHECKPOINT_KEY_ENV, "sweep-secret")
+        stats = {}
+        out = sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert out == [1, 4, 9]
+        assert stats["cached"] == 0
+
+
+# ---------------------------------------------------------------------------
+# hard-kill backstop: queue wait must not count against the deadline
+# ---------------------------------------------------------------------------
+class TestHardKillBackstop:
+    def test_queue_wait_does_not_count_against_deadline(self):
+        """Many short items behind few workers: items queued behind
+        busy workers must not be hard-killed when the *sweep* outlasts
+        the per-item allowance (regression: the backstop used to time
+        from submission, and submission drained the whole todo list)."""
+        items = list(range(16))  # 16 x 0.3 s / 2 workers >> 2*0.5 + 1 s
+        stats = {}
+        out = sweep_map(
+            _nap, items, workers=2, backend="process", timeout=0.5, stats=stats
+        )
+        assert out == items
+        assert stats["timeouts"] == 0
+        assert stats["pool_replacements"] == 0
+        assert stats["backend"] == "process"
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert all(ledger[i]["status"] == "ok" for i in items)
+
+
+# ---------------------------------------------------------------------------
+# pool replacement budget: runaway breakage degrades instead of spinning
+# ---------------------------------------------------------------------------
+class TestPoolReplacementBudget:
+    def test_runaway_pool_breakage_degrades_to_serial(self, monkeypatch):
+        """When every submission breaks the pool and leaves no
+        breadcrumbs (e.g. a crashing worker initializer), the engine
+        must stop replacing pools after its budget and finish the sweep
+        on the serial drain rather than spin forever."""
+        from repro.perf import sweep as sweep_mod
+
+        def broken_submit(self, i, scratch):
+            self.records[i].attempts += 1
+            self.attempted[0] += 1
+            raise BrokenProcessPool("injected: submit always breaks")
+
+        monkeypatch.setattr(sweep_mod._ResilientSweep, "_submit", broken_submit)
+        items = [1, 2, 3]
+        stats = {}
+        out = sweep_map(
+            _square, items, workers=2, backend="process", timeout=5.0, stats=stats
+        )
+        assert out == [1, 4, 9]
+        assert stats["backend"] == "serial"
+        assert stats["backend_requested"] == "process"
+        assert stats["pool_replacements"] == max(4, 2 * len(items))
+
+
+# ---------------------------------------------------------------------------
+# unpicklable worker exceptions: retry_on stays backend-independent
+# ---------------------------------------------------------------------------
+class TestRemoteErrors:
+    def test_retry_on_matches_unpicklable_worker_exception(self, tmp_path):
+        """An exception that cannot pickle back to the parent must
+        still match ``retry_on=(ItsType,)`` on the process backend
+        (regression: it was rewrapped as a bare RuntimeError, silently
+        disabling retry only on this backend)."""
+        fn = _FlakyUnpicklable(str(tmp_path / "seen"))
+        stats = {}
+        out = sweep_map(
+            fn,
+            [1, 2, 3],
+            workers=2,
+            backend="process",
+            retries=1,
+            retry_on=(_UnpicklableError,),
+            stats=stats,
+        )
+        assert out == [10, 20, 30]
+        assert stats["retried"] == 3
+        ledger = {r["index"]: r for r in stats["items"]}
+        assert all(ledger[i]["attempts"] == 2 for i in range(3))
+
+    def test_remote_error_matches_original_bases_not_wrapper(self, tmp_path):
+        """Matching is by the original type's MRO: a foreign retry_on
+        type does not match (even though the wrapper is a
+        RuntimeError), and the surfaced error names the original."""
+        fn = _FlakyUnpicklable(str(tmp_path / "seen"))
+        with pytest.raises(SweepRemoteError) as exc_info:
+            sweep_map(
+                fn,
+                [1, 2],
+                workers=2,
+                backend="process",
+                retries=2,
+                retry_on=(ValueError,),
+            )
+        assert exc_info.value.original.endswith("_UnpicklableError")
+        assert any(n.endswith("_UnpicklableError") for n in exc_info.value.mro)
+        assert "builtins.Exception" in exc_info.value.mro
 
 
 # ---------------------------------------------------------------------------
