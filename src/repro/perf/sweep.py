@@ -138,6 +138,8 @@ __all__ = [
     "RETRIES_ENV",
     "CHECKPOINT_ENV",
     "CHECKPOINT_KEY_ENV",
+    "CHECKPOINT_COMPACT_ENV",
+    "MAX_ITEM_RECORDS_ENV",
     "BACKENDS",
     "ON_ITEM_FAILURE_MODES",
     "SweepItemTimeout",
@@ -149,6 +151,8 @@ __all__ = [
     "resolve_timeout",
     "resolve_retries",
     "resolve_checkpoint",
+    "resolve_checkpoint_compact",
+    "resolve_max_item_records",
     "sweep_map",
     "worker_factor_cache",
 ]
@@ -169,6 +173,16 @@ CHECKPOINT_ENV = "REPRO_SWEEP_CHECKPOINT"
 #: restore unpickles result blobs, and unpickling attacker-controlled
 #: data executes arbitrary code.
 CHECKPOINT_KEY_ENV = "REPRO_SWEEP_CHECKPOINT_KEY"
+#: Checkpoint-compaction size trigger in bytes.  Opening a checkpoint
+#: file larger than this that contains superseded or corrupt lines
+#: rewrites it atomically, keeping only the latest line per item key
+#: (across every fingerprint sharing the file).  ``0`` disables
+#: compaction; unset means 4 MiB.
+CHECKPOINT_COMPACT_ENV = "REPRO_SWEEP_CHECKPOINT_COMPACT"
+#: Cap on detailed ``stats["items"]`` ledger entries (see
+#: :func:`resolve_max_item_records`).  ``0`` means unlimited; unset
+#: means 10000.
+MAX_ITEM_RECORDS_ENV = "REPRO_SWEEP_MAX_ITEM_RECORDS"
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
 #: Recognised ``on_item_failure`` policies.
@@ -176,6 +190,12 @@ ON_ITEM_FAILURE_MODES = ("raise", "retry", "skip")
 
 #: Default base of the jittered exponential retry backoff, in seconds.
 _DEFAULT_BACKOFF = 0.05
+
+#: Default checkpoint-compaction trigger (bytes).
+_DEFAULT_COMPACT_BYTES = 4 * 1024 * 1024
+
+#: Default ``stats["items"]`` ledger cap (detailed records).
+_DEFAULT_MAX_ITEM_RECORDS = 10000
 
 #: Default FactorCache size seeded into each worker process.
 _WORKER_CACHE_ENTRIES = 8
@@ -358,6 +378,61 @@ def resolve_checkpoint(checkpoint=None) -> Optional[str]:
         raw = os.environ.get(CHECKPOINT_ENV, "").strip()
         return raw or None
     return os.fspath(checkpoint)
+
+
+def resolve_checkpoint_compact(value=None) -> int:
+    """Effective checkpoint-compaction trigger in bytes.
+
+    Explicit arg, else :data:`CHECKPOINT_COMPACT_ENV`, else 4 MiB.
+    ``0`` disables compaction; negative or non-numeric values raise
+    :class:`ValueError`.
+    """
+    if value is None:
+        raw = os.environ.get(CHECKPOINT_COMPACT_ENV, "").strip()
+        if not raw:
+            return _DEFAULT_COMPACT_BYTES
+        value = raw
+    try:
+        n = int(float(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"checkpoint compact trigger must be a byte count >= 0, got {value!r}"
+        )
+    if n < 0:
+        raise ValueError(
+            f"checkpoint compact trigger must be a byte count >= 0, got {value!r}"
+        )
+    return n
+
+
+def resolve_max_item_records(value=None) -> int:
+    """Effective cap on detailed ``stats["items"]`` ledger entries.
+
+    Explicit arg, else :data:`MAX_ITEM_RECORDS_ENV`, else 10000.  ``0``
+    means unlimited; negative or non-numeric values raise
+    :class:`ValueError`.  When a sweep has more items than the cap, the
+    ledger keeps every non-``ok`` record first (failures are what the
+    ledger is *for*), pads with ``ok`` records in index order, and
+    reports the exact per-status tallies in ``stats["status_counts"]``
+    plus the overflow in ``stats["items_truncated"]`` — bounded memory
+    on million-point sweeps without losing the rollup arithmetic.
+    """
+    if value is None:
+        raw = os.environ.get(MAX_ITEM_RECORDS_ENV, "").strip()
+        if not raw:
+            return _DEFAULT_MAX_ITEM_RECORDS
+        value = raw
+    try:
+        n = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"max_item_records must be an integer >= 0, got {value!r}"
+        )
+    if n < 0:
+        raise ValueError(
+            f"max_item_records must be an integer >= 0, got {value!r}"
+        )
+    return n
 
 
 def _resolve_on_item_failure(mode: Optional[str]) -> str:
@@ -640,6 +715,7 @@ class _CheckpointStore:
         self.path = os.fspath(path)
         self.fingerprint = fingerprint
         self.saved = 0
+        self.compacted = None
         self._results = {}
         raw_key = os.environ.get(CHECKPOINT_KEY_ENV, "")
         self._key = raw_key.encode("utf-8") if raw_key else None
@@ -647,24 +723,77 @@ class _CheckpointStore:
             fh = open(self.path, "r", encoding="utf-8")
         except OSError:
             return
+        # latest surviving raw line per (fp, key) — every fingerprint
+        # sharing the file, lines kept verbatim so foreign MACs survive
+        # a compaction rewrite untouched
+        latest: dict = {}
+        total = 0
         with fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
+                total += 1
                 try:
                     rec = json.loads(line)
                 except ValueError:
+                    continue  # torn/corrupt: unusable, compactable
+                if not isinstance(rec, dict) or "key" not in rec:
                     continue
-                if rec.get("fp") != fingerprint:
-                    continue
-                if self._key is not None and not self._authentic(rec):
+                mine = rec.get("fp") == fingerprint
+                if mine and self._key is not None and not self._authentic(rec):
+                    continue  # tampered: never restored, never kept
+                latest[(rec.get("fp"), rec["key"])] = line
+                if not mine:
                     continue
                 try:
                     result = pickle.loads(base64.b64decode(rec["result"]))
                 except Exception:
                     continue
                 self._results[rec["key"]] = result
+        self._maybe_compact(latest, total)
+
+    def _maybe_compact(self, latest: dict, total: int) -> None:
+        """Atomically rewrite the file when it is both big and garbagey.
+
+        Triggered at store open, when the file exceeds the
+        :func:`resolve_checkpoint_compact` byte budget *and* holds lines
+        that no resume can use (superseded duplicates, torn tails,
+        tampered lines).  The rewrite keeps exactly the latest line per
+        ``(fingerprint, key)`` — verbatim, so lines belonging to other
+        sweeps (including their MACs) ride through — via tmp-file +
+        ``os.replace``, so a crash mid-compaction leaves the original.
+        """
+        limit = resolve_checkpoint_compact()
+        if limit <= 0 or total <= len(latest):
+            return
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size <= limit:
+            return
+        blob = "".join(line + "\n" for line in latest.values())
+        d = os.path.dirname(self.path) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(prefix=".ckpt-compact-", dir=d)
+        except OSError:  # pragma: no cover - unwritable checkpoint dir
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - rewrite failed: keep original
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.compacted = {
+            "before_bytes": size,
+            "after_bytes": len(blob.encode("utf-8")),
+            "dropped_lines": total - len(latest),
+        }
 
     def _mac(self, rec: dict) -> str:
         payload = "|".join(
@@ -691,9 +820,20 @@ class _CheckpointStore:
         if self._key is not None:
             rec["mac"] = self._mac(rec)
         line = json.dumps(rec)
+        # torn-tail guard: a writer killed mid-append leaves a file with
+        # no trailing newline; starting this line with our own newline
+        # isolates the torn tail instead of corrupting this record too
+        prefix = ""
+        try:
+            with open(self.path, "rb") as rf:
+                rf.seek(-1, os.SEEK_END)
+                if rf.read(1) != b"\n":
+                    prefix = "\n"
+        except OSError:
+            pass  # empty or missing file: nothing to guard
         try:
             with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+                fh.write(prefix + line + "\n")
         except OSError:  # pragma: no cover - read-only checkpoint dir
             return
         self._results[key] = result
@@ -939,6 +1079,7 @@ class _ResilientSweep:
         ran,
         attempted,
         extra,
+        max_item_records: Optional[int] = None,
     ):
         self.fn = fn
         self.items = items
@@ -954,6 +1095,7 @@ class _ResilientSweep:
         self.ran = ran
         self.attempted = attempted
         self.extra = extra
+        self.max_item_records = resolve_max_item_records(max_item_records)
         n = len(items)
         self.results: List = [None] * n
         self.records = [SweepItemRecord(index=i) for i in range(n)]
@@ -998,7 +1140,28 @@ class _ResilientSweep:
 
     def finalize_stats(self, stats: dict) -> None:
         """Fault-mode stats keys, layered over the legacy base keys."""
-        stats["items"] = [r.as_dict() for r in self.records]
+        # exact per-status tallies over *every* item, independent of the
+        # detailed-ledger cap below
+        counts: dict = {}
+        for r in self.records:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        stats["status_counts"] = counts
+        cap = self.max_item_records
+        if cap and len(self.records) > cap:
+            # failures are what the ledger is for: keep every non-ok
+            # record first, pad with ok records in index order
+            keep = [r for r in self.records if r.status != "ok"][:cap]
+            if len(keep) < cap:
+                budget = cap - len(keep)
+                keep.extend(
+                    [r for r in self.records if r.status == "ok"][:budget]
+                )
+            keep.sort(key=lambda r: r.index)
+            stats["items"] = [r.as_dict() for r in keep]
+            stats["items_truncated"] = len(self.records) - len(keep)
+        else:
+            stats["items"] = [r.as_dict() for r in self.records]
+            stats["items_truncated"] = 0
         stats["retried"] = self.retried
         stats["quarantined"] = self.quarantined
         stats["cached"] = self.cached
@@ -1016,6 +1179,8 @@ class _ResilientSweep:
                 "restored": self.cached,
                 "saved": self.store.saved,
             }
+            if self.store.compacted is not None:
+                stats["checkpoint"]["compacted"] = dict(self.store.compacted)
         if self.cache_hits or self.cache_misses:
             stats["worker_cache"] = {
                 "factor_hits": self.cache_hits,
@@ -1537,6 +1702,7 @@ def sweep_map(
     on_item_failure: Optional[str] = None,
     checkpoint=None,
     checkpoint_tag=None,
+    max_item_records: Optional[int] = None,
 ) -> List:
     """Map ``fn`` over ``items`` preserving order; parallel when asked.
 
@@ -1590,7 +1756,18 @@ def sweep_map(
         and an optional explicit fingerprint overriding the hash of
         ``fn`` for resume matching.  Restore unpickles stored results:
         only point this at files written by a trusted sweep, or set
-        :data:`CHECKPOINT_KEY_ENV` to HMAC-authenticate lines.
+        :data:`CHECKPOINT_KEY_ENV` to HMAC-authenticate lines.  Opening
+        a checkpoint file that exceeds the
+        :data:`CHECKPOINT_COMPACT_ENV` byte budget and contains
+        superseded/corrupt lines compacts it atomically (latest line
+        per item key, every fingerprint preserved); the rewrite is
+        reported under ``stats["checkpoint"]["compacted"]``.
+    max_item_records:
+        Cap on detailed ``stats["items"]`` entries (``None`` consults
+        :data:`MAX_ITEM_RECORDS_ENV`, defaulting to 10000; ``0`` means
+        unlimited).  See :func:`resolve_max_item_records` for the
+        keep/truncate policy; ``stats["status_counts"]`` stays exact
+        regardless.
     stats:
         Optional dict filled with ``{"workers", "tasks", "attempted",
         "backend"}`` describing what actually ran — the benchmarks
@@ -1604,7 +1781,9 @@ def sweep_map(
         The dict is populated even when ``fn`` raises (``attempted``
         counts the executions started — retries included — before the
         failure).  When fault-tolerance is engaged the dict also gains
-        ``"items"`` (the per-item ledger), ``"retried"``,
+        ``"items"`` (the per-item ledger, capped by
+        ``max_item_records``), ``"items_truncated"``,
+        ``"status_counts"`` (exact per-status tallies), ``"retried"``,
         ``"quarantined"``, ``"cached"``, ``"timeouts"``,
         ``"pool_replacements"``, ``"fault_policy"`` and (with a
         checkpoint) ``"checkpoint"``.
@@ -1671,6 +1850,7 @@ def sweep_map(
             ran,
             attempted,
             extra_stats,
+            max_item_records=max_item_records,
         )
     results: List
     try:

@@ -20,15 +20,20 @@ from repro.robust.faultinject import (
     ChaosSpec,
     FaultClock,
     FaultyMNASystem,
+    ServeChaos,
     SweepChaos,
     TransientFault,
+    active_serve_chaos,
     active_sweep_chaos,
+    chaos_serve,
     chaos_sweeps,
     inject_error,
     inject_nan,
     inject_perturb,
     inject_singular,
+    install_serve_chaos,
     install_sweep_chaos,
+    tear_final_line,
 )
 from repro.robust.krylov import DirectSolveResult, robust_direct_solve, robust_gmres
 from repro.robust.policy import (
@@ -52,6 +57,7 @@ __all__ = [
     "FaultClock",
     "FaultyMNASystem",
     "RungOutcome",
+    "ServeChaos",
     "SolveFailure",
     "SolveReport",
     "SweepChaos",
@@ -59,15 +65,19 @@ __all__ = [
     "TransientFault",
     "ValidationError",
     "ValidationReport",
+    "active_serve_chaos",
     "active_sweep_chaos",
+    "chaos_serve",
     "chaos_sweeps",
     "enforce",
     "inject_error",
     "inject_nan",
     "inject_perturb",
     "inject_singular",
+    "install_serve_chaos",
     "install_sweep_chaos",
     "robust_direct_solve",
     "robust_gmres",
     "run_ladder",
+    "tear_final_line",
 ]

@@ -90,6 +90,11 @@ class Diagnostic:
         fix = f"  (fix: {self.suggestion})" if self.suggestion else ""
         return f"[{self.severity}] {self.code}{loc}: {self.message}{fix}"
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``python -m repro.validate --json``, the
+        service WAL's rejection events)."""
+        return dataclasses.asdict(self)
+
 
 @dataclasses.dataclass
 class ValidationReport:
@@ -166,6 +171,17 @@ class ValidationReport:
 
     def __iter__(self):
         return iter(self.diagnostics)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form: verdict + counts + every diagnostic."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "wall_time": self.wall_time,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
 
     def summary(self) -> str:
         """Human-readable multi-line account of the lint."""

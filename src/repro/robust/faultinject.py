@@ -48,15 +48,20 @@ __all__ = [
     "ChaosSpec",
     "FaultClock",
     "FaultyMNASystem",
+    "ServeChaos",
     "SweepChaos",
     "TransientFault",
+    "active_serve_chaos",
     "active_sweep_chaos",
+    "chaos_serve",
     "chaos_sweeps",
     "inject_error",
     "inject_nan",
     "inject_perturb",
     "inject_singular",
+    "install_serve_chaos",
     "install_sweep_chaos",
+    "tear_final_line",
 ]
 
 
@@ -171,7 +176,10 @@ def inject_error(
     return wrapped
 
 
-_CHAOS_KINDS = ("error", "hang", "crash")
+#: ``error``/``hang``/``crash`` strike executing tasks (sweep items,
+#: service jobs); ``disk_full``/``torn`` strike write-ahead-log appends
+#: and are only meaningful in a :class:`ServeChaos` ``wal_faults`` map.
+_CHAOS_KINDS = ("error", "hang", "crash", "disk_full", "torn")
 
 
 @dataclasses.dataclass
@@ -314,6 +322,207 @@ def chaos_sweeps(chaos: SweepChaos):
         yield chaos
     finally:
         install_sweep_chaos(prev)
+
+
+# -- service-level chaos ------------------------------------------------
+
+_JOB_KINDS = ("error", "hang", "crash")
+_WAL_KINDS = ("disk_full", "torn")
+
+
+class ServeChaos:
+    """Deterministic fault injection for the simulation service.
+
+    Two fault surfaces:
+
+    * ``job_faults`` maps a **netlist tag** — any substring of the
+      submitted netlist text, or ``"*"`` for every job — to a
+      :class:`ChaosSpec` with a task-level kind (``error``/``hang``/
+      ``crash``).  Workers call :meth:`before_job` as a claimed job
+      starts solving; the fault strikes *in the worker process*, so a
+      ``crash`` models a worker SIGKILL'd mid-job and a ``hang`` models
+      a stuck solve the lease TTL must reap.
+    * ``wal_faults`` maps a WAL **operation name** (currently
+      ``"append"``) to a spec with a log-level kind: ``disk_full``
+      makes scheduled appends raise ``ENOSPC``, ``torn`` makes them
+      persist only half the line — what a crash mid-``write`` leaves.
+
+    Both schedules count executions in files under ``state_dir`` (one
+    byte per occurrence), so "crash the first attempt, succeed after"
+    holds across worker processes and service restarts — the same
+    idiom as :class:`SweepChaos`.
+
+    Install process-wide with :func:`chaos_serve`::
+
+        chaos = ServeChaos({"poison": ChaosSpec(kind="crash")}, tmp_path)
+        with chaos_serve(chaos):
+            svc.drain()
+        assert chaos.attempts("poison") == 2   # crashed once, retried
+    """
+
+    def __init__(
+        self,
+        job_faults: Optional[Dict[str, ChaosSpec]] = None,
+        state_dir=".",
+        wal_faults: Optional[Dict[str, ChaosSpec]] = None,
+    ):
+        self.job_faults = dict(job_faults or {})
+        self.wal_faults = dict(wal_faults or {})
+        for tag, spec in self.job_faults.items():
+            if not isinstance(spec, ChaosSpec):
+                raise TypeError(f"fault values must be ChaosSpec, got {spec!r}")
+            if spec.kind not in _JOB_KINDS:
+                raise ValueError(
+                    f"job fault {tag!r}: kind must be one of {_JOB_KINDS}, "
+                    f"got {spec.kind!r}"
+                )
+        for op, spec in self.wal_faults.items():
+            if not isinstance(spec, ChaosSpec):
+                raise TypeError(f"fault values must be ChaosSpec, got {spec!r}")
+            if spec.kind not in _WAL_KINDS:
+                raise ValueError(
+                    f"wal fault {op!r}: kind must be one of {_WAL_KINDS}, "
+                    f"got {spec.kind!r}"
+                )
+        self.state_dir = os.fspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+
+    # -- counters (file-based: shared across processes) ----------------
+    @staticmethod
+    def _slug(text: str) -> str:
+        import hashlib
+
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+    def _job_counter(self, tag: str) -> str:
+        return os.path.join(self.state_dir, f"serve_job_{self._slug(tag)}.attempts")
+
+    def _wal_counter(self, op: str) -> str:
+        return os.path.join(self.state_dir, f"serve_wal_{op}.count")
+
+    @staticmethod
+    def _bump(path: str) -> int:
+        with open(path, "ab") as fh:
+            fh.write(b".")
+            fh.flush()
+            return fh.tell()
+
+    @staticmethod
+    def _count(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    def attempts(self, tag: str) -> int:
+        """Executions so far of jobs matching ``tag``."""
+        return self._count(self._job_counter(tag))
+
+    def wal_ops(self, op: str) -> int:
+        """WAL operations of kind ``op`` seen so far."""
+        return self._count(self._wal_counter(op))
+
+    def reset(self) -> None:
+        for tag in self.job_faults:
+            try:
+                os.remove(self._job_counter(tag))
+            except OSError:
+                pass
+        for op in self.wal_faults:
+            try:
+                os.remove(self._wal_counter(op))
+            except OSError:
+                pass
+
+    # -- injection points consumed by repro.serve ----------------------
+    def before_job(self, netlist: str, job_id: str = "") -> None:
+        """Called by a worker as a claimed job starts solving.
+
+        The first ``job_faults`` tag found in the netlist text (``"*"``
+        matches everything) is counted and, while executions remain in
+        its schedule, applied — in this process, like a real fault.
+        """
+        for tag, spec in self.job_faults.items():
+            if tag != "*" and tag not in netlist:
+                continue
+            n = self._bump(self._job_counter(tag))
+            if n > spec.times:
+                return
+            if spec.kind == "crash":
+                os._exit(spec.exit_code)
+            if spec.kind == "hang":
+                time.sleep(spec.duration)
+                return
+            raise spec.exc_type(f"{spec.message} (job {job_id}, attempt {n})")
+
+    def wal_op(self, op: str) -> Optional[str]:
+        """Called by the WAL before operation ``op``; returns the fault
+        kind to apply (``"disk_full"``/``"torn"``) or ``None``."""
+        spec = self.wal_faults.get(op)
+        if spec is None:
+            return None
+        n = self._bump(self._wal_counter(op))
+        if n > spec.times:
+            return None
+        return spec.kind
+
+
+def tear_final_line(path) -> int:
+    """Truncate a file's final line to half its bytes (a torn write).
+
+    Models a writer killed mid-``write`` — exactly the damage the WAL's
+    replay rules and torn-tail guard must absorb.  Returns how many
+    bytes were removed (0 when the file is empty or has no final line).
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with open(path, "r+b") as fh:
+        data = fh.read()
+        body = data[:-1] if data.endswith(b"\n") else data
+        if not body:
+            return 0
+        start = body.rfind(b"\n") + 1
+        line = body[start:]
+        if not line:
+            return 0
+        new_end = start + max(1, len(line) // 2)
+        fh.truncate(new_end)
+    return size - new_end
+
+
+#: Process-global service chaos harness consumed by repro.serve (each
+#: worker process re-imports this module, so install it *before* fork
+#: or inside worker_main's process).
+_SERVE_CHAOS: Optional[ServeChaos] = None
+
+
+def install_serve_chaos(chaos: Optional[ServeChaos]) -> Optional[ServeChaos]:
+    """Install (or clear, with ``None``) the active service chaos
+    harness; returns the previously installed one."""
+    global _SERVE_CHAOS
+    prev = _SERVE_CHAOS
+    _SERVE_CHAOS = chaos
+    return prev
+
+
+def active_serve_chaos() -> Optional[ServeChaos]:
+    """The harness the service's WAL and workers will consult, if any."""
+    return _SERVE_CHAOS
+
+
+@contextmanager
+def chaos_serve(chaos: ServeChaos):
+    """Scope ``chaos`` over a block of service activity."""
+    prev = install_serve_chaos(chaos)
+    try:
+        yield chaos
+    finally:
+        install_serve_chaos(prev)
 
 
 class FaultyMNASystem:

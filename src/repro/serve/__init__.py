@@ -1,0 +1,53 @@
+"""Crash-safe simulation service: durable queue, leases, solve cache.
+
+The paper's methodology assumes simulation is a *service* the design
+flow leans on — schematic capture hands netlists to simulators and
+expects answers back reliably, not "resubmit everything because a
+machine died".  This package is that service layer for the repro stack:
+
+* :class:`SimulationService` / :func:`open_service` — the front door
+  (submit / status / drain / recover) over one durable root directory;
+* :class:`JobSpec` + :func:`content_key` — content-addressed job
+  identity (identical work is solved once, ever);
+* :class:`JobQueue` — the WAL-backed job state machine with lease-based
+  worker ownership and dead-letter quarantine;
+* :class:`Worker` / :func:`worker_main` — the claim/solve/record loop;
+* :class:`ResultStore` — the atomic, write-once, optionally
+  HMAC-authenticated result store;
+* :class:`WriteAheadLog` — the checksummed JSONL event log with
+  torn-line recovery.
+
+``python -m repro.serve`` is the operator CLI.  See DESIGN.md ("Job
+lifecycle") for the state machine and the crash-recovery rules.
+"""
+
+from .jobspec import JobSpec, canonical_netlist, canonical_params, content_key
+from .queue import JOB_STATES, JobQueue, JobRecord, ServiceConfig
+from .runner import ANALYSES, lint_spec, run_job
+from .service import SimulationService, SubmitResult, open_service
+from .store import RESULT_KEY_ENV, ResultStore
+from .wal import WALError, WriteAheadLog
+from .worker import Worker, worker_main
+
+__all__ = [
+    "ANALYSES",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "RESULT_KEY_ENV",
+    "ResultStore",
+    "ServiceConfig",
+    "SimulationService",
+    "SubmitResult",
+    "WALError",
+    "Worker",
+    "WriteAheadLog",
+    "canonical_netlist",
+    "canonical_params",
+    "content_key",
+    "lint_spec",
+    "open_service",
+    "run_job",
+    "worker_main",
+]

@@ -1,0 +1,204 @@
+"""Operator CLI for the simulation service.
+
+    python -m repro.serve submit ROOT netlist.cir --analysis dc
+    python -m repro.serve status ROOT [JOB_ID] [--json]
+    python -m repro.serve result ROOT JOB_ID
+    python -m repro.serve drain ROOT
+    python -m repro.serve run-workers ROOT -n 2
+    python -m repro.serve requeue-dead ROOT [JOB_ID]
+
+Exit status: 0 on success; 1 when the requested operation failed (a
+rejected submission, an unknown job id, a drain that left dead jobs);
+2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .queue import ServiceConfig
+from .service import SimulationService
+
+__all__ = ["main"]
+
+
+def _parse_param(kv: str):
+    if "=" not in kv:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {kv!r}")
+    key, _, raw = kv.partition("=")
+    try:
+        return key, json.loads(raw)
+    except ValueError:
+        return key, raw  # bare strings like source=V1
+
+
+def _open(args) -> SimulationService:
+    kwargs = {}
+    if getattr(args, "lease_ttl", None) is not None:
+        kwargs["lease_ttl"] = args.lease_ttl
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    if getattr(args, "trace", False):
+        kwargs["trace"] = True
+    config = ServiceConfig(**kwargs) if kwargs else None
+    return SimulationService(args.root, config=config)
+
+
+def _cmd_submit(args) -> int:
+    svc = _open(args)
+    try:
+        with open(args.netlist, "r") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = dict(args.param or [])
+    res = svc.submit(text, args.analysis, params=params,
+                     label=args.label or args.netlist)
+    print(f"{res.job_id}: {res.state} (key {res.key[:12]})")
+    if res.report is not None and res.report.diagnostics:
+        for diag in res.report.diagnostics:
+            print(f"  {diag.format()}")
+    return 0 if res.ok else 1
+
+
+def _cmd_status(args) -> int:
+    svc = _open(args)
+    if args.job_id:
+        rec = svc.status(args.job_id)
+        if rec is None:
+            print(f"error: unknown job {args.job_id!r}", file=sys.stderr)
+            return 1
+        print(json.dumps(rec, indent=2, default=repr))
+        return 0
+    if args.json:
+        print(json.dumps({"summary": svc.summary(), "jobs": svc.status()},
+                         indent=2, default=repr))
+        return 0
+    summary = svc.summary()
+    states = " ".join(f"{k}={v}" for k, v in sorted(summary["states"].items()))
+    print(f"{summary['root']}: {summary['jobs']} job(s), "
+          f"{summary['results']} result(s)  [{states}]")
+    for rec in svc.status():
+        extra = f" x{rec['attempts']}" if rec["attempts"] > 1 else ""
+        cause = f"  ({rec['failure_cause']})" if rec["failure_cause"] else ""
+        print(f"  {rec['job_id']}  {rec['state']:9s}{extra}  "
+              f"{rec['analysis']:9s} {rec['label']}{cause}")
+    return 0
+
+
+def _cmd_result(args) -> int:
+    svc = _open(args)
+    payload = svc.result(args.job_id)
+    if payload is None:
+        rec = svc.status(args.job_id)
+        state = rec["state"] if rec else "unknown"
+        print(f"error: no result for {args.job_id} (state: {state})",
+              file=sys.stderr)
+        return 1
+    out = {}
+    for key, val in payload.items():
+        shape = getattr(val, "shape", None)
+        out[key] = f"array{tuple(shape)}" if shape is not None else val
+    print(json.dumps(out, indent=2, default=repr))
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    svc = _open(args)
+    ran = svc.drain(max_jobs=args.max_jobs)
+    summary = svc.summary()
+    dead = summary["states"].get("dead", 0)
+    print(f"drained: {ran} attempt(s) executed, states: "
+          + " ".join(f"{k}={v}" for k, v in sorted(summary["states"].items())))
+    return 1 if dead else 0
+
+
+def _cmd_run_workers(args) -> int:
+    svc = _open(args)
+    svc.recover()
+    procs = svc.spawn_workers(args.workers, max_seconds=args.max_seconds)
+    print(f"started {len(procs)} worker(s) over {svc.root}")
+    for p in procs:
+        p.join()
+    summary = svc.summary()
+    print("workers exited, states: "
+          + " ".join(f"{k}={v}" for k, v in sorted(summary["states"].items())))
+    return 1 if summary["states"].get("dead", 0) else 0
+
+
+def _cmd_requeue_dead(args) -> int:
+    svc = _open(args)
+    requeued = svc.requeue_dead(args.job_id)
+    print(f"requeued {len(requeued)} job(s)"
+          + (": " + " ".join(requeued) if requeued else ""))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Crash-safe simulation job service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("root", help="service root directory")
+        p.add_argument("--lease-ttl", type=float, default=None,
+                       help="seconds before a silent lease is reclaimed")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="failed attempts before dead-letter quarantine")
+        p.add_argument("--trace", action="store_true",
+                       help="write per-worker trace JSONL under ROOT/trace/")
+
+    p = sub.add_parser("submit", help="admit + enqueue one netlist job")
+    common(p)
+    p.add_argument("netlist", help="netlist file (*.cir)")
+    p.add_argument("--analysis", default="dc",
+                   help="dc | ac | transient (default: dc)")
+    p.add_argument("--param", action="append", type=_parse_param,
+                   metavar="KEY=VALUE",
+                   help="analysis parameter (JSON value or bare string); "
+                        "repeatable")
+    p.add_argument("--label", default="", help="free-form job tag")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="job table / one job's record")
+    common(p)
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable full dump")
+    p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser("result", help="show a done job's payload summary")
+    common(p)
+    p.add_argument("job_id")
+    p.set_defaults(fn=_cmd_result)
+
+    p = sub.add_parser("drain", help="run an inline worker until empty")
+    common(p)
+    p.add_argument("--max-jobs", type=int, default=None)
+    p.set_defaults(fn=_cmd_drain)
+
+    p = sub.add_parser("run-workers", help="spawn worker processes")
+    common(p)
+    p.add_argument("-n", "--workers", type=int, default=2)
+    p.add_argument("--max-seconds", type=float, default=None,
+                   help="stop workers after this long even if not drained")
+    p.set_defaults(fn=_cmd_run_workers)
+
+    p = sub.add_parser("requeue-dead", help="resurrect dead-letter jobs")
+    common(p)
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="one job (default: every dead job)")
+    p.set_defaults(fn=_cmd_requeue_dead)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

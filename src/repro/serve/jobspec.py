@@ -1,0 +1,150 @@
+"""Job specifications and content-addressed job identity.
+
+A simulation job is ``(netlist text, analysis name, params dict)``.  Two
+jobs are *the same work* when those three agree after canonicalisation —
+formatting, comments, case and the title line of a netlist never change
+the answer, so they must not change the cache key.  :func:`content_key`
+is that identity: a SHA-256 over the canonical netlist, the analysis
+name and the sorted-JSON parameter dict.  The service's result store is
+keyed by it, which is what makes a million users submitting the same
+textbook circuit cost one solve.
+
+Canonicalisation is deliberately conservative: it normalises whitespace,
+case, comments, continuations and the title card, but **preserves device
+card order**.  Card order feeds the MNA node numbering, so reordered
+netlists may produce differently-ordered (though physically identical)
+solution vectors — they get distinct keys rather than risk serving a
+result whose raw arrays do not match a fresh solve bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "JobSpec",
+    "canonical_netlist",
+    "canonical_params",
+    "content_key",
+]
+
+#: Leading characters that mark a SPICE card (mirrors the parser's
+#: title-line heuristic in :func:`repro.netlist.parser.parse_netlist`).
+_CARD_LEADS = "RCLKVIDQMEGX."
+
+#: Comment lead characters in the supported dialect.
+_COMMENT_LEADS = ("*", ";")
+
+
+def _is_card(line: str) -> bool:
+    return bool(line) and line[0].upper() in _CARD_LEADS and len(line.split()) >= 3
+
+
+def canonical_netlist(text: str) -> str:
+    """Normalise netlist text to its content-identity form.
+
+    * comments (``*``/``;`` lines) and blank lines are dropped;
+    * ``+`` continuation lines are folded into their card;
+    * the title card (first line, when it does not look like a card) is
+      dropped — titles never affect results;
+    * everything at and after ``.end`` is dropped;
+    * runs of whitespace collapse to single spaces and the text is
+      lowercased (the dialect is case-insensitive).
+
+    Card order is preserved (see the module docstring for why).
+    """
+    cards: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_LEADS):
+            continue
+        if line.startswith("+") and cards:
+            cards[-1] = cards[-1] + " " + line[1:].strip()
+            continue
+        cards.append(line)
+    if cards and not _is_card(cards[0]) and not cards[0].startswith("."):
+        cards = cards[1:]  # title card
+    out: List[str] = []
+    for line in cards:
+        if line.split()[0].lower() == ".end":
+            break
+        out.append(" ".join(line.split()).lower())
+    return "\n".join(out)
+
+
+def canonical_params(params: Optional[Dict]) -> str:
+    """Deterministic JSON form of a parameter dict (key order free)."""
+    return json.dumps(
+        params or {}, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def content_key(netlist: str, analysis: str, params: Optional[Dict] = None) -> str:
+    """Content address of one unit of simulation work.
+
+    ``sha256(canonical netlist | analysis | canonical params)`` — the
+    key the result store, the submit-time dedupe and the worker-side
+    cache check all share.
+    """
+    blob = "\n\x00".join(
+        (canonical_netlist(netlist), str(analysis).strip().lower(),
+         canonical_params(params))
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class JobSpec:
+    """What a submitter asks the service to run.
+
+    Attributes
+    ----------
+    netlist:
+        SPICE-style netlist text (the same dialect
+        :func:`repro.netlist.parser.parse_netlist` accepts).
+    analysis:
+        Analysis family name — one of the runners registered in
+        :mod:`repro.serve.runner` (``"dc"``, ``"ac"``, ``"transient"``).
+    params:
+        Analysis parameters (e.g. ``{"source": "V1", "freqs": [...]}``
+        for AC).  ``sweep_options`` inside ``params`` rides through to
+        :func:`repro.perf.sweep_map` for sweep-shaped analyses.
+    label:
+        Free-form submitter tag carried through job records and the
+        status CLI; never part of the content key.
+    """
+
+    netlist: str
+    analysis: str
+    params: Dict = dataclasses.field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self):
+        self.analysis = str(self.analysis).strip().lower()
+        if self.params is None:
+            self.params = {}
+
+    @property
+    def key(self) -> str:
+        return content_key(self.netlist, self.analysis, self.params)
+
+    def as_dict(self) -> Dict:
+        return {
+            "netlist": self.netlist,
+            "analysis": self.analysis,
+            "params": self.params,
+            "label": self.label,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "JobSpec":
+        return cls(
+            netlist=d["netlist"],
+            analysis=d["analysis"],
+            params=d.get("params") or {},
+            label=d.get("label", ""),
+        )

@@ -1,0 +1,227 @@
+"""Analysis runners: one registered entry point per job ``analysis``.
+
+The worker hands a :class:`~repro.serve.jobspec.JobSpec` to
+:func:`run_job`, which parses + compiles the netlist and dispatches to
+the registered runner.  Runners return a plain picklable payload dict
+(numpy arrays + scalars + a report summary) — that is what the
+content-addressed store records, so payloads must be deterministic
+functions of the spec (the backends' bit-identity contract from
+:func:`repro.perf.sweep_map` keeps sweep-shaped analyses deterministic
+whatever worker count runs them).
+
+Admission-side, :func:`lint_spec` is the service's reject-before-enqueue
+gate: the full netlist pre-flight from :mod:`repro.robust.validate` plus
+serve-specific checks (unknown analysis, missing/invalid parameters),
+all reported as stable-coded :class:`~repro.robust.Diagnostic` records.
+
+Every solve runs the solver family's default escalation ladder from
+:mod:`repro.robust.policy` (the analyses own their ladders; jobs may
+narrow behaviour via params) and is wrapped in a ``serve.solve`` trace
+span, so ``python -m repro.trace summarize`` over the service's worker
+traces doubles as its latency dashboard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..netlist.parser import NetlistError, parse_netlist
+from ..robust.diagnostics import ValidationReport
+from ..trace import get_tracer
+from .jobspec import JobSpec
+
+__all__ = ["ANALYSES", "lint_spec", "run_job", "compile_spec"]
+
+
+# -- payload helpers ----------------------------------------------------
+
+
+def _report_summary(res) -> Dict:
+    report = getattr(res, "report", None)
+    out = {
+        "converged": bool(getattr(res, "converged", True)),
+    }
+    if report is not None:
+        out["strategy"] = report.strategy
+        out["attempts"] = len(report.attempts)
+        out["iterations"] = report.total_iterations
+    return out
+
+
+def _sweep_kwargs(params: Dict) -> Dict:
+    """Sweep-executor passthrough for sweep-shaped analyses."""
+    out = {}
+    if params.get("workers") is not None:
+        out["workers"] = int(params["workers"])
+    if params.get("backend") is not None:
+        out["backend"] = str(params["backend"])
+    if params.get("sweep_options"):
+        out["sweep_options"] = dict(params["sweep_options"])
+    return out
+
+
+def _freq_grid(params: Dict) -> np.ndarray:
+    if params.get("freqs") is not None:
+        return np.asarray([float(f) for f in params["freqs"]], dtype=float)
+    f0, f1 = float(params["f_start"]), float(params["f_stop"])
+    n = int(params.get("n_points", 31))
+    return np.logspace(math.log10(f0), math.log10(f1), n)
+
+
+# -- runners ------------------------------------------------------------
+
+
+def _run_dc(system, params: Dict) -> Dict:
+    from ..analysis.dc import dc_analysis
+
+    res = dc_analysis(system, on_invalid="ignore")
+    return {
+        "analysis": "dc",
+        "x": res.x,
+        "node_names": list(system.node_names),
+        "report": _report_summary(res),
+    }
+
+
+def _run_ac(system, params: Dict) -> Dict:
+    from ..analysis.ac import ac_analysis
+
+    res = ac_analysis(
+        system,
+        str(params["source"]),
+        _freq_grid(params),
+        magnitude=float(params.get("magnitude", 1.0)),
+        **_sweep_kwargs(params),
+    )
+    return {
+        "analysis": "ac",
+        "freqs": res.freqs,
+        "X": res.X,
+        "x_dc": res.x_dc,
+        "node_names": list(system.node_names),
+        "report": {"converged": True},
+    }
+
+
+def _run_transient(system, params: Dict) -> Dict:
+    from ..analysis.transient import transient_analysis
+
+    res = transient_analysis(
+        system,
+        float(params["t_stop"]),
+        float(params["dt"]),
+        method=str(params.get("method", "trap")),
+        adaptive=bool(params.get("adaptive", False)),
+        on_invalid="ignore",
+    )
+    return {
+        "analysis": "transient",
+        "t": res.t,
+        "X": res.X,
+        "node_names": list(system.node_names),
+        "report": _report_summary(res),
+    }
+
+
+#: analysis name -> (runner, required params).  Params are validated at
+#: admission; everything else a runner reads is optional with defaults.
+ANALYSES: Dict[str, tuple] = {
+    "dc": (_run_dc, ()),
+    "ac": (_run_ac, ("source",)),
+    "transient": (_run_transient, ("t_stop", "dt")),
+}
+
+
+# -- admission gate -----------------------------------------------------
+
+
+def lint_spec(spec: JobSpec, numeric: bool = True) -> ValidationReport:
+    """Full reject-before-enqueue admission report for one spec.
+
+    Parse + compile + circuit/analysis pre-flight (reusing the
+    :func:`repro.validate.lint_text` machinery the CLI exposes) plus
+    serve-level checks: the analysis must be registered and its
+    required parameters present and sane.  Error-severity diagnostics
+    mean the job is rejected with this report attached — it never
+    reaches the queue, so poison *inputs* are caught before they can
+    waste a worker.
+    """
+    from ..validate import lint_text
+
+    report = lint_text(
+        spec.netlist, name=spec.label or "<submitted>", numeric=numeric
+    )
+    report.subject = spec.label or "job"
+    entry = ANALYSES.get(spec.analysis)
+    if entry is None:
+        report.add(
+            "SERVE_UNKNOWN_ANALYSIS",
+            "error",
+            f"no runner registered for analysis {spec.analysis!r}",
+            suggestion=f"use one of {sorted(ANALYSES)}",
+        )
+        return report
+    _, required = entry
+    for name in required:
+        if name in spec.params:
+            continue
+        report.add(
+            "SERVE_MISSING_PARAM",
+            "error",
+            f"analysis {spec.analysis!r} requires parameter {name!r}",
+            location=name,
+        )
+    if spec.analysis == "ac" and "source" in spec.params:
+        if spec.params.get("freqs") is None and (
+            spec.params.get("f_start") is None or spec.params.get("f_stop") is None
+        ):
+            report.add(
+                "SERVE_MISSING_PARAM",
+                "error",
+                "ac analysis needs either 'freqs' or 'f_start'+'f_stop'",
+                location="freqs",
+            )
+    if spec.analysis == "transient":
+        for name in ("t_stop", "dt"):
+            try:
+                val = float(spec.params[name])
+            except (KeyError, TypeError, ValueError):
+                continue  # missing already reported / non-numeric below
+            if not math.isfinite(val) or val <= 0:
+                report.add(
+                    "SERVE_BAD_PARAM",
+                    "error",
+                    f"{name} must be a finite number > 0, got {val!r}",
+                    location=name,
+                )
+    return report
+
+
+# -- execution ----------------------------------------------------------
+
+
+def compile_spec(spec: JobSpec):
+    """Parse + compile a spec's netlist (admission already linted it)."""
+    circuit = parse_netlist(spec.netlist, filename=spec.label or None)
+    return circuit.compile(on_invalid=None)
+
+
+def run_job(spec: JobSpec) -> Dict:
+    """Execute one job spec end to end; returns the result payload.
+
+    Exceptions propagate to the caller (the worker), which owns the
+    retry/backoff ladder and the dead-letter decision.
+    """
+    entry = ANALYSES.get(spec.analysis)
+    if entry is None:
+        raise KeyError(f"no runner registered for analysis {spec.analysis!r}")
+    runner, _ = entry
+    tr = get_tracer()
+    with tr.span("serve.solve", analysis=spec.analysis, key=spec.key[:12]):
+        system = compile_spec(spec)
+        payload = runner(system, spec.params)
+    payload["key"] = spec.key
+    return payload

@@ -1,0 +1,158 @@
+"""Content-addressed, write-once result store.
+
+Results live at ``results/<key[:2]>/<key>.pkl`` with a JSON sidecar of
+metadata; ``key`` is :func:`repro.serve.jobspec.content_key` — identical
+submissions share one entry, so repeated textbook-circuit traffic costs
+one solve ever.  Three properties the service leans on:
+
+* **atomic** — payloads are written to a temp file in the same
+  directory and ``os.replace``'d into place, so a crashed writer can
+  never leave a half-result that a reader mistakes for a whole one;
+* **write-once** — :meth:`ResultStore.put` refuses to overwrite an
+  existing key.  At-least-once job execution means two workers may
+  legitimately race to record the same (bit-identical, by the sweep
+  executor's determinism contract) result; first write wins and the
+  duplicate is dropped, which is what makes "exactly-once recorded
+  result" literal;
+* **authenticated (optional)** — results are pickles, and unpickling
+  attacker-controlled bytes executes arbitrary code, so the same trust
+  boundary as PR 7's sweep checkpoints applies.  Setting
+  :data:`RESULT_KEY_ENV` (or the sweep checkpoint key it falls back
+  to) MACs every payload with HMAC-SHA256; reads verify and treat a
+  bad MAC as a miss — tampered entries are re-solved, not unpickled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RESULT_KEY_ENV", "ResultStore", "atomic_write_bytes", "atomic_write_json"]
+
+#: Secret for result-payload HMACs; falls back to the sweep checkpoint
+#: key so one deployment secret covers both persistence layers.
+RESULT_KEY_ENV = "REPRO_SERVE_RESULT_KEY"
+_FALLBACK_KEY_ENV = "REPRO_SWEEP_CHECKPOINT_KEY"
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp-file + ``os.replace``."""
+    path = os.fspath(path)
+    d = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=d)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj) -> None:
+    atomic_write_bytes(path, json.dumps(obj, indent=1, default=repr).encode("utf-8"))
+
+
+def _mac_key() -> Optional[bytes]:
+    raw = os.environ.get(RESULT_KEY_ENV) or os.environ.get(_FALLBACK_KEY_ENV) or ""
+    return raw.encode("utf-8") if raw else None
+
+
+class ResultStore:
+    """Directory-backed content-addressed store of solve results."""
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def _paths(self, key: str) -> Tuple[str, str]:
+        key = str(key)
+        d = os.path.join(self.root, key[:2] or "xx")
+        return os.path.join(d, key + ".pkl"), os.path.join(d, key + ".json")
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self._paths(key)[0])
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    def keys(self):
+        for sub in sorted(os.listdir(self.root)):
+            d = os.path.join(self.root, sub)
+            if not os.path.isdir(d):
+                continue
+            for name in sorted(os.listdir(d)):
+                if name.endswith(".pkl"):
+                    yield name[: -len(".pkl")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, key: str, payload, meta: Optional[Dict] = None) -> bool:
+        """Record ``payload`` under ``key``; returns False when the key
+        already exists (write-once: the first recorded result wins)."""
+        pkl_path, meta_path = self._paths(key)
+        if os.path.exists(pkl_path):
+            return False
+        os.makedirs(os.path.dirname(pkl_path), exist_ok=True)
+        blob = pickle.dumps(payload)
+        side = dict(meta or {})
+        side["sha256"] = hashlib.sha256(blob).hexdigest()
+        mac_key = _mac_key()
+        if mac_key is not None:
+            side["mac"] = hmac.new(mac_key, blob, hashlib.sha256).hexdigest()
+        atomic_write_json(meta_path, side)
+        atomic_write_bytes(pkl_path, blob)
+        return True
+
+    # -- read ----------------------------------------------------------
+
+    def get_meta(self, key: str) -> Optional[Dict]:
+        _, meta_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def get(self, key: str):
+        """Load a payload; ``None`` on miss, corruption or MAC failure.
+
+        A ``None`` from an existing key means "do not trust this entry"
+        — callers re-solve, they never unpickle unauthenticated bytes
+        when a MAC key is configured.
+        """
+        pkl_path, _ = self._paths(key)
+        try:
+            with open(pkl_path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        meta = self.get_meta(key) or {}
+        want = meta.get("sha256")
+        if want and hashlib.sha256(blob).hexdigest() != want:
+            return None
+        mac_key = _mac_key()
+        if mac_key is not None:
+            mac = meta.get("mac")
+            good = isinstance(mac, str) and hmac.compare_digest(
+                mac, hmac.new(mac_key, blob, hashlib.sha256).hexdigest()
+            )
+            if not good:
+                return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            return None

@@ -1,6 +1,7 @@
 """Command-line pre-flight linter for netlists.
 
     python -m repro.validate examples/netlists/*.cir
+    python -m repro.validate --json examples/netlists/*.cir
 
 Parses each SPICE-style netlist, compiles it, and runs the full
 pre-flight suite from :mod:`repro.robust.validate` — circuit topology
@@ -10,14 +11,31 @@ system (conditioning estimate, scaling spread, gmin suggestion).  Every
 finding is printed as a structured diagnostic with its stable code;
 parse failures are reported with ``filename:line``.
 
-Exit status: 0 when no file produced an error-severity diagnostic,
-1 otherwise, 2 for usage errors.  Warnings never fail the run unless
-``--strict`` is given.
+``--json`` emits one machine-readable document on stdout instead::
+
+    {"ok": false, "files": <n>, "failed": <n>,
+     "reports": [{"subject": ..., "ok": ..., "errors": ..., "warnings":
+                  ..., "wall_time": ..., "diagnostics": [{"code": ...,
+                  "severity": ..., "location": ..., "message": ...,
+                  "suggestion": ..., "detail": {...}}, ...]}, ...]}
+
+Exit status (stable, scripts may rely on it):
+
+* ``0`` — every file linted clean (no error-severity diagnostics;
+  with ``--strict``, no warnings either);
+* ``1`` — at least one file produced a failing diagnostic;
+* ``2`` — usage error (no files given, unreadable arguments).
+
+:func:`lint_text` is the library entry point the simulation service's
+admission gate (:func:`repro.serve.runner.lint_spec`) reuses, so a
+netlist rejected at submit time fails ``python -m repro.validate`` with
+the same codes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -25,48 +43,58 @@ from repro.netlist.parser import NetlistError, parse_netlist
 from repro.robust.diagnostics import ValidationReport
 from repro.robust.validate import preflight
 
-__all__ = ["lint_file", "main"]
+__all__ = ["lint_file", "lint_text", "main"]
 
 
-def lint_file(path: str, numeric: bool = True) -> ValidationReport:
-    """Parse + compile + pre-flight one netlist file.
+def lint_text(
+    text: str, name: str = "<netlist>", numeric: bool = True
+) -> ValidationReport:
+    """Parse + compile + pre-flight netlist *text*.
 
     Parse and compile failures are folded into the returned report as
     ``PARSE_ERROR`` / ``COMPILE_ERROR`` diagnostics rather than raised,
-    so a batch run reports every file.
+    so callers always get a report they can render or gate on.
     """
-    report = ValidationReport(subject=path)
+    report = ValidationReport(subject=name)
     try:
-        with open(path, "r") as fh:
-            text = fh.read()
-    except OSError as exc:
-        report.add("PARSE_ERROR", "error", str(exc), location=path)
-        return report
-    try:
-        circuit = parse_netlist(text, filename=path)
+        circuit = parse_netlist(text, filename=name)
     except NetlistError as exc:
         report.add(
             "PARSE_ERROR",
             "error",
             str(exc),
-            location=f"{path}:{exc.line_no}" if exc.line_no else path,
+            location=f"{name}:{exc.line_no}" if exc.line_no else name,
         )
         return report
     try:
         system = circuit.compile(on_invalid=None)
     except Exception as exc:  # topology so broken that assembly fails
-        report.add("COMPILE_ERROR", "error", str(exc), location=path)
+        report.add("COMPILE_ERROR", "error", str(exc), location=name)
         return report
     pre = preflight(system, numeric=numeric)
-    pre.subject = path
+    pre.subject = name
     report.merge(pre)
     return report
+
+
+def lint_file(path: str, numeric: bool = True) -> ValidationReport:
+    """Parse + compile + pre-flight one netlist file (see
+    :func:`lint_text`; unreadable files become ``PARSE_ERROR``)."""
+    try:
+        with open(path, "r") as fh:
+            text = fh.read()
+    except OSError as exc:
+        report = ValidationReport(subject=path)
+        report.add("PARSE_ERROR", "error", str(exc), location=path)
+        return report
+    return lint_text(text, name=path, numeric=numeric)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.validate",
-        description="Pre-flight lint for SPICE-style netlists.",
+        description="Pre-flight lint for SPICE-style netlists. "
+        "Exit status: 0 all clean, 1 failures found, 2 usage error.",
     )
     parser.add_argument("files", nargs="*", help="netlist files (*.cir)")
     parser.add_argument(
@@ -79,6 +107,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="treat warnings as failures",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
     args = parser.parse_args(argv)
     if not args.files:
         parser.print_usage(sys.stderr)
@@ -86,16 +119,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     failed = 0
+    reports = []
     for path in args.files:
         rep = lint_file(path, numeric=not args.no_numeric)
         bad = bool(rep.errors) or (args.strict and bool(rep.warnings))
+        failed += bad
+        if args.json:
+            doc = rep.as_dict()
+            doc["failed"] = bool(bad)
+            reports.append(doc)
+            continue
         status = "FAIL" if bad else "ok"
         print(f"{path}: {status} ({len(rep.errors)} error(s), "
               f"{len(rep.warnings)} warning(s))")
         for diag in rep.diagnostics:
             print(f"  {diag.format()}")
-        failed += bad
-    print(f"{len(args.files)} file(s) linted, {failed} failed")
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": not failed,
+                "files": len(args.files),
+                "failed": failed,
+                "strict": bool(args.strict),
+                "reports": reports,
+            },
+            indent=2,
+            default=repr,
+        ))
+    else:
+        print(f"{len(args.files)} file(s) linted, {failed} failed")
     return 1 if failed else 0
 
 

@@ -41,12 +41,22 @@ from repro.perf import (
     sweep_map,
 )
 from repro.perf.sweep import (
+    CHECKPOINT_COMPACT_ENV,
     CHECKPOINT_ENV,
     CHECKPOINT_KEY_ENV,
+    MAX_ITEM_RECORDS_ENV,
     RETRIES_ENV,
     TIMEOUT_ENV,
+    resolve_checkpoint_compact,
+    resolve_max_item_records,
 )
-from repro.robust import ChaosSpec, SweepChaos, TransientFault, chaos_sweeps
+from repro.robust import (
+    ChaosSpec,
+    SweepChaos,
+    TransientFault,
+    chaos_sweeps,
+    tear_final_line,
+)
 
 
 # --- module-level tasks (picklable, unlike closures/lambdas) ---------------
@@ -846,3 +856,259 @@ class TestConsumersUnderChaos:
             )
         assert chaos.attempts(0) >= 2  # faulted once, then clean re-runs
         np.testing.assert_array_equal(clean.cap_matrix, chaotic.cap_matrix)
+
+
+# ---------------------------------------------------------------------------
+# retry_on across multi-level custom exception hierarchies
+# ---------------------------------------------------------------------------
+class _FaultBase(Exception):
+    pass
+
+
+class _FaultMid(_FaultBase):
+    pass
+
+
+class _FaultLeafUnpicklable(_FaultMid):
+    """Grandchild of _FaultBase that cannot pickle back to the parent
+    (second required argument missing from ``args``)."""
+
+    def __init__(self, detail, extra):
+        super().__init__(detail)
+        self.extra = extra
+
+
+class _DiamondLeft(_FaultBase):
+    pass
+
+
+class _DiamondRight(_FaultBase):
+    pass
+
+
+class _DiamondLeafUnpicklable(_DiamondLeft, _DiamondRight):
+    """Diamond MRO: matching must see *both* parent chains."""
+
+    def __init__(self, detail, extra):
+        super().__init__(detail)
+        self.extra = extra
+
+
+class _SiblingFault(_FaultBase):
+    pass
+
+
+class _RaiseOnce:
+    """Raises ``exc_type`` on each item's first execution (file-marker
+    attempt counter, so it holds across worker processes)."""
+
+    def __init__(self, marker, exc_type):
+        self.marker = marker
+        self.exc_type = exc_type
+
+    def __call__(self, x):
+        seen = f"{self.marker}.{x}"
+        if not os.path.exists(seen):
+            open(seen, "w").close()
+            raise self.exc_type(f"fault at {x}", x)
+        return x + 100
+
+
+class TestRemoteErrorHierarchies:
+    def test_grandparent_match_across_process_boundary(self, tmp_path):
+        """``retry_on=(GrandparentType,)`` must match a grandchild
+        exception even when it crosses the process boundary wrapped as
+        SweepRemoteError — the whole MRO travels, not just the leaf."""
+        fn = _RaiseOnce(str(tmp_path / "seen"), _FaultLeafUnpicklable)
+        stats = {}
+        out = sweep_map(
+            fn, [1, 2, 3], workers=2, backend="process",
+            retries=1, retry_on=(_FaultBase,), stats=stats,
+        )
+        assert out == [101, 102, 103]
+        assert stats["retried"] == 3
+
+    def test_diamond_mro_second_branch_matches(self, tmp_path):
+        """A diamond-inheritance leaf matches ``retry_on`` naming either
+        parent; the second branch is only reachable via the full MRO."""
+        fn = _RaiseOnce(str(tmp_path / "seen"), _DiamondLeafUnpicklable)
+        stats = {}
+        out = sweep_map(
+            fn, [1, 2], workers=2, backend="process",
+            retries=1, retry_on=(_DiamondRight,), stats=stats,
+        )
+        assert out == [101, 102]
+        assert stats["retried"] == 2
+
+    def test_sibling_type_does_not_match(self, tmp_path):
+        """A sibling under the same base is not an ancestor: no retry."""
+        fn = _RaiseOnce(str(tmp_path / "seen"), _FaultLeafUnpicklable)
+        with pytest.raises(SweepRemoteError) as exc_info:
+            sweep_map(
+                fn, [1, 2], workers=2, backend="process",
+                retries=2, retry_on=(_SiblingFault,),
+            )
+        assert exc_info.value.original.endswith("_FaultLeafUnpicklable")
+
+    def test_serial_backend_agrees_with_remote_matching(self, tmp_path):
+        """Same hierarchy without a process boundary: plain isinstance
+        matching reaches the same retry decision."""
+        fn = _RaiseOnce(str(tmp_path / "seen"), _FaultLeafUnpicklable)
+        stats = {}
+        out = sweep_map(fn, [1, 2], backend="serial", retries=1,
+                        retry_on=(_FaultBase,), stats=stats)
+        assert out == [101, 102]
+        assert stats["retried"] == 2
+
+
+# ---------------------------------------------------------------------------
+# checkpoint resume after a SIGKILL mid-write (torn final line)
+# ---------------------------------------------------------------------------
+def _run_sweep_to_death(marker, ck, chaos_dir):
+    """Child-process entry: serial checkpointed sweep whose chaos
+    schedule ``os._exit``'s the process at item 3 — a SIGKILL stand-in
+    that skips every cleanup path, exactly like the real signal."""
+    chaos = SweepChaos({3: ChaosSpec(kind="crash", times=1)}, chaos_dir)
+    with chaos_sweeps(chaos):
+        sweep_map(_Counted(marker), list(range(6)), backend="serial",
+                  checkpoint=ck)
+
+
+class TestCheckpointTornTail:
+    def test_resume_after_sigkill_mid_write_discards_torn_line(self, tmp_path):
+        marker = str(tmp_path / "calls")
+        ck = str(tmp_path / "ck.jsonl")
+        proc = multiprocessing.get_context().Process(
+            target=_run_sweep_to_death,
+            args=(marker, ck, str(tmp_path / "chaos")),
+        )
+        proc.start()
+        proc.join(60)
+        assert proc.exitcode == 87  # died by chaos crash, not cleanly
+        assert _calls(marker) == 3  # items 0..2 ran before the death
+        # model the kill landing mid-``write``: the final checkpoint
+        # line is torn in half
+        assert tear_final_line(ck) > 0
+        stats = {}
+        out = sweep_map(_Counted(marker), list(range(6)), backend="serial",
+                        checkpoint=ck, stats=stats)
+        assert out == [x * x for x in range(6)]
+        # torn record (item 2) discarded and recomputed with 3..5
+        assert _calls(marker) == 7
+        assert stats["cached"] == 2
+        assert stats["checkpoint"]["restored"] == 2
+
+
+# ---------------------------------------------------------------------------
+# size-triggered checkpoint compaction
+# ---------------------------------------------------------------------------
+class TestCheckpointCompaction:
+    def _bloat(self, ck, copies):
+        """Append ``copies`` superseded generations of every record."""
+        with open(ck) as fh:
+            generation = fh.read()
+        with open(ck, "a") as fh:
+            for _ in range(copies):
+                fh.write(generation)
+
+    def test_oversize_checkpoint_compacts_on_open(self, monkeypatch, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck))
+        self._bloat(ck, 200)
+        big = ck.stat().st_size
+        monkeypatch.setenv(CHECKPOINT_COMPACT_ENV, "4096")
+        stats = {}
+        out = sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert out == [1, 4, 9]
+        assert stats["cached"] == 3  # every live record survived
+        assert ck.stat().st_size < big
+        comp = stats["checkpoint"]["compacted"]
+        assert comp["before_bytes"] == big
+        assert comp["after_bytes"] == ck.stat().st_size
+        assert comp["dropped_lines"] == 3 * 200
+
+    def test_compaction_preserves_foreign_fingerprints(
+        self, monkeypatch, tmp_path
+    ):
+        """Compacting under one function's sweep must not drop another
+        function's records from a shared checkpoint file."""
+        ck = tmp_path / "ck.jsonl"
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck))
+        sweep_map(_cube, [1, 2, 3], checkpoint=str(ck))
+        self._bloat(ck, 100)
+        monkeypatch.setenv(CHECKPOINT_COMPACT_ENV, "1024")
+        stats = {}
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert stats["cached"] == 3
+        assert "compacted" in stats["checkpoint"]
+        stats2 = {}
+        out = sweep_map(_cube, [1, 2, 3], checkpoint=str(ck), stats=stats2)
+        assert out == [1, 8, 27]
+        assert stats2["cached"] == 3  # cube records survived verbatim
+
+    def test_zero_disables_compaction(self, monkeypatch, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck))
+        self._bloat(ck, 50)
+        size = ck.stat().st_size
+        monkeypatch.setenv(CHECKPOINT_COMPACT_ENV, "0")
+        stats = {}
+        sweep_map(_square, [1, 2, 3], checkpoint=str(ck), stats=stats)
+        assert stats["cached"] == 3
+        assert ck.stat().st_size == size
+        assert "compacted" not in stats["checkpoint"]
+
+    def test_budget_resolution(self, monkeypatch):
+        assert resolve_checkpoint_compact(8192) == 8192
+        assert resolve_checkpoint_compact(0) == 0
+        monkeypatch.setenv(CHECKPOINT_COMPACT_ENV, "1e6")
+        assert resolve_checkpoint_compact() == 10 ** 6
+        with pytest.raises(ValueError):
+            resolve_checkpoint_compact(-1)
+        monkeypatch.setenv(CHECKPOINT_COMPACT_ENV, "not-a-size")
+        with pytest.raises(ValueError):
+            resolve_checkpoint_compact()
+
+
+# ---------------------------------------------------------------------------
+# bounded per-item ledger with exact rollup counters
+# ---------------------------------------------------------------------------
+class TestItemLedgerCap:
+    def test_cap_keeps_failures_and_exact_counts(self):
+        items = [2] * 5 + [1] * 45  # _boom raises at 2
+        stats = {}
+        out = sweep_map(_boom, items, backend="serial",
+                        on_item_failure="skip", stats=stats,
+                        max_item_records=10)
+        assert out[:5] == [None] * 5 and out[5:] == [1] * 45
+        assert len(stats["items"]) == 10
+        kept = [r["status"] for r in stats["items"]]
+        assert kept.count("skipped") == 5  # failures always retained
+        assert kept.count("ok") == 5
+        assert stats["status_counts"] == {"skipped": 5, "ok": 45}
+        assert stats["items_truncated"] == 40
+        indices = [r["index"] for r in stats["items"]]
+        assert indices == sorted(indices)  # ledger stays in item order
+
+    def test_env_cap(self, monkeypatch):
+        monkeypatch.setenv(MAX_ITEM_RECORDS_ENV, "4")
+        stats = {}
+        out = sweep_map(_square, list(range(9)), backend="serial",
+                        retries=1, stats=stats)
+        assert out == [x * x for x in range(9)]
+        assert len(stats["items"]) == 4
+        assert stats["items_truncated"] == 5
+        assert stats["status_counts"] == {"ok": 9}
+
+    def test_zero_means_unlimited(self):
+        stats = {}
+        sweep_map(_square, list(range(9)), backend="serial", retries=1,
+                  stats=stats, max_item_records=0)
+        assert len(stats["items"]) == 9
+        assert stats["items_truncated"] == 0
+
+    def test_resolver_validation(self):
+        assert resolve_max_item_records(7) == 7
+        assert resolve_max_item_records(0) == 0
+        with pytest.raises(ValueError):
+            resolve_max_item_records(-3)

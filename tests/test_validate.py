@@ -499,3 +499,55 @@ def test_arnoldi_survives_singular_expansion_point():
     red = arnoldi(DescriptorSystem(C=C, G=G, B=B, L=B.copy()), q=2, s0=0.0)
     assert red.order >= 1
     assert np.all(np.isfinite(red.G))
+
+
+def test_cli_json_output_machine_readable(tmp_path, capsys):
+    """``--json`` emits one structured document scripts can consume."""
+    import json
+
+    from repro.validate import main
+
+    good = tmp_path / "good.cir"
+    good.write_text("fixture\nV1 in 0 1.0\nR1 in 0 1k\n.end\n")
+    bad = tmp_path / "bad.cir"
+    bad.write_text("fixture\nR1 in out nonsense\n.end\n")
+    assert main(["--json", str(good), str(bad)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["files"] == 2 and doc["failed"] == 1
+    reports = {r["subject"]: r for r in doc["reports"]}
+    assert reports[str(good)]["failed"] is False
+    bad_rep = reports[str(bad)]
+    assert bad_rep["failed"] is True and bad_rep["errors"] >= 1
+    diag = next(d for d in bad_rep["diagnostics"] if d["code"] == "PARSE_ERROR")
+    assert diag["severity"] == "error"
+    assert diag["location"].startswith(str(bad))  # file:line for tooling
+
+
+def test_cli_json_strict_promotes_warnings(tmp_path, capsys):
+    import json
+
+    from repro.validate import main
+
+    # compiles fine but carries a warning-severity diagnostic (dangling
+    # internal node)
+    warny = tmp_path / "warny.cir"
+    warny.write_text(
+        "fixture\nV1 in 0 1.0\nR1 in mid 1k\nR2 mid 0 1k\nR3 mid dangle 1k\n.end\n"
+    )
+    assert main(["--json", str(warny)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True and doc["strict"] is False
+    assert main(["--json", "--strict", str(warny)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False and doc["strict"] is True
+    assert doc["reports"][0]["failed"] is True
+    assert doc["reports"][0]["errors"] == 0  # warnings did the failing
+
+
+def test_cli_exit_code_2_on_usage_error(capsys):
+    from repro.validate import main
+
+    assert main([]) == 2
+    assert main(["--json"]) == 2
+    assert "no netlist files" in capsys.readouterr().err
