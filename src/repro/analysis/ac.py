@@ -27,11 +27,18 @@ __all__ = ["ACResult", "ac_analysis", "ac_excitation_vector"]
 
 @dataclasses.dataclass
 class ACResult:
-    """Complex response ``X[:, k]`` per analysis frequency ``freqs[k]``."""
+    """Complex response ``X[:, k]`` per analysis frequency ``freqs[k]``.
+
+    Frequencies skipped by ``on_item_failure="skip"`` come back as
+    all-NaN columns; their indices are listed in ``skipped`` and a note
+    is appended to ``notes``.
+    """
 
     freqs: np.ndarray
     X: np.ndarray
     x_dc: np.ndarray
+    skipped: tuple = ()
+    notes: tuple = ()
 
     def voltage(self, system: MNASystem, node: str) -> np.ndarray:
         return self.X[system.node(node)]
@@ -130,6 +137,23 @@ def ac_analysis(
         **(sweep_options or {}),
     )
     X = np.zeros((system.n, freqs.size), dtype=complex)
+    skipped = []
     for k, col in enumerate(cols):
-        X[:, k] = col
-    return ACResult(freqs=freqs, X=X, x_dc=x_dc)
+        if col is None:
+            # on_item_failure="skip" quarantined this frequency point;
+            # a NaN column keeps the result shape and poisons any
+            # downstream arithmetic visibly instead of crashing here
+            X[:, k] = np.nan
+            skipped.append(k)
+        else:
+            X[:, k] = col
+    notes = ()
+    if skipped:
+        notes = (
+            f"{len(skipped)} of {freqs.size} frequency points skipped by "
+            f"on_item_failure='skip' (NaN columns at indices {skipped}); "
+            "pass stats={} via sweep_options to see the failure causes",
+        )
+    return ACResult(
+        freqs=freqs, X=X, x_dc=x_dc, skipped=tuple(skipped), notes=notes
+    )

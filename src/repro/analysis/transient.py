@@ -252,6 +252,33 @@ def transient_analysis(
             warnings.warn(f"{msg} — returning partial trajectory", RuntimeWarning)
         return finish(False)
 
+    def record_rejection(
+        strategy: str,
+        iterations: int,
+        residual_norm: float,
+        cause: str,
+        **detail,
+    ) -> None:
+        # both rejection flavors (Newton failure and LTE) share one cap so
+        # the report's attempt list stays bounded while rejected_steps
+        # remains exact; the cap note fires once, on the first overflow
+        if rejected <= _MAX_RECORDED_REJECTIONS:
+            report.record(
+                AttemptRecord(
+                    strategy=strategy,
+                    converged=False,
+                    iterations=iterations,
+                    residual_norm=residual_norm,
+                    failure_cause=cause,
+                    detail=detail,
+                )
+            )
+        elif rejected == _MAX_RECORDED_REJECTIONS + 1:
+            report.notes.append(
+                f"further step rejections not individually recorded "
+                f"(cap {_MAX_RECORDED_REJECTIONS}); see rejected_steps"
+            )
+
     t_eps = 1e-12 * max(abs(t_stop), abs(t_start), dt)
     step_t0 = time.perf_counter()
     while t < t_stop - t_eps:
@@ -277,22 +304,14 @@ def transient_analysis(
                 # backoff changes h, so G + C/h changes: any cached
                 # factorization is stale for every retry from here on
                 cache.invalidate()
-            if rejected <= _MAX_RECORDED_REJECTIONS:
-                report.record(
-                    AttemptRecord(
-                        strategy="step-backoff",
-                        converged=False,
-                        iterations=int(getattr(exc, "iterations", 0) or 0),
-                        residual_norm=float(getattr(exc, "best_norm", np.inf) or np.inf),
-                        failure_cause=f"{type(exc).__name__}: {exc}",
-                        detail={"t": t, "h": h},
-                    )
-                )
-            elif rejected == _MAX_RECORDED_REJECTIONS + 1:
-                report.notes.append(
-                    f"further step rejections not individually recorded "
-                    f"(cap {_MAX_RECORDED_REJECTIONS}); see rejected_steps"
-                )
+            record_rejection(
+                "step-backoff",
+                int(getattr(exc, "iterations", 0) or 0),
+                float(getattr(exc, "best_norm", np.inf) or np.inf),
+                f"{type(exc).__name__}: {exc}",
+                t=t,
+                h=h,
+            )
             h *= backoff_factor
             if h < floor:
                 return give_up(f"step backoff hit the floor ({floor:g} s)")
@@ -323,8 +342,17 @@ def transient_analysis(
                         accepted=False,
                         cause="lte",
                     )
-                h = max(0.5 * h, h_min)
                 rejected += 1
+                record_rejection(
+                    "step-lte",
+                    iters,
+                    float(err),
+                    f"local truncation error {err:.3g} exceeded "
+                    f"{4.0 * lte_tol:.3g} (4x lte_tol)",
+                    t=t,
+                    h=h,
+                )
+                h = max(0.5 * h, h_min)
                 continue
             grow = min(2.0, max(0.5, (lte_tol / max(err, 1e-30)) ** 0.5))
             h_next = max(h * grow, h_min)

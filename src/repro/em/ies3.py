@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.em.aca import low_rank_block, svd_recompress
 from repro.em.clustertree import ClusterNode, block_partition, build_cluster_tree
-from repro.perf import sweep_map
+from repro.perf import SweepItemSkipped, sweep_map
 from repro.robust import EscalationPolicy, robust_gmres
 
 __all__ = ["CompressedOperator", "compress_operator", "IES3Stats"]
@@ -182,6 +182,11 @@ def compress_operator(
         backend=backend,
         **(sweep_options or {}),
     )
+    for k, blk in enumerate(dense_blocks):
+        if blk is None:
+            # a missing near-field block makes the compressed operator
+            # wrong, not merely incomplete: refuse to continue
+            raise SweepItemSkipped(k, "IES3 dense (near-field) block compression")
     stored = sum(blk.size for _, _, blk in dense_blocks)
 
     def compress_pair(pair):
@@ -199,10 +204,14 @@ def compress_operator(
     lr_blocks = []
     ranks = []
     svd_fallbacks = 0
-    for block, fallback in sweep_map(
+    lr_results = sweep_map(
         compress_pair, lr_pairs, workers=workers, backend=backend,
         **(sweep_options or {}),
-    ):
+    )
+    for k, res in enumerate(lr_results):
+        if res is None:
+            raise SweepItemSkipped(k, "IES3 low-rank block compression")
+    for block, fallback in lr_results:
         lr_blocks.append(block)
         stored += block[2].size + block[3].size
         ranks.append(block[2].shape[1])

@@ -17,7 +17,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.em.geometry import Panel
-from repro.perf import sweep_map
+from repro.perf import SweepItemSkipped, sweep_map
 
 __all__ = [
     "EPS0",
@@ -163,6 +163,13 @@ class PanelKernel:
             backend=backend,
             **(sweep_options or {}),
         )
+        for k, blk in enumerate(blocks):
+            if blk is None:
+                # a hole in the panel matrix is not recoverable: fail
+                # loudly with guidance instead of a cryptic vstack error
+                raise SweepItemSkipped(
+                    k, f"PanelKernel.dense row-block assembly ({self.n} panels)"
+                )
         return np.vstack(blocks)
 
     def matvec_exact(self, q: np.ndarray) -> np.ndarray:

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.em.geometry import Panel
 from repro.em.kernels import EPS0, PanelKernel
-from repro.perf import sweep_map
+from repro.perf import SweepItemSkipped, sweep_map
 from repro.robust import SolveReport
 from repro.robust.diagnostics import ValidationReport, enforce
 from repro.robust.validate import lint_panels
@@ -174,6 +174,12 @@ def capacitance_matrix_fast(
         **(sweep_options or {}),
     )
     for jj, res in enumerate(results):
+        if res is None:
+            # a capacitance matrix with a missing column is wrong, not
+            # merely incomplete: refuse to continue
+            raise SweepItemSkipped(
+                jj, f"capacitance_matrix_fast excitation of conductor {conds[jj]}"
+            )
         report.merge(res.report)
         for ii, ci in enumerate(conds):
             C[ii, jj] = float(np.sum(res.x[sel == ci]))

@@ -31,7 +31,7 @@ from repro.mpde.mpde_core import (
     solve_mpde,
 )
 from repro.netlist.mna import MNASystem
-from repro.perf import sweep_map
+from repro.perf import SkippedSlot, sweep_map
 from repro.trace import spanned, traceable
 
 __all__ = ["HBResult", "harmonic_balance", "hb_grid", "hb_sweep", "FrequencyDomainBlock"]
@@ -51,6 +51,15 @@ def hb_grid(
     """All-Fourier multi-tone grid: one spectral axis per fundamental."""
     if len(freqs) != len(harmonics):
         raise ValueError("freqs and harmonics must have equal length")
+    if int(oversample) != oversample or oversample < 1:
+        # a zero/negative oversample used to degrade silently to the
+        # max(8, ...) floor, aliasing nonlinear products into the
+        # retained harmonics with no warning
+        raise ValueError(
+            f"oversample must be a positive integer (>= 1), got {oversample!r}; "
+            "values >= 2 are recommended to keep nonlinear mixing products "
+            "from aliasing into the retained harmonics"
+        )
     axes = [
         Axis("fourier", f0, _samples_for(h, oversample))
         for f0, h in zip(freqs, harmonics)
@@ -78,15 +87,31 @@ class HBResult:
         """One-sided amplitude of the mix product at harmonic index."""
         return self.solution.amplitude(node, index)
 
-    def dbc(self, node, index: Tuple[int, ...], carrier_index: Tuple[int, ...]) -> float:
-        """Level of one mix product relative to a carrier, in dBc."""
-        a = self.amplitude_at(node, index)
+    def _carrier_amplitude(self, node, carrier_index: Tuple[int, ...]) -> float:
         c = self.amplitude_at(node, carrier_index)
-        return 20.0 * np.log10(max(a, 1e-300) / max(c, 1e-300))
+        if c == 0.0:
+            raise ValueError(
+                f"carrier amplitude at harmonic index {tuple(carrier_index)} of "
+                f"node {node!r} is exactly zero; dBc relative to a zero-amplitude "
+                "carrier is undefined — check that carrier_index names an excited "
+                "mix product"
+            )
+        return c
+
+    def dbc(self, node, index: Tuple[int, ...], carrier_index: Tuple[int, ...]) -> float:
+        """Level of one mix product relative to a carrier, in dBc.
+
+        Raises ``ValueError`` when the carrier amplitude is exactly zero
+        (a wrong ``carrier_index`` used to yield a plausible-looking
+        finite number instead).
+        """
+        a = self.amplitude_at(node, index)
+        c = self._carrier_amplitude(node, carrier_index)
+        return 20.0 * np.log10(max(a, 1e-300) / c)
 
     def spectrum_dbc(self, node, carrier_index: Tuple[int, ...], floor_db: float = -200.0):
         """Full (freq, dBc) spectrum relative to the given carrier."""
-        c = self.amplitude_at(node, carrier_index)
+        c = self._carrier_amplitude(node, carrier_index)
         out = []
         for f, amp in self.solution.spectrum(node):
             level = 20.0 * np.log10(max(amp, 1e-300) / max(c, 1e-300))
@@ -189,11 +214,20 @@ def hb_sweep(
     extra ``sweep_map`` keywords through — the fault-tolerance knobs
     (``timeout``, ``retries``, ``on_item_failure``, ``checkpoint``,
     ...) and ``stats``.
+
+    Points quarantined by ``on_item_failure="skip"`` come back as falsy
+    :class:`~repro.perf.SkippedSlot` placeholders (attribute access on
+    one raises :class:`~repro.perf.SweepItemSkipped` with guidance)
+    rather than bare ``None`` holes.
     """
-    return sweep_map(
+    results = sweep_map(
         _HBSweepPoint(system, hb_kwargs),
         list(points),
         workers=workers,
         backend=backend,
         **(sweep_options or {}),
     )
+    return [
+        SkippedSlot(k, f"hb_sweep over {len(results)} points") if res is None else res
+        for k, res in enumerate(results)
+    ]

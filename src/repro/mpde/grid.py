@@ -191,6 +191,18 @@ class MPDEGrid:
         spec *= self.combined_eigenvalues()[..., None]
         return np.real(np.fft.ifftn(spec, axes=tuple(range(self.ndim))))
 
+    def apply_derivative_adjoint(self, Q: np.ndarray) -> np.ndarray:
+        """Apply the transpose of :meth:`apply_derivative`.
+
+        The derivative operator is a real circulant, D = F^-1 diag(lam) F
+        with DFT matrix F; its transpose is the circulant with conjugated
+        eigenvalues (D real => D^T = D^H = F^-1 diag(conj(lam)) F).  Used
+        by the adjoint HB/MPDE sensitivity path.
+        """
+        spec = np.fft.fftn(Q, axes=tuple(range(self.ndim)))
+        spec *= np.conj(self.combined_eigenvalues())[..., None]
+        return np.real(np.fft.ifftn(spec, axes=tuple(range(self.ndim))))
+
     def apply_axis_derivative(self, Q: np.ndarray, axis: int) -> np.ndarray:
         """Apply the derivative along a single axis only."""
         spec = np.fft.fft(Q, axis=axis)

@@ -190,6 +190,89 @@ class Device:
     def noise_sources(self) -> List[NoiseSource]:
         return []
 
+    # --- parameter-sensitivity protocol --------------------------------
+    #: scalar parameters with first-class derivative support; anything
+    #: else that happens to be a float attribute still works through the
+    #: finite-difference fallbacks below
+    sens_params: Tuple[str, ...] = ()
+
+    #: relative step for the central finite-difference fallbacks
+    _FD_REL_STEP = 1e-6
+
+    def param_names(self) -> List[str]:
+        """Differentiable scalar parameter names for this device."""
+        return list(self.sens_params)
+
+    def get_param(self, name: str) -> float:
+        val = getattr(self, name)
+        if isinstance(val, bool) or not isinstance(val, (int, float)):
+            raise TypeError(f"{self.name}.{name} is not a scalar parameter")
+        return float(val)
+
+    def set_param(self, name: str, value: float) -> None:
+        """Assign a scalar parameter, recomputing any derived fields.
+
+        Subclasses with derived attributes (e.g. the diode's ``vt``)
+        override this so the finite-difference fallbacks stay honest.
+        """
+        self.get_param(name)  # validates existence and scalarity
+        setattr(self, name, float(value))
+
+    def _fd_step(self, name: str) -> float:
+        return self._FD_REL_STEP * max(1.0, abs(self.get_param(name)))
+
+    def g_stamp_derivs(self, name: str) -> List[Tuple[int, int, float]]:
+        """Entries of d(G stamps)/d(param) for linear contributions."""
+        return self._fd_stamp_derivs(name, "g_stamps")
+
+    def c_stamp_derivs(self, name: str) -> List[Tuple[int, int, float]]:
+        """Entries of d(C stamps)/d(param) for linear contributions."""
+        return self._fd_stamp_derivs(name, "c_stamps")
+
+    def b_stamp_derivs(self, name: str) -> List[Tuple[int, Waveform, float]]:
+        """(row, waveform, sign) triples where the waveform *is* the
+        derivative signal d b_row(t)/d(param).
+
+        Only independent sources touch ``b``; they override this.
+        """
+        return []
+
+    def _fd_stamp_derivs(self, name: str, which: str) -> List[Tuple[int, int, float]]:
+        p0 = self.get_param(name)
+        h = self._fd_step(name)
+        acc: dict = {}
+
+        def collect(factor: float) -> None:
+            for i, j, v in getattr(self, which)():
+                acc[(i, j)] = acc.get((i, j), 0.0) + factor * v
+
+        try:
+            self.set_param(name, p0 + h)
+            collect(1.0)
+            self.set_param(name, p0 - h)
+            collect(-1.0)
+        finally:
+            self.set_param(name, p0)
+        return [(i, j, dv / (2.0 * h)) for (i, j), dv in acc.items() if dv != 0.0]
+
+    def nl_dfdp(self, V: np.ndarray, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Explicit parameter derivatives ``(∂f/∂p, ∂q/∂p)`` at fixed
+        port voltages ``V``; each of shape ``(k_eq, m)``.
+
+        Central finite differences through :meth:`nl_eval` by default;
+        the library devices override with the exact expressions.
+        """
+        p0 = self.get_param(name)
+        h = self._fd_step(name)
+        try:
+            self.set_param(name, p0 + h)
+            f_hi, q_hi, _, _ = self.nl_eval(V)
+            self.set_param(name, p0 - h)
+            f_lo, q_lo, _, _ = self.nl_eval(V)
+        finally:
+            self.set_param(name, p0)
+        return (f_hi - f_lo) / (2.0 * h), (q_hi - q_lo) / (2.0 * h)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
 
@@ -204,6 +287,41 @@ def _two_node_stamps(i: int, j: int, val: float) -> List[Tuple[int, int, float]]
     return [(i, i, val), (i, j, -val), (j, i, -val), (j, j, val)]
 
 
+def _waveform_param_names(wave: Waveform) -> List[str]:
+    """Differentiable scalar parameters of an excitation waveform."""
+    from repro.netlist.waveforms import Sine, SquareWave
+
+    if isinstance(wave, DC):
+        return ["value"]
+    if isinstance(wave, SquareWave):
+        # amplitude multiplies a fixed tanh shape, offset shifts it
+        return ["amplitude", "offset"]
+    if isinstance(wave, Sine):
+        return ["amplitude", "offset", "phase"]
+    return []
+
+
+def _waveform_param_deriv(wave: Waveform, name: str) -> Waveform:
+    """The waveform d wave(t)/d(param) — itself a time signal."""
+    from repro.netlist.waveforms import Sine, SquareWave
+
+    if isinstance(wave, DC) and name == "value":
+        return DC(1.0)
+    if name == "offset" and isinstance(wave, (Sine, SquareWave)):
+        return DC(1.0)
+    if isinstance(wave, Sine):
+        if name == "amplitude":
+            return Sine(1.0, wave.freq, wave.phase)
+        if name == "phase":
+            # d/dphase [A sin(wt + phi)] = A cos(wt + phi)
+            return Sine(wave.amplitude, wave.freq, wave.phase + np.pi / 2.0)
+    if isinstance(wave, SquareWave) and name == "amplitude":
+        return SquareWave(1.0, wave.freq, wave.phase, 0.0, wave.sharpness)
+    raise KeyError(
+        f"no analytic derivative for parameter {name!r} of {type(wave).__name__}"
+    )
+
+
 class Resistor(Device):
     """Linear resistor with thermal noise 4kT/R."""
 
@@ -214,9 +332,17 @@ class Resistor(Device):
         self.resistance = float(resistance)
         self.temp = float(temp)
 
+    sens_params = ("resistance",)
+
     def g_stamps(self):
         i, j = self.node_idx
         return _two_node_stamps(i, j, 1.0 / self.resistance)
+
+    def g_stamp_derivs(self, name):
+        if name == "resistance":
+            i, j = self.node_idx
+            return _two_node_stamps(i, j, -1.0 / self.resistance**2)
+        return super().g_stamp_derivs(name)
 
     def noise_sources(self):
         i, j = self.node_idx
@@ -240,9 +366,17 @@ class Capacitor(Device):
             raise ValueError(f"{name}: capacitance must be positive, got {capacitance}")
         self.capacitance = float(capacitance)
 
+    sens_params = ("capacitance",)
+
     def c_stamps(self):
         i, j = self.node_idx
         return _two_node_stamps(i, j, self.capacitance)
+
+    def c_stamp_derivs(self, name):
+        if name == "capacitance":
+            i, j = self.node_idx
+            return _two_node_stamps(i, j, 1.0)
+        return super().c_stamp_derivs(name)
 
 
 class Inductor(Device):
@@ -264,9 +398,17 @@ class Inductor(Device):
         (br,) = self.branch_idx
         return [(i, br, 1.0), (j, br, -1.0), (br, i, -1.0), (br, j, 1.0)]
 
+    sens_params = ("inductance",)
+
     def c_stamps(self):
         (br,) = self.branch_idx
         return [(br, br, self.inductance)]
+
+    def c_stamp_derivs(self, name):
+        if name == "inductance":
+            (br,) = self.branch_idx
+            return [(br, br, 1.0)]
+        return super().c_stamp_derivs(name)
 
 
 class MutualInductance(Device):
@@ -288,11 +430,21 @@ class MutualInductance(Device):
     def mutual(self) -> float:
         return self.coupling * math.sqrt(self.ind1.inductance * self.ind2.inductance)
 
+    sens_params = ("coupling",)
+
     def c_stamps(self):
         (b1,) = self.ind1.branch_idx
         (b2,) = self.ind2.branch_idx
         m = self.mutual
         return [(b1, b2, m), (b2, b1, m)]
+
+    def c_stamp_derivs(self, name):
+        if name == "coupling":
+            (b1,) = self.ind1.branch_idx
+            (b2,) = self.ind2.branch_idx
+            dm = math.sqrt(self.ind1.inductance * self.ind2.inductance)
+            return [(b1, b2, dm), (b2, b1, dm)]
+        return super().c_stamp_derivs(name)
 
 
 class VSource(Device):
@@ -315,6 +467,24 @@ class VSource(Device):
         (br,) = self.branch_idx
         return [(br, self.waveform, 1.0)]
 
+    def param_names(self):
+        return _waveform_param_names(self.waveform)
+
+    def get_param(self, name):
+        if hasattr(self.waveform, name):
+            return float(getattr(self.waveform, name))
+        return super().get_param(name)
+
+    def set_param(self, name, value):
+        if hasattr(self.waveform, name):
+            setattr(self.waveform, name, float(value))
+            return
+        super().set_param(name, value)
+
+    def b_stamp_derivs(self, name):
+        (br,) = self.branch_idx
+        return [(br, _waveform_param_deriv(self.waveform, name), 1.0)]
+
 
 class ISource(Device):
     """Independent current source (current npos -> nneg through source)."""
@@ -329,6 +499,25 @@ class ISource(Device):
         i, j = self.node_idx
         return [(i, self.waveform, -1.0), (j, self.waveform, 1.0)]
 
+    def param_names(self):
+        return _waveform_param_names(self.waveform)
+
+    def get_param(self, name):
+        if hasattr(self.waveform, name):
+            return float(getattr(self.waveform, name))
+        return super().get_param(name)
+
+    def set_param(self, name, value):
+        if hasattr(self.waveform, name):
+            setattr(self.waveform, name, float(value))
+            return
+        super().set_param(name, value)
+
+    def b_stamp_derivs(self, name):
+        i, j = self.node_idx
+        d = _waveform_param_deriv(self.waveform, name)
+        return [(i, d, -1.0), (j, d, 1.0)]
+
 
 class VCCS(Device):
     """Voltage-controlled current source ``i = gm (vcp - vcn)`` out of op."""
@@ -337,10 +526,18 @@ class VCCS(Device):
         super().__init__(name, [op, on, cp, cn])
         self.gm = float(gm)
 
+    sens_params = ("gm",)
+
     def g_stamps(self):
         op, on, cp, cn = self.node_idx
         gm = self.gm
         return [(op, cp, gm), (op, cn, -gm), (on, cp, -gm), (on, cn, gm)]
+
+    def g_stamp_derivs(self, name):
+        if name == "gm":
+            op, on, cp, cn = self.node_idx
+            return [(op, cp, 1.0), (op, cn, -1.0), (on, cp, -1.0), (on, cn, 1.0)]
+        return super().g_stamp_derivs(name)
 
 
 class VCVS(Device):
@@ -364,6 +561,15 @@ class VCVS(Device):
             (br, cp, -a),
             (br, cn, a),
         ]
+
+    sens_params = ("gain",)
+
+    def g_stamp_derivs(self, name):
+        if name == "gain":
+            op, on, cp, cn = self.node_idx
+            (br,) = self.branch_idx
+            return [(br, cp, -1.0), (br, cn, 1.0)]
+        return super().g_stamp_derivs(name)
 
 
 class Diode(Device):
@@ -393,7 +599,34 @@ class Diode(Device):
         self.tt = float(tt)
         self.cj0 = float(cj0)
         self.gmin = float(gmin)
+        self.temp = float(temp)
         self.vt = thermal_voltage(temp) * self.ideality
+
+    sens_params = ("isat", "tt", "cj0", "gmin", "ideality", "temp")
+
+    def set_param(self, name, value):
+        super().set_param(name, value)
+        if name in ("ideality", "temp"):
+            self.vt = thermal_voltage(self.temp) * self.ideality
+
+    def nl_dfdp(self, V, name):
+        vd = V[0] - V[1]
+        if name == "isat":
+            e, _ = limexp(vd / self.vt)
+            di = e - 1.0
+            dqd = self.tt * di
+        elif name == "gmin":
+            di = vd
+            dqd = self.tt * vd
+        elif name == "tt":
+            di = np.zeros_like(vd)
+            dqd, _ = self.current(vd)
+        elif name == "cj0":
+            di = np.zeros_like(vd)
+            dqd = vd
+        else:
+            return super().nl_dfdp(V, name)
+        return np.stack([di, -di]), np.stack([dqd, -dqd])
 
     def nl_ports(self):
         idx = np.array(self.node_idx)
@@ -511,7 +744,54 @@ class BJT(Device):
             raise ValueError(f"{name}: polarity must be +1 (NPN) or -1 (PNP)")
         self.polarity = polarity
         self.gmin = float(gmin)
+        self.temp = float(temp)
         self.vt = thermal_voltage(temp)
+
+    sens_params = ("isat", "beta_f", "beta_r", "tf", "cje", "cjc", "gmin", "temp")
+
+    def set_param(self, name, value):
+        super().set_param(name, value)
+        if name == "temp":
+            self.vt = thermal_voltage(self.temp)
+
+    def nl_dfdp(self, V, name):
+        p = self.polarity
+        vc, vb, ve = V
+        vbe = p * (vb - ve)
+        vbc = p * (vb - vc)
+        z = np.zeros_like(vbe)
+        dqbe, dqbc = z, z
+        if name in ("isat", "gmin"):
+            if name == "isat":
+                ef, _ = limexp(vbe / self.vt)
+                er, _ = limexp(vbc / self.vt)
+                dif, dir_ = ef - 1.0, er - 1.0
+            else:
+                dif, dir_ = vbe, vbc
+            dic = dif - dir_ * (1.0 + 1.0 / self.beta_r)
+            dib = dif / self.beta_f + dir_ / self.beta_r
+            dqbe = self.tf * dif
+        elif name in ("beta_f", "beta_r", "tf"):
+            i_f, i_r, _, _ = self._junction_currents(vbe, vbc)
+            if name == "beta_f":
+                dic, dib = z, -i_f / self.beta_f**2
+            elif name == "beta_r":
+                dic, dib = i_r / self.beta_r**2, -i_r / self.beta_r**2
+            else:
+                dic, dib = z, z
+                dqbe = i_f
+        elif name == "cje":
+            dic, dib = z, z
+            dqbe = vbe
+        elif name == "cjc":
+            dic, dib = z, z
+            dqbc = vbc
+        else:
+            return super().nl_dfdp(V, name)
+        die = -(dic + dib)
+        f = p * np.stack([dic, dib, die])
+        q = p * np.stack([-dqbc, dqbe + dqbc, -dqbe])
+        return f, q
 
     def nl_ports(self):
         idx = np.array(self.node_idx)
@@ -693,6 +973,40 @@ class MOSFET(Device):
         self.polarity = polarity
         self.gmin = float(gmin)
         self.temp = float(temp)
+
+    sens_params = ("kp", "vth", "lam", "cgs", "cgd", "gmin")
+
+    def nl_dfdp(self, V, name):
+        p = self.polarity
+        vd, vg, vs = V
+        m = V.shape[1]
+        z = np.zeros(m)
+        if name in ("cgs", "cgd"):
+            f = np.zeros((3, m))
+            if name == "cgs":
+                dqs = vg - vs
+                return f, np.stack([z, dqs, -dqs])
+            dqd = -(vg - vd)
+            return f, np.stack([dqd, -dqd, z])
+        vds_raw = p * (vd - vs)
+        swap = vds_raw < 0.0
+        vgs = np.where(swap, p * (vg - vd), p * (vg - vs))
+        vds = np.abs(vds_raw)
+        if name == "gmin":
+            dids = vds
+        else:
+            ids, gm, _ = self._ids(vgs, vds)
+            if name == "kp":
+                dids = ids / self.kp
+            elif name == "vth":
+                dids = -gm
+            elif name == "lam":
+                dids = ids * vds / (1.0 + self.lam * vds)
+            else:
+                return super().nl_dfdp(V, name)
+        sign = np.where(swap, -1.0, 1.0)
+        di_d = p * sign * dids
+        return np.stack([di_d, z, -di_d]), np.zeros((3, m))
 
     def nl_ports(self):
         idx = np.array(self.node_idx)
@@ -939,6 +1253,24 @@ class SwitchConductance(Device):
         self.g_on = float(g_on)
         self.g_off = float(g_off)
         self.sharpness = float(sharpness)
+
+    sens_params = ("g_on", "g_off", "sharpness")
+
+    def nl_dfdp(self, V, name):
+        v1, v2, cp, cn = V
+        vc = cp - cn
+        vs = v1 - v2
+        th = np.tanh(self.sharpness * vc)
+        if name == "g_on":
+            dg = 0.5 * (1.0 + th)
+        elif name == "g_off":
+            dg = 0.5 * (1.0 - th)
+        elif name == "sharpness":
+            dg = (self.g_on - self.g_off) * 0.5 * vc * (1.0 - th**2)
+        else:
+            return super().nl_dfdp(V, name)
+        di = dg * vs
+        return np.stack([di, -di]), np.zeros((2, V.shape[1]))
 
     def nl_ports(self):
         idx = np.array(self.node_idx)

@@ -211,6 +211,23 @@ class MNASystem:
         self.validation = state.get("validation")
 
     # ------------------------------------------------------------------
+    def refresh_stamps(self, linear: bool = True, sources: bool = False) -> None:
+        """Rebuild cached stamp structures after device parameters change.
+
+        The sensitivity/exploration layer mutates device parameters in
+        place (``Device.set_param``); nonlinear evaluation reads the
+        attributes live, but the linear ``G_lin``/``C_lin`` matrices and
+        the excitation row lists are assembled once at compile time and
+        must be refreshed here.  ``sources=True`` additionally re-scans
+        ``b_stamps`` (only needed when waveform *objects* were replaced
+        — in-place waveform attribute mutation is picked up live).
+        """
+        if linear:
+            self._build_linear()
+        if sources:
+            self._build_sources()
+
+    # ------------------------------------------------------------------
     def node(self, name: str) -> int:
         """Global unknown index of a node voltage."""
         return self._node_index[name]

@@ -24,6 +24,8 @@ from repro.perf.factorcache import FactorCache, make_factor_solver
 from repro.perf.sweep import (
     BACKENDS,
     ON_ITEM_FAILURE_MODES,
+    SkippedSlot,
+    SweepItemSkipped,
     SweepItemTimeout,
     SweepRemoteError,
     SweepWorkerCrash,
@@ -42,6 +44,8 @@ __all__ = [
     "ON_ITEM_FAILURE_MODES",
     "FactorCache",
     "PerfCounters",
+    "SkippedSlot",
+    "SweepItemSkipped",
     "SweepItemTimeout",
     "SweepRemoteError",
     "SweepWorkerCrash",

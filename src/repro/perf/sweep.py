@@ -145,6 +145,8 @@ __all__ = [
     "SweepItemTimeout",
     "SweepWorkerCrash",
     "SweepRemoteError",
+    "SweepItemSkipped",
+    "SkippedSlot",
     "backoff_seconds",
     "resolve_workers",
     "resolve_backend",
@@ -230,6 +232,62 @@ class SweepItemTimeout(TimeoutError):
         return (
             f"sweep item {self.index} exceeded its {self.deadline:.6g} s "
             f"deadline (enforced: {self.enforced})"
+        )
+
+
+class SweepItemSkipped(RuntimeError):
+    """A consumer touched a result slot that ``on_item_failure="skip"``
+    quarantined.
+
+    ``sweep_map`` leaves ``None`` (or a :class:`SkippedSlot` placeholder,
+    for consumers that wrap their results) in the slot of an item whose
+    retries were exhausted.  Downstream code that cannot tolerate holes
+    raises this instead of an opaque ``TypeError``/``AttributeError``,
+    with guidance: inspect ``stats["items"]`` for the failure causes, or
+    run with ``on_item_failure="raise"`` to surface the original error.
+    """
+
+    def __init__(self, index, context: str = ""):
+        super().__init__(index, context)
+        self.index = index
+        self.context = context
+
+    def __str__(self):
+        where = f" in {self.context}" if self.context else ""
+        return (
+            f"sweep item {self.index} was skipped by on_item_failure='skip'"
+            f"{where}; its result slot is empty.  Pass stats={{}} to the sweep "
+            "and inspect stats['items'] for the recorded failure cause, or "
+            "rerun with on_item_failure='raise' to surface the original error."
+        )
+
+
+class SkippedSlot:
+    """Falsy placeholder for a skipped sweep item's result slot.
+
+    Consumers that hand sweep results straight back to callers (e.g.
+    ``hb_sweep``) replace ``None`` holes with this so that accidental
+    attribute access fails loudly with :class:`SweepItemSkipped`
+    guidance instead of an ``AttributeError`` on ``None``.  Test for it
+    with ``bool(slot)`` / ``isinstance(slot, SkippedSlot)``.
+    """
+
+    __slots__ = ("index", "context")
+
+    def __init__(self, index, context: str = ""):
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "context", context)
+
+    def __bool__(self):
+        return False
+
+    def __repr__(self):
+        return f"SkippedSlot(index={self.index!r}, context={self.context!r})"
+
+    def __getattr__(self, item):
+        raise SweepItemSkipped(
+            object.__getattribute__(self, "index"),
+            object.__getattribute__(self, "context"),
         )
 
 

@@ -139,7 +139,14 @@ def simulate_sde_ensemble(
     )
     if not blocks:
         return t, np.empty((steps + 1, 0))
-    return t, np.concatenate(blocks, axis=1)
+    # blocks skipped by on_item_failure="skip" become NaN path columns so
+    # the ensemble keeps its (steps+1, n_paths) shape and the holes are
+    # visible to any downstream statistic instead of crashing here
+    filled = [
+        np.full((steps + 1, hi - lo), np.nan) if blk is None else blk
+        for blk, (lo, hi) in zip(blocks, spans)
+    ]
+    return t, np.concatenate(filled, axis=1)
 
 
 @dataclasses.dataclass

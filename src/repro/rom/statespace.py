@@ -106,10 +106,23 @@ class DescriptorSystem:
             backend=backend,
             **(sweep_options or {}),
         )
+        skipped = []
         for k, (s, res) in enumerate(zip(s_values, results)):
+            if res is None:
+                # frequency point quarantined by on_item_failure="skip":
+                # keep the (len(s), m, p) shape with a NaN block and a
+                # note on the report instead of crashing on None
+                out[k] = np.nan
+                skipped.append(k)
+                continue
             if report is not None:
                 report.merge(res.report, prefix=f"s={s:.3g}")
             out[k] = self.L.T @ res.x
+        if skipped and report is not None:
+            report.notes.append(
+                f"{len(skipped)} of {s_values.size} transfer points skipped by "
+                f"on_item_failure='skip' (NaN blocks at indices {skipped})"
+            )
         return out
 
     def moments(self, q: int, s0: complex = 0.0, scale: float = 1.0) -> np.ndarray:

@@ -1,0 +1,64 @@
+"""Parameter sensitivities and design-space exploration.
+
+Direct and adjoint gradients of DC operating points, transient
+trajectories, and HB/MPDE steady states with respect to device
+parameters, plus a variant/invariant exploration driver that sweeps
+design corners against a single factored background.
+
+Quick start::
+
+    from repro.sensitivity import dc_sensitivity, explore
+
+    sens = dc_sensitivity(system, ["R2.resistance"], objective="out")
+    sens["R2.resistance"]          # dV(out)/dR2 at the operating point
+
+    res = explore(system, ["R1.resistance", "C1.capacitance"],
+                  objective="out", points=corners, gradients=True)
+    res.objectives, res.gradients, res.best_index
+"""
+
+from repro.sensitivity.assemble import (
+    dbdp_at,
+    dbdp_dc,
+    dbdp_grid,
+    param_residual_derivs,
+)
+from repro.sensitivity.dc import SensitivityResult, dc_sensitivity
+from repro.sensitivity.explore import ExploreResult, explore
+from repro.sensitivity.hb import hb_sensitivity
+from repro.sensitivity.objectives import (
+    FinalValue,
+    HarmonicAmplitude,
+    LinearStateObjective,
+    SampleMean,
+    TimeAverage,
+    resolve_grid_objective,
+    resolve_state_objective,
+    resolve_trajectory_objective,
+)
+from repro.sensitivity.params import BoundParam, ParamSet, resolve_param
+from repro.sensitivity.transient import transient_sensitivity
+
+__all__ = [
+    "BoundParam",
+    "ParamSet",
+    "resolve_param",
+    "LinearStateObjective",
+    "FinalValue",
+    "TimeAverage",
+    "HarmonicAmplitude",
+    "SampleMean",
+    "resolve_state_objective",
+    "resolve_trajectory_objective",
+    "resolve_grid_objective",
+    "param_residual_derivs",
+    "dbdp_dc",
+    "dbdp_at",
+    "dbdp_grid",
+    "SensitivityResult",
+    "dc_sensitivity",
+    "transient_sensitivity",
+    "hb_sensitivity",
+    "ExploreResult",
+    "explore",
+]

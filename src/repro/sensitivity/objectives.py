@@ -1,0 +1,195 @@
+"""Objective functionals for the sensitivity solvers.
+
+Three protocols, one per analysis domain:
+
+* **state** (DC / explore) — ``value(x) -> float``, ``grad(x) -> (n,)``.
+  Any node name, unknown index, or length-n weight vector resolves to a
+  linear functional; custom objects providing both methods pass through.
+* **trajectory** (transient) — ``value(t, X) -> float``,
+  ``grads(t, X) -> (n, m)`` with column ``k`` holding ``∂φ/∂x_k``.
+  Built-ins: :class:`FinalValue`, :class:`TimeAverage`.
+* **grid** (HB / MPDE) — ``value(x_flat, grid, system) -> float``,
+  ``grad(x_flat, grid, system) -> (n*total,)`` flat, sample-major.
+  Built-ins: :class:`HarmonicAmplitude`, :class:`SampleMean`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.mna import MNASystem
+
+__all__ = [
+    "LinearStateObjective",
+    "FinalValue",
+    "TimeAverage",
+    "HarmonicAmplitude",
+    "SampleMean",
+    "resolve_state_objective",
+    "resolve_trajectory_objective",
+    "resolve_grid_objective",
+]
+
+
+def _weights_for(obj, system: MNASystem) -> np.ndarray:
+    """Node name / unknown index / weight vector -> (n,) weights."""
+    if isinstance(obj, str):
+        w = np.zeros(system.n)
+        w[system.node(obj)] = 1.0
+        return w
+    if isinstance(obj, (int, np.integer)):
+        w = np.zeros(system.n)
+        w[int(obj)] = 1.0
+        return w
+    w = np.asarray(obj, dtype=float)
+    if w.shape != (system.n,):
+        raise ValueError(
+            f"objective weight vector has shape {w.shape}, expected ({system.n},)"
+        )
+    return w
+
+
+class LinearStateObjective:
+    """``φ(x) = w·x`` — the workhorse DC objective."""
+
+    def __init__(self, w: np.ndarray):
+        self.w = np.asarray(w, dtype=float)
+
+    def value(self, x: np.ndarray) -> float:
+        return float(self.w @ x)
+
+    def grad(self, x: np.ndarray) -> np.ndarray:
+        return self.w.copy()
+
+
+def resolve_state_objective(obj, system: MNASystem):
+    if hasattr(obj, "value") and hasattr(obj, "grad"):
+        return obj
+    return LinearStateObjective(_weights_for(obj, system))
+
+
+# --- trajectory objectives (transient) --------------------------------
+
+
+class FinalValue:
+    """``φ = w·x(t_end)``; ``target`` is a node name/index/weights."""
+
+    def __init__(self, target):
+        self.target = target
+
+    def _w(self, system):
+        return _weights_for(self.target, system)
+
+    def value(self, t: np.ndarray, X: np.ndarray, system: MNASystem) -> float:
+        return float(self._w(system) @ X[:, -1])
+
+    def grads(self, t: np.ndarray, X: np.ndarray, system: MNASystem) -> np.ndarray:
+        g = np.zeros_like(X)
+        g[:, -1] = self._w(system)
+        return g
+
+
+class TimeAverage:
+    """``φ = (1/T) ∫ w·x dt`` by the trapezoidal rule on the stored grid."""
+
+    def __init__(self, target):
+        self.target = target
+
+    def _quad(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        T = t[-1] - t[0]
+        if T <= 0:
+            raise ValueError("TimeAverage needs a trajectory spanning t_end > t_0")
+        wq = np.zeros_like(t)
+        dt = np.diff(t)
+        wq[:-1] += 0.5 * dt
+        wq[1:] += 0.5 * dt
+        return wq / T
+
+    def value(self, t: np.ndarray, X: np.ndarray, system: MNASystem) -> float:
+        w = _weights_for(self.target, system)
+        return float(self._quad(t) @ (w @ X))
+
+    def grads(self, t: np.ndarray, X: np.ndarray, system: MNASystem) -> np.ndarray:
+        w = _weights_for(self.target, system)
+        return w[:, None] * self._quad(t)[None, :]
+
+
+def resolve_trajectory_objective(obj, system: MNASystem):
+    if hasattr(obj, "grads") and hasattr(obj, "value"):
+        return obj
+    # bare node/index/weights means "final value" — the common case
+    return FinalValue(obj)
+
+
+# --- grid objectives (HB / MPDE) --------------------------------------
+
+
+class HarmonicAmplitude:
+    """One-sided amplitude of one mix product at one node.
+
+    Matches :meth:`~repro.mpde.mpde_core.MPDESolution.amplitude`:
+    ``φ = c |H[idx]|`` with ``H = fftn(W)/total`` and ``c = 2`` away
+    from DC.  The gradient is taken at fixed harmonic phase; it is
+    undefined (returned as zero) when the amplitude is exactly zero.
+    """
+
+    def __init__(self, node, index):
+        self.node = node
+        self.index = tuple(int(k) for k in index)
+
+    def _phase_field(self, grid) -> np.ndarray:
+        idx = tuple(k % N for k, N in zip(self.index, grid.shape))
+        E = np.ones(grid.shape, dtype=complex)
+        for a, N in enumerate(grid.shape):
+            ph = np.exp(-2j * np.pi * idx[a] * np.arange(N) / N)
+            shape = [1] * grid.ndim
+            shape[a] = N
+            E = E * ph.reshape(shape)
+        return E
+
+    def _z(self, x_flat, grid, system):
+        i = system.node(self.node) if isinstance(self.node, str) else int(self.node)
+        W = grid.reshape(np.asarray(x_flat, dtype=float), system.n)[..., i]
+        z = complex(np.sum(self._phase_field(grid) * W) / grid.total)
+        c = 1.0 if all(k == 0 for k in self.index) else 2.0
+        return i, z, c
+
+    def value(self, x_flat, grid, system) -> float:
+        _, z, c = self._z(x_flat, grid, system)
+        return c * abs(z)
+
+    def grad(self, x_flat, grid, system) -> np.ndarray:
+        i, z, c = self._z(x_flat, grid, system)
+        g = np.zeros(grid.shape + (system.n,))
+        if abs(z) > 0.0:
+            E = self._phase_field(grid)
+            g[..., i] = (c / grid.total) * np.real(np.conj(z) / abs(z) * E)
+        return g.reshape(-1)
+
+
+class SampleMean:
+    """Mean of one unknown over all grid samples (the DC bin)."""
+
+    def __init__(self, node):
+        self.node = node
+
+    def value(self, x_flat, grid, system) -> float:
+        i = system.node(self.node) if isinstance(self.node, str) else int(self.node)
+        return float(np.mean(grid.reshape(np.asarray(x_flat), system.n)[..., i]))
+
+    def grad(self, x_flat, grid, system) -> np.ndarray:
+        i = system.node(self.node) if isinstance(self.node, str) else int(self.node)
+        g = np.zeros(grid.shape + (system.n,))
+        g[..., i] = 1.0 / grid.total
+        return g.reshape(-1)
+
+
+def resolve_grid_objective(obj, system: MNASystem):
+    if hasattr(obj, "grad") and hasattr(obj, "value"):
+        return obj
+    raise TypeError(
+        "HB/MPDE objectives must provide value(x, grid, system) and "
+        "grad(x, grid, system) — use HarmonicAmplitude or SampleMean, "
+        f"got {type(obj).__name__}"
+    )

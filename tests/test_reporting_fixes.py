@@ -1,0 +1,130 @@
+"""Reporting/validation bugfix regressions.
+
+Three previously-silent failure modes now fail loudly or report fully:
+
+* adaptive-transient LTE rejections were counted in ``rejected_steps``
+  but never recorded on the solve report — the attempt history showed a
+  clean run even when half the steps were thrown away;
+* ``hb_grid(oversample=0)`` silently degraded to the minimum grid,
+  aliasing nonlinear products into the retained harmonics;
+* ``HBResult.dbc`` against a zero-amplitude carrier returned a
+  plausible-looking finite number instead of flagging the bogus
+  ``carrier_index``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transient import _MAX_RECORDED_REJECTIONS, transient_analysis
+from repro.hb.hb_core import harmonic_balance, hb_grid
+from repro.netlist import Circuit, Sine, SquareWave
+
+
+class TestLTERejectionRecords:
+    def _run(self, lte_tol, t_stop=2e-6, drive=None):
+        # a stiff-ish drive with a coarse initial step forces the LTE
+        # controller to reject and halve repeatedly
+        ckt = Circuit("lte")
+        ckt.vsource("V1", "in", "0", drive or Sine(1.0, 1e6))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-9)
+        sys = ckt.compile()
+        return transient_analysis(
+            sys, t_stop, 1e-7, adaptive=True, lte_tol=lte_tol
+        )
+
+    def test_lte_rejections_recorded(self):
+        res = self._run(lte_tol=1e-6)
+        assert res.rejected_steps > 0
+        lte = [a for a in res.report.attempts if a.strategy == "step-lte"]
+        assert lte, "LTE rejections must appear in the attempt history"
+        for rec in lte:
+            assert not rec.converged
+            assert "truncation error" in rec.failure_cause
+            # the record carries where/when the rejection happened
+            assert "t" in rec.detail and "h" in rec.detail
+            assert rec.residual_norm > 0
+
+    def test_record_count_matches_counter_under_cap(self):
+        res = self._run(lte_tol=1e-6)
+        rejections = [
+            a
+            for a in res.report.attempts
+            if a.strategy in ("step-lte", "step-backoff") and not a.converged
+        ]
+        if res.rejected_steps <= _MAX_RECORDED_REJECTIONS:
+            assert len(rejections) == res.rejected_steps
+        else:
+            assert len(rejections) == _MAX_RECORDED_REJECTIONS
+            assert any("not individually recorded" in n for n in res.report.notes)
+
+    def test_cap_bounds_report_growth(self):
+        # a square-wave drive over many periods: each edge triggers a
+        # fresh burst of LTE rejections (smooth segments let the step
+        # grow back, so the controller keeps re-entering the reject path)
+        res = self._run(
+            lte_tol=1e-7, t_stop=5e-5, drive=SquareWave(1.0, 1e6)
+        )
+        assert res.rejected_steps > _MAX_RECORDED_REJECTIONS
+        rejections = [a for a in res.report.attempts if not a.converged]
+        assert len(rejections) <= _MAX_RECORDED_REJECTIONS
+        assert any("not individually recorded" in n for n in res.report.notes)
+        # the exact counter is not capped
+        assert res.rejected_steps > len(rejections)
+
+
+class TestHBGridOversampleValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 0.5, 1.5])
+    def test_rejects_non_positive_or_fractional(self, bad):
+        with pytest.raises(ValueError, match="oversample"):
+            hb_grid([1e6], [4], oversample=bad)
+
+    def test_accepts_valid_values(self):
+        g1 = hb_grid([1e6], [4], oversample=1)
+        g4 = hb_grid([1e6], [4], oversample=4)
+        assert g4.shape[0] >= g1.shape[0]
+
+    def test_float_integral_value_ok(self):
+        # 2.0 is an integer in value; only fractional values are bogus
+        g = hb_grid([1e6], [4], oversample=2.0)
+        assert g.shape[0] >= 8
+
+
+class TestDbcZeroCarrier:
+    def _result(self):
+        ckt = Circuit("hb")
+        ckt.vsource("V1", "in", "0", Sine(offset=0.2, amplitude=0.4, freq=1e6))
+        ckt.resistor("R1", "in", "out", 1e3)
+        ckt.capacitor("C1", "out", "0", 1e-12)
+        ckt.diode("D1", "out", "0")
+        return harmonic_balance(ckt.compile(), freqs=[1e6], harmonics=4)
+
+    def test_zero_carrier_raises(self):
+        res = self._result()
+        # a harmonic index far beyond any excited product has exactly
+        # zero amplitude only in pathological cases; build the guaranteed
+        # zero by zeroing the spectrum instead: use an index of a node
+        # clamped to zero — the ground-referenced source current at an
+        # unexcited cross-harmonic of a single-tone grid is not reliably
+        # zero, so synthesize the condition through a zeroed solution
+        import copy
+
+        dead = copy.deepcopy(res)
+        dead.solution.x = np.zeros_like(np.asarray(res.solution.x))
+        with pytest.raises(ValueError, match="zero"):
+            dead.dbc("out", (2,), carrier_index=(1,))
+
+    def test_valid_carrier_still_works(self):
+        res = self._result()
+        level = res.dbc("out", (2,), carrier_index=(1,))
+        assert np.isfinite(level)
+        assert level < 0  # second harmonic sits below the carrier
+
+    def test_spectrum_dbc_zero_carrier_raises(self):
+        import copy
+
+        res = self._result()
+        dead = copy.deepcopy(res)
+        dead.solution.x = np.zeros_like(np.asarray(res.solution.x))
+        with pytest.raises(ValueError, match="zero"):
+            dead.spectrum_dbc("out", carrier_index=(1,))
