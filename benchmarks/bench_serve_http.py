@@ -1,0 +1,153 @@
+"""HTTP front-end: what the network hop costs over the durable queue.
+
+The serve stack's network layer earns its keep on four numbers:
+
+* **submit throughput** — concurrent clients POSTing jobs through
+  admission + WAL against the same submissions made in-process, so the
+  HTTP tax (socket, JSON, auth, lock) is explicit;
+* **end-to-end wall** — submit → worker solve → verified result fetch
+  for a batch, through real loopback sockets;
+* **cache-hit resubmit** — the identical batch resubmitted over HTTP
+  must cost only the admission round trip per job (zero solves);
+* **GC** — bounding the result store to half its size, with the
+  eviction accounting frozen into the record.
+
+Results land in ``BENCH_serve_http.json`` (CI archives it).
+"""
+
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.serve import ServeClient, ServeHTTPServer, ServiceConfig
+
+from conftest import report, write_bench_json
+
+N_JOBS = 16
+N_CLIENTS = 4
+
+RC = """bench lowpass
+V1 in 0 SIN(0 1 1e6)
+R1 in out 1k
+C1 out 0 %dp
+.end
+"""
+
+
+def _netlists(n):
+    return [RC % (i + 1) for i in range(n)]
+
+
+def test_bench_serve_http():
+    rows = []
+    record = {"jobs": N_JOBS, "clients": N_CLIENTS}
+    nets = _netlists(N_JOBS)
+    root = tempfile.mkdtemp(prefix="bench-serve-http-")
+    server = ServeHTTPServer(
+        root, config=ServiceConfig(backoff_base=0.01)
+    ).start_background()
+    procs = []
+    try:
+        # -- in-process submits: the no-network baseline -----------------
+        t0 = time.perf_counter()
+        for net in nets:
+            server.service.submit(net, "ac", params={"source": "V1",
+                                                     "freqs": [1e3]})
+        inproc_wall = time.perf_counter() - t0
+
+        # -- concurrent HTTP submits (distinct dc jobs) ------------------
+        chunks = [nets[i::N_CLIENTS] for i in range(N_CLIENTS)]
+
+        def submit_chunk(chunk, out):
+            c = ServeClient(server.address, retries=4, backoff_base=0.01)
+            out.extend(c.submit(net, "dc")["job_id"] for net in chunk)
+
+        outs = [[] for _ in range(N_CLIENTS)]
+        threads = [
+            threading.Thread(target=submit_chunk, args=(chunk, out))
+            for chunk, out in zip(chunks, outs)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        submit_wall = time.perf_counter() - t0
+        job_ids = [j for out in outs for j in out]
+        assert len(job_ids) == N_JOBS
+        record["submit"] = {
+            "wall": submit_wall,
+            "per_job": submit_wall / N_JOBS,
+            "jobs_per_s": N_JOBS / submit_wall,
+            "inproc_wall": inproc_wall,
+            "http_tax": (submit_wall / inproc_wall
+                         if inproc_wall else float("inf")),
+        }
+        rows.append(("http submit", submit_wall, submit_wall / N_JOBS,
+                     f"{N_JOBS / submit_wall:.0f} jobs/s"))
+
+        # -- end to end: workers solve, clients fetch verified bytes -----
+        client = ServeClient(server.address, retries=4, backoff_base=0.01)
+        t0 = time.perf_counter()
+        procs = server.service.spawn_workers(2, until_drained=False,
+                                             max_seconds=300)
+        payloads = {}
+        for job_id in job_ids:
+            rec = client.wait(job_id, timeout=240)
+            assert rec["state"] == "done", rec
+            payloads[job_id] = client.result(job_id)
+        e2e_wall = time.perf_counter() - t0
+        assert all("x" in p for p in payloads.values())
+        record["e2e"] = {"wall": e2e_wall, "per_job": e2e_wall / N_JOBS}
+        rows.append(("e2e solve+fetch", e2e_wall, e2e_wall / N_JOBS, ""))
+
+        # -- resubmit: every job is a cache hit --------------------------
+        t0 = time.perf_counter()
+        verdicts = [client.submit(net, "dc") for net in nets]
+        cache_wall = time.perf_counter() - t0
+        assert all(v["state"] == "done" and v["cached"] for v in verdicts)
+        record["cache_hit"] = {
+            "wall": cache_wall,
+            "per_job": cache_wall / N_JOBS,
+            "speedup_vs_e2e": e2e_wall / cache_wall if cache_wall else
+            float("inf"),
+        }
+        rows.append(("cached resubmit", cache_wall, cache_wall / N_JOBS,
+                     f"{e2e_wall / cache_wall:.0f}x e2e"))
+
+        # -- GC: bound the store to half its size ------------------------
+        before = server.service.queue.store.total_bytes()
+        t0 = time.perf_counter()
+        stats = client.gc(max_bytes=before // 2)
+        gc_wall = time.perf_counter() - t0
+        assert stats["bytes_after"] <= before // 2
+        record["gc"] = {
+            "wall": gc_wall,
+            "bytes_before": stats["bytes_before"],
+            "bytes_after": stats["bytes_after"],
+            "evicted": stats["evicted"],
+        }
+        rows.append(("gc to 50%", gc_wall, stats["evicted"],
+                     f"{stats['bytes_after']}B kept"))
+
+        record["http_counters"] = dict(server.counters)
+    finally:
+        for p in procs:
+            p.terminate()
+            p.join(timeout=10)
+        server.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+    report(
+        "HTTP front-end: submit / solve / cached / gc",
+        rows,
+        header=("stage", "wall s", "per-job s", "note"),
+        notes=(
+            f"{N_CLIENTS} concurrent clients, {N_JOBS} distinct jobs, "
+            "2 worker processes, loopback sockets",
+            "cached resubmit costs one admission round trip per job "
+            "(zero solves)",
+        ),
+    )
+    write_bench_json("serve_http", extra=record)

@@ -178,8 +178,10 @@ def inject_error(
 
 #: ``error``/``hang``/``crash`` strike executing tasks (sweep items,
 #: service jobs); ``disk_full``/``torn`` strike write-ahead-log appends
-#: and are only meaningful in a :class:`ServeChaos` ``wal_faults`` map.
-_CHAOS_KINDS = ("error", "hang", "crash", "disk_full", "torn")
+#: and result-store writes; ``drop`` (close the connection without a
+#: response) is HTTP-only.  Which kinds a fault map accepts is enforced
+#: per surface in :class:`ServeChaos`.
+_CHAOS_KINDS = ("error", "hang", "crash", "disk_full", "torn", "drop")
 
 
 @dataclasses.dataclass
@@ -328,6 +330,8 @@ def chaos_sweeps(chaos: SweepChaos):
 
 _JOB_KINDS = ("error", "hang", "crash")
 _WAL_KINDS = ("disk_full", "torn")
+_STORE_KINDS = ("error", "torn", "crash")
+_HTTP_KINDS = ("error", "hang", "drop", "torn")
 
 
 class ServeChaos:
@@ -346,8 +350,19 @@ class ServeChaos:
       ``"append"``) to a spec with a log-level kind: ``disk_full``
       makes scheduled appends raise ``ENOSPC``, ``torn`` makes them
       persist only half the line — what a crash mid-``write`` leaves.
+    * ``store_faults`` maps a result-store **operation name**
+      (currently ``"put"``) to a spec: ``torn`` leaves a half-written
+      payload under the final name (the pre-fsync power-loss failure
+      mode) and raises, ``crash`` ``os._exit``'s after the temp write
+      but before publication (the atomicity regression net), ``error``
+      raises before any write.
+    * ``http_faults`` maps a **path substring** (or ``"*"``) of HTTP
+      front-end requests to a spec: ``drop`` closes the connection
+      without any response, ``torn`` sends the headers plus half the
+      body then kills the connection mid-response, ``hang`` sleeps
+      ``duration`` before handling, ``error`` answers 500.
 
-    Both schedules count executions in files under ``state_dir`` (one
+    All schedules count executions in files under ``state_dir`` (one
     byte per occurrence), so "crash the first attempt, succeed after"
     holds across worker processes and service restarts — the same
     idiom as :class:`SweepChaos`.
@@ -365,25 +380,30 @@ class ServeChaos:
         job_faults: Optional[Dict[str, ChaosSpec]] = None,
         state_dir=".",
         wal_faults: Optional[Dict[str, ChaosSpec]] = None,
+        store_faults: Optional[Dict[str, ChaosSpec]] = None,
+        http_faults: Optional[Dict[str, ChaosSpec]] = None,
     ):
         self.job_faults = dict(job_faults or {})
         self.wal_faults = dict(wal_faults or {})
-        for tag, spec in self.job_faults.items():
-            if not isinstance(spec, ChaosSpec):
-                raise TypeError(f"fault values must be ChaosSpec, got {spec!r}")
-            if spec.kind not in _JOB_KINDS:
-                raise ValueError(
-                    f"job fault {tag!r}: kind must be one of {_JOB_KINDS}, "
-                    f"got {spec.kind!r}"
-                )
-        for op, spec in self.wal_faults.items():
-            if not isinstance(spec, ChaosSpec):
-                raise TypeError(f"fault values must be ChaosSpec, got {spec!r}")
-            if spec.kind not in _WAL_KINDS:
-                raise ValueError(
-                    f"wal fault {op!r}: kind must be one of {_WAL_KINDS}, "
-                    f"got {spec.kind!r}"
-                )
+        self.store_faults = dict(store_faults or {})
+        self.http_faults = dict(http_faults or {})
+        surfaces = (
+            ("job", self.job_faults, _JOB_KINDS),
+            ("wal", self.wal_faults, _WAL_KINDS),
+            ("store", self.store_faults, _STORE_KINDS),
+            ("http", self.http_faults, _HTTP_KINDS),
+        )
+        for surface, faults, kinds in surfaces:
+            for tag, spec in faults.items():
+                if not isinstance(spec, ChaosSpec):
+                    raise TypeError(
+                        f"fault values must be ChaosSpec, got {spec!r}"
+                    )
+                if spec.kind not in kinds:
+                    raise ValueError(
+                        f"{surface} fault {tag!r}: kind must be one of "
+                        f"{kinds}, got {spec.kind!r}"
+                    )
         self.state_dir = os.fspath(state_dir)
         os.makedirs(self.state_dir, exist_ok=True)
 
@@ -399,6 +419,14 @@ class ServeChaos:
 
     def _wal_counter(self, op: str) -> str:
         return os.path.join(self.state_dir, f"serve_wal_{op}.count")
+
+    def _store_counter(self, op: str) -> str:
+        return os.path.join(self.state_dir, f"serve_store_{op}.count")
+
+    def _http_counter(self, tag: str) -> str:
+        return os.path.join(
+            self.state_dir, f"serve_http_{self._slug(tag)}.count"
+        )
 
     @staticmethod
     def _bump(path: str) -> int:
@@ -422,15 +450,24 @@ class ServeChaos:
         """WAL operations of kind ``op`` seen so far."""
         return self._count(self._wal_counter(op))
 
+    def store_ops(self, op: str) -> int:
+        """Result-store operations of kind ``op`` seen so far."""
+        return self._count(self._store_counter(op))
+
+    def http_ops(self, tag: str) -> int:
+        """HTTP requests matching fault tag ``tag`` seen so far."""
+        return self._count(self._http_counter(tag))
+
     def reset(self) -> None:
-        for tag in self.job_faults:
+        paths = (
+            [self._job_counter(t) for t in self.job_faults]
+            + [self._wal_counter(o) for o in self.wal_faults]
+            + [self._store_counter(o) for o in self.store_faults]
+            + [self._http_counter(t) for t in self.http_faults]
+        )
+        for path in paths:
             try:
-                os.remove(self._job_counter(tag))
-            except OSError:
-                pass
-        for op in self.wal_faults:
-            try:
-                os.remove(self._wal_counter(op))
+                os.remove(path)
             except OSError:
                 pass
 
@@ -465,6 +502,31 @@ class ServeChaos:
         if n > spec.times:
             return None
         return spec.kind
+
+    def store_op(self, op: str) -> Optional[ChaosSpec]:
+        """Called by the result store before operation ``op``; returns
+        the scheduled :class:`ChaosSpec` (the store needs its
+        ``exc_type``/``exit_code``, not just the kind) or ``None``."""
+        spec = self.store_faults.get(op)
+        if spec is None:
+            return None
+        n = self._bump(self._store_counter(op))
+        if n > spec.times:
+            return None
+        return spec
+
+    def http_op(self, path: str) -> Optional[ChaosSpec]:
+        """Called by the HTTP front-end per request; first tag found in
+        ``path`` (``"*"`` matches everything) is counted and, while its
+        schedule lasts, returned for the server to apply."""
+        for tag, spec in self.http_faults.items():
+            if tag != "*" and tag not in path:
+                continue
+            n = self._bump(self._http_counter(tag))
+            if n > spec.times:
+                return None
+            return spec
+        return None
 
 
 def tear_final_line(path) -> int:

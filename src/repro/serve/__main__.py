@@ -6,6 +6,8 @@
     python -m repro.serve drain ROOT
     python -m repro.serve run-workers ROOT -n 2
     python -m repro.serve requeue-dead ROOT [JOB_ID]
+    python -m repro.serve serve ROOT --port 8080 -n 2
+    python -m repro.serve gc ROOT --max-bytes 100000000 [--dry-run]
 
 Exit status: 0 on success; 1 when the requested operation failed (a
 rejected submission, an unknown job id, a drain that left dead jobs);
@@ -16,11 +18,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from .queue import ServiceConfig
 from .service import SimulationService
+from .store import GC_MAX_AGE_ENV, GC_MAX_BYTES_ENV
 
 __all__ = ["main"]
 
@@ -138,6 +142,84 @@ def _cmd_requeue_dead(args) -> int:
     return 0
 
 
+def _env_budget(flag_value, env_name, cast):
+    if flag_value is not None:
+        return flag_value
+    raw = os.environ.get(env_name, "").strip()
+    if not raw:
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        print(f"error: {env_name}={raw!r} is not a number", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_gc(args) -> int:
+    max_bytes = _env_budget(args.max_bytes, GC_MAX_BYTES_ENV, int)
+    max_age = _env_budget(args.max_age, GC_MAX_AGE_ENV, float)
+    svc = _open(args)
+    stats = svc.gc(max_bytes=max_bytes, max_age=max_age, dry_run=args.dry_run)
+    print(json.dumps(stats, indent=2))
+    # an over-budget store that GC could not shrink (everything pinned or
+    # in flight) is an operator problem worth a nonzero exit
+    return 1 if stats.get("over_budget") else 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .http import ServeHTTPServer
+
+    config = None
+    kwargs = {}
+    if args.lease_ttl is not None:
+        kwargs["lease_ttl"] = args.lease_ttl
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.trace:
+        kwargs["trace"] = True
+    if args.gc_max_bytes is not None:
+        kwargs["gc_max_bytes"] = args.gc_max_bytes
+    if args.gc_max_age is not None:
+        kwargs["gc_max_age"] = args.gc_max_age
+    if kwargs:
+        config = ServiceConfig(**kwargs)
+    server = ServeHTTPServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        config=config,
+        high_water=args.high_water,
+        request_timeout=args.request_timeout,
+    )
+    procs = []
+    if args.workers:
+        server.service.recover()
+        procs = server.service.spawn_workers(args.workers, until_drained=False)
+    auth = "bearer-token" if server.token else "open"
+    print(f"serving {server.service.root} at {server.address} "
+          f"({auth}, {len(procs)} worker(s)); Ctrl-C to stop", flush=True)
+
+    def _graceful(signum, frame):
+        # SIGTERM exits through the same path as Ctrl-C, so the socket
+        # closes cleanly and buffered trace records reach disk
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -195,6 +277,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("job_id", nargs="?", default=None,
                    help="one job (default: every dead job)")
     p.set_defaults(fn=_cmd_requeue_dead)
+
+    p = sub.add_parser("serve", help="run the HTTP front-end")
+    common(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral; default: 8080)")
+    p.add_argument("-n", "--workers", type=int, default=0,
+                   help="also spawn this many worker processes")
+    p.add_argument("--high-water", type=int, default=None,
+                   help="backlog depth that triggers 429 "
+                        "(default: $REPRO_SERVE_HIGH_WATER or unlimited)")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   help="total seconds a request body may take to arrive")
+    p.add_argument("--gc-max-bytes", type=int, default=None,
+                   help="workers keep the result store under this many bytes")
+    p.add_argument("--gc-max-age", type=float, default=None,
+                   help="workers evict results idle longer than this (seconds)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("gc", help="evict LRU results to bound the store")
+    common(p)
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help=f"byte budget (default: ${GC_MAX_BYTES_ENV})")
+    p.add_argument("--max-age", type=float, default=None,
+                   help=f"max idle seconds (default: ${GC_MAX_AGE_ENV})")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report the plan without deleting anything")
+    p.set_defaults(fn=_cmd_gc)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -90,6 +90,14 @@ class ServiceConfig:
         ``"strict"`` (default) — error-severity lint diagnostics reject
         the submission; ``"warn"`` — record diagnostics but enqueue
         anyway; ``"off"`` — skip the lint gate entirely.
+    gc_max_bytes / gc_max_age:
+        Result-store GC budgets (see :meth:`repro.serve.store.ResultStore.gc`);
+        ``0`` disables that bound.  When either is set, workers run the
+        GC opportunistically between jobs (in-flight job keys are
+        always protected from eviction).
+    gc_every:
+        A worker runs the opportunistic GC after every this-many
+        completed jobs (only when a GC budget is configured).
     """
 
     lease_ttl: float = 10.0
@@ -99,6 +107,9 @@ class ServiceConfig:
     poll: float = 0.05
     trace: bool = False
     admission: str = "strict"
+    gc_max_bytes: int = 0
+    gc_max_age: float = 0.0
+    gc_every: int = 8
 
     def __post_init__(self):
         if self.heartbeat is None:
@@ -174,6 +185,11 @@ class JobQueue:
         self.jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []  # submission order (replay order)
         self._offset = 0
+        # wall-vs-monotonic anchor: detects wall-clock steps so lease
+        # TTLs (measured in file mtimes == wall time) cannot
+        # mass-reclaim live leases after an NTP jump (see
+        # reclaim_expired)
+        self._clock_anchor = (time.time(), time.monotonic())
 
     # -- WAL replay / state machine ------------------------------------
 
@@ -374,6 +390,18 @@ class JobQueue:
         except OSError:
             return False
 
+    def clock_step(self, now: Optional[float] = None) -> float:
+        """Seconds the wall clock has visibly stepped since this queue
+        opened (positive: jumped forward; negative: jumped backward).
+
+        Lease ages are wall-clock deltas against file mtimes, so a
+        stepped clock makes every age wrong by the step size — in the
+        forward direction, old enough to look TTL-expired at once.
+        """
+        wall0, mono0 = self._clock_anchor
+        now = time.time() if now is None else now
+        return now - (wall0 + (time.monotonic() - mono0))
+
     def reclaim_expired(self, now: Optional[float] = None) -> List[str]:
         """Reclaim jobs whose lease went stale or whose owner died.
 
@@ -381,8 +409,21 @@ class JobQueue:
         (terminal jobs, claim-then-crash leftovers) and notices
         leased/running jobs with *no* lease file — an owner that died
         between unlinking its lease and recording the outcome.
+
+        Staleness is clock-step-hardened: ages are clamped at zero
+        (a lease touched "in the future" is fresh, not infinitely
+        stale), and when the wall clock has visibly stepped against the
+        monotonic clock since open, TTL expiry alone is not trusted —
+        the recorded owner PID must *also* be dead before the lease is
+        taken, so an NTP jump can never mass-reclaim live leases and
+        run the same job on two workers.
         """
         now = time.time() if now is None else now
+        # a step larger than one heartbeat is visible; smaller drift is
+        # indistinguishable from scheduling noise and harmless vs TTL
+        stepped = abs(self.clock_step(now)) > max(
+            1.0, self.config.heartbeat or 1.0
+        )
         reclaimed: List[str] = []
         tr = get_tracer()
         try:
@@ -407,10 +448,14 @@ class JobQueue:
                     pass
                 continue
             try:
-                age = now - os.path.getmtime(path)
+                age = max(0.0, now - os.path.getmtime(path))
             except OSError:
                 continue  # vanished: owner released it just now
             stale = age > self.config.lease_ttl
+            if stale and stepped:
+                # TTL verdicts are untrustworthy across a clock step:
+                # only a provably dead owner loses its lease
+                stale = False
             if not stale and not self._lease_owner_dead(path):
                 continue
             # one winner per reclaim: settle the race with a rename
@@ -553,6 +598,51 @@ class JobQueue:
             if self.jobs[j].state == "failed"
         ]
         return min(times) if times else None
+
+    def inflight_keys(self) -> set:
+        """Content keys of jobs that still need their result: anything
+        non-terminal may hit the cache on its next attempt, so GC must
+        never evict these."""
+        return {
+            r.key
+            for r in self.jobs.values()
+            if r.key and r.state in ("queued", "leased", "running", "failed")
+        }
+
+    def gc_store(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict:
+        """Run result-store GC with in-flight keys pinned.
+
+        ``None`` budgets fall back to the service config
+        (``gc_max_bytes``/``gc_max_age``; ``0`` = no bound).  Workers
+        call this opportunistically between jobs; operators via
+        ``python -m repro.serve gc``.
+        """
+        if max_bytes is None:
+            max_bytes = self.config.gc_max_bytes or None
+        if max_age is None:
+            max_age = self.config.gc_max_age or None
+        self.refresh()
+        stats = self.store.gc(
+            max_bytes=max_bytes,
+            max_age=max_age,
+            pinned=self.inflight_keys(),
+            dry_run=dry_run,
+        )
+        tr = get_tracer()
+        if tr.enabled and (stats["evicted"] or stats["orphan_meta_removed"]):
+            tr.event(
+                "serve.gc",
+                evicted=stats["evicted"],
+                evicted_bytes=stats["evicted_bytes"],
+                bytes_after=stats["bytes_after"],
+                dry_run=dry_run,
+            )
+        return stats
 
     def active_job_for_key(self, key: str) -> Optional[str]:
         """A non-terminal, non-dead job already covering this content key

@@ -166,9 +166,33 @@ class SimulationService:
             "jobs": len(self.queue.jobs),
             "states": self.queue.counts(),
             "results": len(self.queue.store),
+            "store_bytes": self.queue.store.total_bytes(),
             "wal": dict(self.queue.wal.stats),
             "recovered_skipped_lines": self.recovery.get("skipped", 0),
         }
+
+    def queue_depth(self) -> int:
+        """How many jobs still need work (queued/leased/running/failed)
+        — the number the HTTP front-end's backpressure gate watches."""
+        self.queue.refresh()
+        return len(self.queue.pending())
+
+    # -- result-store GC -----------------------------------------------
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict:
+        """Bound the result store (see :meth:`ResultStore.gc`).
+
+        In-flight job keys and on-disk pins are never evicted; ``None``
+        budgets fall back to the service config.
+        """
+        return self.queue.gc_store(
+            max_bytes=max_bytes, max_age=max_age, dry_run=dry_run
+        )
 
     # -- execution -----------------------------------------------------
 

@@ -137,6 +137,26 @@ class Worker:
             # will finish the bookkeeping on a later attempt
             pass
 
+    # -- opportunistic store GC ----------------------------------------
+
+    def _maybe_gc(self) -> None:
+        """Bound the result store between jobs when the config asks.
+
+        Runs every ``gc_every`` completed jobs; in-flight keys are
+        pinned by :meth:`JobQueue.gc_store`, so a worker janitoring the
+        store can never evict a result another worker is about to
+        claim.  GC failures never take a worker down.
+        """
+        cfg = self.q.config
+        if not (cfg.gc_max_bytes or cfg.gc_max_age):
+            return
+        if self.jobs_run % max(1, cfg.gc_every):
+            return
+        try:
+            self.q.gc_store()
+        except OSError:  # pragma: no cover - store dir unlistable
+            pass
+
     # -- loop ----------------------------------------------------------
 
     def run(
@@ -166,6 +186,7 @@ class Worker:
             if job_id is not None:
                 self._execute(job_id)
                 self.jobs_run += 1
+                self._maybe_gc()
                 continue
             if until_drained and not self.q.pending():
                 break

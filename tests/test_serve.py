@@ -217,8 +217,16 @@ class TestResultStore:
         with open(meta_path, "w") as fh:
             json.dump(meta, fh)
         assert store.get("k1") is None
+        # the untrusted entry was quarantined, not left to flap between
+        # hit and miss depending on who asks: it stays a miss even after
+        # the key is unset, and a resubmission recomputes cleanly
         monkeypatch.delenv("REPRO_SERVE_RESULT_KEY")
-        assert store.get("k1") == {"x": 1}  # no key configured: sha rules
+        assert store.get("k1") is None
+        assert "k1" not in store
+        corrupt = os.listdir(os.path.join(store.root, "corrupt"))
+        assert any(name.startswith("k1") for name in corrupt)
+        assert store.put("k1", {"x": 1}) is True  # key is free again
+        assert store.get("k1") == {"x": 1}
 
 
 # -- admission gate -----------------------------------------------------
@@ -640,3 +648,330 @@ class TestServeCLI:
         assert _parse_param("source=V1") == ("source", "V1")
         assert _parse_param("f_start=1e3") == ("f_start", 1e3)
         assert _parse_param("freqs=[1.0,2.0]") == ("freqs", [1.0, 2.0])
+
+
+# -- store durability (fsync / write-once / quarantine) -----------------
+
+
+def _racing_put(root, key, barrier, out_q):
+    """Child-process body for the two-process write-once race."""
+    store = ResultStore(root)
+    payload = {"x": np.arange(64.0)}
+    barrier.wait()
+    out_q.put(store.put(key, payload, meta={"writer": os.getpid()}))
+
+
+class TestStoreDurability:
+    def test_zero_length_pkl_is_a_miss_and_quarantined(self, tmp_path):
+        """Regression: a power loss between create and write leaves a
+        zero-length .pkl; pre-fix has() reported it as a cache hit
+        forever, so the key could never be recomputed."""
+        store = ResultStore(tmp_path / "res")
+        store.put("deadbeef", {"x": 1})
+        pkl = os.path.join(store.root, "de", "deadbeef.pkl")
+        with open(pkl, "wb"):
+            pass  # truncate to zero bytes
+        assert store.has("deadbeef") is False
+        assert store.get("deadbeef") is None
+        assert not os.path.exists(pkl)  # quarantined, not left to rot
+        # the key is free again: a resubmission records a fresh result
+        assert store.put("deadbeef", {"x": 1}) is True
+        assert store.get("deadbeef") == {"x": 1}
+
+    def test_power_loss_torn_artifact_recomputes_bit_identical(self, tmp_path):
+        """Craft the exact pre-fix artifact — half a payload under the
+        final name with a sidecar recording the full checksum — and
+        prove the service recomputes through it."""
+        svc = open_service(tmp_path / "s", backoff_base=0.01)
+        res = svc.submit(RC, "dc")
+        svc.drain()
+        good = svc.queue.store.get(res.key)
+        pkl, meta = svc.queue.store._paths(res.key)
+        blob = open(pkl, "rb").read()
+        with open(pkl, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])  # torn payload, intact sidecar
+        # resubmission must not trust the torn entry: it recomputes
+        res2 = svc.submit(RC, "dc")
+        assert res2.state == "queued", "torn entry was served as a cache hit"
+        svc.drain()
+        again = svc.queue.store.get(res.key)
+        np.testing.assert_array_equal(again["x"], good["x"])
+        corrupt = os.listdir(os.path.join(svc.queue.store.root, "corrupt"))
+        assert any(name.startswith(res.key) for name in corrupt)
+
+    def test_concurrent_two_process_put_single_winner(self, tmp_path):
+        """os.link arbitration: two processes racing one key get exactly
+        one winner, and the surviving entry verifies."""
+        import multiprocessing as mp
+
+        root = str(tmp_path / "res")
+        ResultStore(root)  # create the directory before forking
+        key = "ab" + "0" * 62
+        ctx = mp.get_context()
+        barrier = ctx.Barrier(2)
+        out_q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_racing_put, args=(root, key, barrier, out_q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = [out_q.get(timeout=30) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        assert sorted(results) == [False, True]  # exactly one winner
+        store = ResultStore(root)
+        got = store.get(key)  # verifies sha (and quarantines if torn)
+        np.testing.assert_array_equal(got["x"], np.arange(64.0))
+        meta = store.get_meta(key)
+        assert meta["sha256"]  # sidecar consistent with the blob
+
+    def test_chaos_torn_put_retries_to_done(self, tmp_path):
+        """A put torn mid-write (power-loss model) raises; the retry
+        ladder quarantines the damage and the next attempt records a
+        clean result."""
+        chaos = ServeChaos(
+            store_faults={"put": ChaosSpec(kind="torn", times=1)},
+            state_dir=tmp_path / "chaos",
+        )
+        svc = open_service(tmp_path / "s", backoff_base=0.01, max_retries=2)
+        res = svc.submit(RC, "dc")
+        with chaos_serve(chaos):
+            svc.drain()
+        rec = svc.status(res.job_id)
+        assert rec["state"] == "done"
+        assert rec["attempts"] == 2  # torn put burned one attempt
+        assert chaos.store_ops("put") >= 2
+        assert svc.queue.store.get(res.key) is not None
+
+    def test_crash_mid_put_never_publishes(self, tmp_path):
+        """SIGKILL between the fsync'd temp write and publication: the
+        final name must not exist, and a resubmission recomputes a
+        bit-identical result (the acceptance scenario)."""
+        chaos = ServeChaos(
+            store_faults={"put": ChaosSpec(kind="crash", times=1, exit_code=86)},
+            state_dir=tmp_path / "chaos",
+        )
+        svc = open_service(tmp_path / "s", lease_ttl=30.0, max_retries=2,
+                           backoff_base=0.01)
+        res = svc.submit(RC, "dc")
+        with chaos_serve(chaos):
+            procs = svc.spawn_workers(1, max_seconds=60)
+            procs[0].join(timeout=60)
+            # the worker died inside put(): no published payload, and
+            # has() must not be fooled by any leftovers
+            pkl, _ = svc.queue.store._paths(res.key)
+            assert not os.path.exists(pkl)
+            assert svc.queue.store.has(res.key) is False
+            # recovery: reclaim the dead worker's lease and drain inline
+            svc.recover()
+            svc.drain()
+        rec = svc.status(res.job_id)
+        assert rec["state"] == "done"
+        got = svc.queue.store.get(res.key)
+        # bit-identical to a fault-free run in a fresh root
+        ref = open_service(tmp_path / "ref")
+        ref_res = ref.submit(RC, "dc")
+        ref.drain()
+        want = ref.queue.store.get(ref_res.key)
+        np.testing.assert_array_equal(got["x"], want["x"])
+        assert got["node_names"] == want["node_names"]
+
+    def test_atomic_write_bytes_never_leaves_partial(self, tmp_path):
+        path = tmp_path / "f.bin"
+        atomic = __import__("repro.serve.store", fromlist=["atomic_write_bytes"])
+        atomic.atomic_write_bytes(str(path), b"x" * 1000)
+        assert path.read_bytes() == b"x" * 1000
+        atomic.atomic_write_bytes(str(path), b"y" * 10)
+        assert path.read_bytes() == b"y" * 10
+        # no stray temp files left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["f.bin"]
+
+
+# -- lease staleness vs clock steps -------------------------------------
+
+
+class TestLeaseClockHardening:
+    def _leased_job(self, tmp_path, **cfg):
+        svc = open_service(tmp_path / "s", **cfg)
+        res = svc.submit(RC, "dc")
+        q = svc.queue
+        assert q.try_lease(res.job_id, "w-live")
+        q.record_running(res.job_id, "w-live")
+        lease = tmp_path / "s" / "leases" / f"{res.job_id}.lease"
+        return svc, res, q, lease
+
+    def test_future_mtime_lease_is_fresh(self, tmp_path):
+        """A lease touched 'in the future' (clock stepped back under a
+        live worker) has age 0, not a huge negative number that later
+        arithmetic could misread — it is simply not stale."""
+        svc, res, q, lease = self._leased_job(tmp_path, lease_ttl=0.2)
+        future = time.time() + 3600.0
+        os.utime(lease, (future, future))
+        assert q.reclaim_expired() == []
+        assert svc.status(res.job_id)["state"] == "running"
+
+    def test_clock_step_blocks_ttl_reclaim_of_live_owner(self, tmp_path):
+        """With a visible wall-vs-monotonic step, TTL expiry alone must
+        not reclaim: the owner (this process) is alive, so the lease
+        survives even though its age exceeds the TTL."""
+        svc, res, q, lease = self._leased_job(tmp_path, lease_ttl=0.2)
+        old = time.time() - 50.0
+        os.utime(lease, (old, old))
+        # sanity: without a step this lease would be reclaimed
+        assert abs(q.clock_step()) < 1.0
+        # simulate a 100 s backward NTP step since open
+        q._clock_anchor = (q._clock_anchor[0] + 100.0, q._clock_anchor[1])
+        assert abs(q.clock_step()) > 99.0
+        assert q.reclaim_expired() == []
+        assert svc.status(res.job_id)["state"] == "running"
+
+    def test_clock_step_still_reclaims_dead_owner(self, tmp_path):
+        """The dead-PID fast path is step-proof: a provably dead owner
+        loses its lease no matter what the wall clock did."""
+        svc, res, q, lease = self._leased_job(tmp_path, lease_ttl=0.2)
+        lease.write_text(json.dumps(
+            {"job": res.job_id, "worker": "w-dead", "pid": 2 ** 22 + 19,
+             "attempt": 1}
+        ))
+        old = time.time() - 50.0
+        os.utime(lease, (old, old))
+        q._clock_anchor = (q._clock_anchor[0] + 100.0, q._clock_anchor[1])
+        assert q.reclaim_expired() == [res.job_id]
+        assert svc.status(res.job_id)["state"] == "queued"
+
+    def test_no_step_ttl_reclaim_still_works(self, tmp_path):
+        """The hardening must not break the plain hung-worker case:
+        silent heartbeat + honest clock still reclaims."""
+        svc, res, q, lease = self._leased_job(tmp_path, lease_ttl=0.2)
+        old = time.time() - 5.0
+        os.utime(lease, (old, old))
+        assert q.reclaim_expired() == [res.job_id]
+
+
+# -- result-store GC ----------------------------------------------------
+
+
+class TestStoreGC:
+    def _filled(self, tmp_path, n=4, now=1_000_000.0):
+        """A store with n entries, oldest first (mtimes 1s apart)."""
+        store = ResultStore(tmp_path / "res")
+        keys = []
+        for i in range(n):
+            key = f"{i:02d}" + "e" * 62
+            store.put(key, {"x": np.arange(128.0) + i})
+            pkl, meta = store._paths(key)
+            t = now - (n - i) * 10.0
+            os.utime(pkl, (t, t))
+            keys.append(key)
+        return store, keys, now
+
+    def test_max_bytes_evicts_lru_first(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        per = store.total_bytes() // 4
+        stats = store.gc(max_bytes=2 * per + 10, now=now)
+        assert stats["evicted_keys"] == keys[:2]  # oldest two go
+        assert stats["bytes_after"] <= 2 * per + 10
+        assert not stats["over_budget"]
+        assert sorted(store.keys()) == sorted(keys[2:])
+        # survivors still verify
+        assert store.get(keys[3]) is not None
+
+    def test_max_age_evicts_idle_entries(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        stats = store.gc(max_age=25.0, now=now)  # entries older than 25 s
+        assert stats["evicted_keys"] == keys[:2]
+        assert sorted(store.keys()) == sorted(keys[2:])
+
+    def test_pinned_entries_survive_and_flag_over_budget(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        for key in keys:
+            store.pin(key)
+        stats = store.gc(max_bytes=1, now=now)
+        assert stats["evicted"] == 0
+        assert stats["kept_pinned"] == 4
+        assert stats["over_budget"] is True
+        store.unpin(keys[0])
+        stats = store.gc(max_bytes=1, now=now)
+        assert stats["evicted_keys"] == [keys[0]]
+
+    def test_caller_pinned_set_protects(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        stats = store.gc(max_bytes=1, pinned={keys[0]}, now=now)
+        assert keys[0] not in stats["evicted_keys"]
+        assert keys[0] in list(store.keys())
+
+    def test_verified_read_touches_lru_clock(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        assert store.get(keys[0]) is not None  # bumps mtime to real now
+        stats = store.gc(max_bytes=store.total_bytes() // 2, now=now)
+        assert keys[0] not in stats["evicted_keys"]
+
+    def test_dry_run_plans_without_deleting(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        stats = store.gc(max_bytes=1, dry_run=True, now=now)
+        assert stats["evicted"] == 4 and stats["dry_run"]
+        assert sorted(store.keys()) == sorted(keys)  # nothing touched
+
+    def test_orphan_meta_and_tmp_sweep_respects_grace(self, tmp_path):
+        store, keys, now = self._filled(tmp_path)
+        d = os.path.dirname(store._paths(keys[0])[0])
+        old_meta = os.path.join(d, "ff" + "a" * 62 + ".json")
+        open(old_meta, "w").write("{}")
+        os.utime(old_meta, (now - 3600, now - 3600))
+        young_tmp = os.path.join(d, ".tmp-inflight")
+        open(young_tmp, "wb").write(b"x")  # fresh: an in-flight put
+        stats = store.gc(now=now)
+        assert stats["orphan_meta_removed"] == 1
+        assert stats["tmp_removed"] == 0
+        assert not os.path.exists(old_meta)
+        assert os.path.exists(young_tmp)
+
+    def test_gc_store_pins_inflight_job_keys(self, tmp_path):
+        """A worker wrote its result but has not recorded done yet:
+        that key is in flight and must survive any GC budget."""
+        svc = open_service(tmp_path / "s")
+        res = svc.submit(RC, "dc")
+        q = svc.queue
+        assert q.try_lease(res.job_id, "w1")
+        q.record_running(res.job_id, "w1")
+        q.store.put(res.key, {"x": np.arange(8.0)})
+        stats = q.gc_store(max_bytes=1)
+        assert stats["evicted"] == 0
+        assert stats["over_budget"] is True
+        assert q.store.has(res.key)
+        # once the job settles, the same budget evicts it
+        q.record_done(res.job_id, res.key, "w1", wall=0.0)
+        q.release_lease(res.job_id)
+        stats = q.gc_store(max_bytes=1)
+        assert stats["evicted_keys"] == [res.key]
+
+    def test_worker_runs_gc_opportunistically(self, tmp_path):
+        """gc_max_bytes in the service config makes workers bound the
+        store between jobs without any operator involvement."""
+        svc = open_service(tmp_path / "s", gc_max_bytes=1, gc_every=1,
+                           backoff_base=0.01)
+        for i in range(3):
+            svc.submit(rc_variant(i), "dc")
+        svc.drain()
+        assert all(r["state"] == "done" for r in svc.status())
+        # the worker's between-jobs GC kept the store bounded: under the
+        # (absurd) 1-byte budget every settled result is evicted; at most
+        # the final job's own result can linger until the next GC pass
+        assert len(svc.queue.store) <= 1
+
+    def test_gc_cli(self, tmp_path, capsys):
+        from repro.serve.__main__ import main
+
+        root = str(tmp_path / "s")
+        svc = open_service(root)
+        svc.submit(RC, "dc")
+        svc.drain()
+        assert main(["gc", root, "--max-bytes", "1", "--dry-run"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["dry_run"] is True and out["evicted"] == 1
+        assert len(svc.queue.store) == 1  # dry run deleted nothing
+        assert main(["gc", root, "--max-bytes", "1"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["evicted"] == 1
+        assert len(svc.queue.store) == 0
